@@ -1,0 +1,91 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Figure regeneration — runs every evaluation experiment of the paper
+      (Figs 9-16 plus the §7.2 scalars) at full fidelity and prints the rows
+      behind each plot, followed by the design-choice ablations from
+      DESIGN.md.
+
+   2. A Bechamel suite with one [Test.make] per table/figure (the quick
+      variant of each driver, so the regression harness measures the cost of
+      regenerating each experiment) plus microbenchmarks of the simulator's
+      hot operations. *)
+
+open Bechamel
+open Toolkit
+
+module Figures = Skipit_workload.Figures
+module Ablation = Skipit_workload.Ablation
+module S = Skipit_core.System
+module C = Skipit_core.Config
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let figure_test name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+       match Figures.by_name name with
+       | Some f -> f ~quick:true null_ppf
+       | None -> assert false))
+
+(* Hot-path microbenchmarks of the simulator itself. *)
+let sim_tests =
+  let make_hot name f =
+    Test.make ~name
+      (Staged.stage (fun () ->
+         let sys = S.create (C.platform ~cores:1 ~skip_it:true ()) in
+         let addr = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+         f sys addr))
+  in
+  [
+    make_hot "sim/store+clean+fence" (fun sys addr ->
+      S.store sys ~core:0 addr 1;
+      S.clean sys ~core:0 addr;
+      S.fence sys ~core:0);
+    make_hot "sim/load-hit-x100" (fun sys addr ->
+      S.store sys ~core:0 addr 1;
+      for _ = 1 to 100 do
+        ignore (S.load sys ~core:0 addr)
+      done);
+    make_hot "sim/skip-drop-x100" (fun sys addr ->
+      S.store sys ~core:0 addr 1;
+      S.clean sys ~core:0 addr;
+      S.fence sys ~core:0;
+      for _ = 1 to 100 do
+        S.clean sys ~core:0 addr
+      done;
+      S.fence sys ~core:0);
+  ]
+
+let all_tests =
+  Test.make_grouped ~name:"skipit" ~fmt:"%s %s"
+    (List.map figure_test
+       [ "scalar"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16" ]
+    @ sim_tests)
+
+let run_bechamel () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n== Bechamel: one Test.make per figure (regeneration cost) ==\n";
+  Printf.printf "%-28s %16s %10s\n" "test" "ns/run" "r^2";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+       let est =
+         match Analyze.OLS.estimates ols with Some (x :: _) -> x | Some [] | None -> nan
+       in
+       let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+       Printf.printf "%-28s %16.0f %10.3f\n" name est r2)
+
+let () =
+  let ppf = Format.std_formatter in
+  Format.pp_open_vbox ppf 0;
+  Figures.all ~quick:false ppf;
+  Ablation.run_all ppf;
+  Format.pp_close_box ppf ();
+  Format.pp_print_newline ppf ();
+  run_bechamel ()

@@ -1,0 +1,133 @@
+(* Command-line harness: regenerate any evaluation figure of the paper, dump
+   system statistics, or run a free-form writeback microbenchmark. *)
+
+module Figures = Skipit_workload.Figures
+module Micro = Skipit_workload.Micro
+module S = Skipit_core.System
+module C = Skipit_core.Config
+open Cmdliner
+
+let with_ppf f =
+  let ppf = Format.std_formatter in
+  Format.pp_open_vbox ppf 0;
+  f ppf;
+  Format.pp_close_box ppf ();
+  Format.pp_print_newline ppf ()
+
+let figure_cmd =
+  let figure =
+    let doc =
+      Printf.sprintf "Figure to regenerate: %s." (String.concat ", " Figures.names)
+    in
+    Arg.(required & pos 0 (some (enum (List.map (fun n -> n, n) Figures.names))) None
+         & info [] ~docv:"FIGURE" ~doc)
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer repetitions and sweep points.")
+  in
+  let run name quick =
+    match Figures.by_name name with
+    | Some f -> with_ppf (fun ppf -> f ~quick ppf)
+    | None -> prerr_endline ("unknown figure " ^ name)
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's evaluation figures")
+    Term.(const run $ figure $ quick)
+
+let stats_cmd =
+  let threads =
+    Arg.(value & opt int 2 & info [ "threads" ] ~doc:"Simulated cores.")
+  in
+  let lines =
+    Arg.(value & opt int 64 & info [ "lines" ] ~doc:"Cache lines to store+flush.")
+  in
+  let skip_it = Arg.(value & flag & info [ "skip-it" ] ~doc:"Enable Skip It.") in
+  let run threads lines skip_it =
+    let sys = S.create (C.platform ~cores:threads ~skip_it ()) in
+    let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (lines * 64) in
+    let module T = Skipit_core.Thread in
+    let per = max 1 (lines / threads) in
+    let task core =
+      {
+        T.core;
+        body =
+          (fun () ->
+            for i = core * per to min lines ((core + 1) * per) - 1 do
+              T.store (base + (i * 64)) i;
+              T.flush (base + (i * 64));
+              T.flush (base + (i * 64))
+            done;
+            T.fence ());
+      }
+    in
+    let cycles = T.run sys (List.init threads task) in
+    Printf.printf "elapsed: %d cycles\n" cycles;
+    List.iter (fun (k, v) -> Printf.printf "%-28s %d\n" k v) (S.stats_report sys)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Run a store+double-flush loop and dump all counters")
+    Term.(const run $ threads $ lines $ skip_it)
+
+let sweep_cmd =
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Simulated cores.") in
+  let clean =
+    Arg.(value & flag & info [ "clean" ] ~doc:"Use CBO.CLEAN instead of CBO.FLUSH.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let contended =
+    Arg.(value & flag & info [ "contended" ] ~doc:"All threads write back the same region.")
+  in
+  let run threads clean csv contended =
+    let kind = if clean then Skipit_tilelink.Message.Wb_clean else Skipit_tilelink.Message.Wb_flush in
+    let series =
+      if contended then
+        Micro.contended_sweep ~kind ~threads ~sizes:Micro.sizes_default ~repeats:3 ()
+      else Micro.writeback_sweep ~kind ~threads ~sizes:Micro.sizes_default ~repeats:3 ()
+    in
+    with_ppf (fun ppf ->
+      if csv then Skipit_workload.Series.pp_csv ppf [ series ]
+      else Skipit_workload.Series.pp_table ~x_name:"bytes" ppf [ series ])
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Writeback-size latency sweep (Fig. 9 style)")
+    Term.(const run $ threads $ clean $ csv $ contended)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace program file.")
+  in
+  let cores = Arg.(value & opt (some int) None & info [ "cores" ] ~doc:"Simulated cores (default: enough for the trace).") in
+  let skip_it = Arg.(value & flag & info [ "skip-it" ] ~doc:"Enable Skip It.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump all counters after the run.") in
+  let run file cores skip_it stats =
+    match Skipit_workload.Trace_program.load_file file with
+    | Error e ->
+      prerr_endline ("trace error: " ^ e);
+      exit 1
+    | Ok program ->
+      let needed = Skipit_workload.Trace_program.max_core program + 1 in
+      let cores = match cores with Some n -> n | None -> needed in
+      let sys = S.create (C.platform ~cores ~skip_it ()) in
+      let cycles, checksums = Skipit_workload.Trace_program.run sys program in
+      Printf.printf "elapsed: %d cycles\n" cycles;
+      Array.iteri (fun i c -> Printf.printf "core %d load-checksum: %#x\n" i c) checksums;
+      if stats then
+        List.iter (fun (k, v) -> Printf.printf "%-28s %d\n" k v) (S.stats_report sys)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a text trace program (see examples/traces/)")
+    Term.(const run $ file $ cores $ skip_it $ stats)
+
+let ablate_cmd =
+  let run () = with_ppf Skipit_workload.Ablation.run_all in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Run the design-choice ablations (FSHR count, queue depth, skip decomposition, array width, coalescing)")
+    Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "skipit_sim" ~version:"1.0.0"
+      ~doc:"Simulator for 'Skip It: Take Control of Your Cache!' (ASPLOS 2024)"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/dma_buffer.ml: Printf Skipit_core Skipit_mem

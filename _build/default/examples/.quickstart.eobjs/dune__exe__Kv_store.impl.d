@@ -1,0 +1,1 @@
+examples/kv_store.ml: List Option Printf Skipit_core Skipit_pds Skipit_persist

@@ -1,0 +1,1 @@
+examples/persistent_log.ml: Fun List Printf Skipit_core Skipit_mem

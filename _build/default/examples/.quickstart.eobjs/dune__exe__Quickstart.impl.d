@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Skipit_core Skipit_mem

@@ -1,0 +1,1 @@
+examples/timing_channel.ml: List Printf Skipit_core Skipit_mem

@@ -1,0 +1,71 @@
+(* A durable key-value store: the persistent lock-free hash table of §7.4
+   run by two simulated threads under the Skip-It strategy, followed by a
+   crash and a recovery scan of the NVMM image.
+
+   Demonstrates the full stack: effects-based threads, the persistence
+   context (automatic instrumentation — every shared access persists, the
+   regime where redundant writebacks abound), the
+   hardware skip bit eliminating redundant writebacks, and recovery.
+
+   Run with: dune exec examples/kv_store.exe *)
+
+module System = Skipit_core.System
+module Config = Skipit_core.Config
+module T = Skipit_core.Thread
+module Strategy = Skipit_persist.Strategy
+module Pctx = Skipit_persist.Pctx
+module Ops = Skipit_pds.Set_ops
+
+let () =
+  let sys = System.create (Config.platform ~cores:2 ~skip_it:true ()) in
+  let pctx = Pctx.make (Strategy.skipit_hw ()) Pctx.Automatic in
+  let store = ref None in
+
+  (* Thread 0 builds the store; both threads then insert disjoint key sets
+     concurrently. *)
+  ignore
+    (T.run sys
+       [
+         {
+           T.core = 0;
+           body =
+             (fun () ->
+               store := Some (Ops.create_sized Ops.Hash_set ~buckets:64 pctx (System.allocator sys)));
+         };
+       ]);
+  let kv = Option.get !store in
+  let worker core =
+    {
+      T.core;
+      body =
+        (fun () ->
+          for i = 1 to 50 do
+            ignore (kv.Ops.insert pctx ((i * 2) + core))
+          done;
+          (* Delete a few of our own keys again. *)
+          for i = 1 to 10 do
+            ignore (kv.Ops.delete pctx ((i * 10) + core))
+          done);
+    }
+  in
+  let cycles = T.run sys [ worker 0; worker 1 ] in
+  let before = kv.Ops.snapshot sys in
+  Printf.printf "2 threads inserted/deleted concurrently in %d cycles; %d keys live\n" cycles
+    (List.length before);
+
+  let report = System.stats_report sys in
+  let counter name = Option.value ~default:0 (List.assoc_opt name report) in
+  Printf.printf "hardware dropped %d redundant writebacks (skip bit)\n"
+    (counter "fu.0.skip_dropped" + counter "fu.1.skip_dropped");
+
+  (* Power failure, then recovery from the persisted image alone. *)
+  System.crash sys;
+  let after = kv.Ops.snapshot sys in
+  Printf.printf "after crash: %d keys recovered\n" (List.length after);
+  if before = after then print_endline "recovered state matches pre-crash state: durable"
+  else begin
+    (* Every key whose update was fenced must survive; the snapshot can only
+       differ if an un-fenced update was in flight — there are none here. *)
+    print_endline "RECOVERY MISMATCH";
+    exit 1
+  end

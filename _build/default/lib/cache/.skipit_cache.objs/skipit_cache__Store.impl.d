@@ -1,0 +1,1 @@
+lib/cache/store.ml: Array Geometry Skipit_sim

@@ -1,0 +1,23 @@
+type t = { size_bytes : int; ways : int; line_bytes : int; sets : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let v ~size_bytes ~ways ~line_bytes =
+  if not (is_power_of_two line_bytes) then invalid_arg "Geometry: line_bytes not a power of two";
+  if ways <= 0 then invalid_arg "Geometry: ways <= 0";
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Geometry: size not divisible by ways*line";
+  let sets = size_bytes / (ways * line_bytes) in
+  if not (is_power_of_two sets) then invalid_arg "Geometry: sets not a power of two";
+  { size_bytes; ways; line_bytes; sets }
+
+let boom_l1 = v ~size_bytes:(32 * 1024) ~ways:8 ~line_bytes:64
+let boom_l2 = v ~size_bytes:(512 * 1024) ~ways:8 ~line_bytes:64
+
+let line_base t addr = addr land lnot (t.line_bytes - 1)
+let index_of t addr = addr / t.line_bytes land (t.sets - 1)
+let tag_of t addr = addr / t.line_bytes / t.sets
+let addr_of t ~tag ~index = ((tag * t.sets) + index) * t.line_bytes
+let words_per_line t = t.line_bytes / 8
+let offset_word t addr = addr land (t.line_bytes - 1) / 8
+let lines t = t.sets * t.ways

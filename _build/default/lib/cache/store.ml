@@ -1,0 +1,86 @@
+type 'a slot = {
+  set_index : int;
+  way : int;
+  mutable tag : int;
+  mutable valid : bool;
+  mutable payload : 'a option;
+  mutable last_use : int;
+}
+
+type policy = Lru | Random of Skipit_sim.Rng.t
+
+type 'a t = { geom : Geometry.t; policy : policy; sets : 'a slot array array }
+
+let create ?(policy = Lru) geom =
+  let make_slot set_index way =
+    { set_index; way; tag = 0; valid = false; payload = None; last_use = 0 }
+  in
+  let sets =
+    Array.init geom.Geometry.sets (fun s -> Array.init geom.Geometry.ways (make_slot s))
+  in
+  { geom; policy; sets }
+
+let geometry t = t.geom
+
+let find t addr =
+  let set = t.sets.(Geometry.index_of t.geom addr) in
+  let tag = Geometry.tag_of t.geom addr in
+  let rec scan i =
+    if i >= Array.length set then None
+    else begin
+      let slot = set.(i) in
+      if slot.valid && slot.tag = tag then Some slot else scan (i + 1)
+    end
+  in
+  scan 0
+
+let payload_exn slot =
+  match slot.payload with
+  | Some p -> p
+  | None -> invalid_arg "Store.payload_exn: invalid slot"
+
+let touch _t slot ~now = slot.last_use <- now
+
+let victim t addr =
+  let set = t.sets.(Geometry.index_of t.geom addr) in
+  let rec find_invalid i =
+    if i >= Array.length set then None
+    else if not set.(i).valid then Some set.(i)
+    else find_invalid (i + 1)
+  in
+  match find_invalid 0 with
+  | Some slot -> slot
+  | None -> (
+    match t.policy with
+    | Lru ->
+      Array.fold_left
+        (fun best slot -> if slot.last_use < best.last_use then slot else best)
+        set.(0) set
+    | Random rng -> set.(Skipit_sim.Rng.int rng (Array.length set)))
+
+let fill t slot ~addr ~payload ~now =
+  slot.tag <- Geometry.tag_of t.geom addr;
+  slot.valid <- true;
+  slot.payload <- Some payload;
+  slot.last_use <- now
+
+let invalidate slot =
+  slot.valid <- false;
+  slot.payload <- None
+
+let slot_addr t slot =
+  if not slot.valid then invalid_arg "Store.slot_addr: invalid slot";
+  Geometry.addr_of t.geom ~tag:slot.tag ~index:slot.set_index
+
+let iter_valid t f =
+  Array.iter
+    (fun set ->
+      Array.iter (fun slot -> if slot.valid then f (slot_addr t slot) slot) set)
+    t.sets
+
+let count_valid t =
+  let n = ref 0 in
+  iter_valid t (fun _ _ -> incr n);
+  !n
+
+let invalidate_all t = Array.iter (Array.iter invalidate) t.sets

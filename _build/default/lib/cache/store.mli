@@ -1,0 +1,56 @@
+(** Generic set-associative tag/metadata store with LRU replacement.
+
+    Both the L1 metadata/data arrays (§3.3) and the L2 directory+BankedStore
+    (§3.4) are instances: the per-line payload type ['a] carries whatever
+    metadata that level needs (permission, dirty bit, skip bit, directory
+    bits, line data).  Replacement picks an invalid way first; among valid
+    ways the policy chooses: [Lru] (the default — deterministic and easiest
+    to reason about in tests) or [Random] seeded pseudo-random — what the
+    BOOM data cache actually implements. *)
+
+(** Victim-selection policy among valid ways. *)
+type policy = Lru | Random of Skipit_sim.Rng.t
+
+type 'a slot = private {
+  set_index : int;
+  way : int;
+  mutable tag : int;
+  mutable valid : bool;
+  mutable payload : 'a option;  (** [Some] iff [valid]. *)
+  mutable last_use : int;
+}
+
+type 'a t
+
+val create : ?policy:policy -> Geometry.t -> 'a t
+val geometry : 'a t -> Geometry.t
+
+val find : 'a t -> int -> 'a slot option
+(** [find t addr] is the valid slot whose tag matches [addr]'s line. *)
+
+val payload_exn : 'a slot -> 'a
+(** Payload of a valid slot.  Raises [Invalid_argument] on an invalid slot. *)
+
+val touch : 'a t -> 'a slot -> now:int -> unit
+(** Record a use for LRU. *)
+
+val victim : 'a t -> int -> 'a slot
+(** [victim t addr] is the slot to (re)fill for [addr]'s set: an invalid way
+    if one exists, else the LRU way (which the caller must first evict). *)
+
+val fill : 'a t -> 'a slot -> addr:int -> payload:'a -> now:int -> unit
+(** Install a line into [slot] (tag set from [addr], marked valid). *)
+
+val invalidate : 'a slot -> unit
+
+val slot_addr : 'a t -> 'a slot -> int
+(** Line base address currently held by a valid slot. *)
+
+val iter_valid : 'a t -> (int -> 'a slot -> unit) -> unit
+(** [iter_valid t f] calls [f line_addr slot] for every valid slot. *)
+
+val count_valid : 'a t -> int
+
+val invalidate_all : 'a t -> unit
+(** Drop every line — used to simulate a crash (volatile caches lose
+    contents, §2.5). *)

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array List Option Perm Printf Skipit_cache Skipit_cpu Skipit_l1 Skipit_l2 Skipit_mem Skipit_sim Skipit_tilelink String

@@ -1,0 +1,1 @@
+lib/core/system.mli: Skipit_cache Skipit_cpu Skipit_l1 Skipit_l2 Skipit_mem

@@ -1,0 +1,1 @@
+lib/core/thread.ml: Effect List Skipit_cpu System

@@ -1,0 +1,15 @@
+module Params = Skipit_cache.Params
+module Geometry = Skipit_cache.Geometry
+
+let default = Params.boom_default
+
+let platform ?(cores = 2) ?(skip_it = false) () =
+  { Params.boom_default with Params.n_cores = cores; skip_it }
+
+let tiny ?(cores = 2) () =
+  {
+    Params.boom_default with
+    Params.n_cores = cores;
+    l1_geom = Geometry.v ~size_bytes:2048 ~ways:2 ~line_bytes:64;
+    l2_geom = Geometry.v ~size_bytes:8192 ~ways:4 ~line_bytes:64;
+  }

@@ -1,0 +1,22 @@
+(** Experiment configurations.
+
+    Re-exports the microarchitectural parameter block and provides the
+    presets used throughout the evaluation (§7.1): the FireSim-style
+    dual-core platform for the microbenchmarks and the Enzian-style
+    platform for the data-structure runs differ only in host frequency,
+    which the simulator does not model — both map to {!platform}. *)
+
+module Params = Skipit_cache.Params
+module Geometry = Skipit_cache.Geometry
+
+val default : Params.t
+(** Single-core SonicBOOM with the paper's cache sizes, Skip It off. *)
+
+val platform : ?cores:int -> ?skip_it:bool -> unit -> Params.t
+(** The §7.1 SoC: 32 KiB 8-way L1 per core, shared 512 KiB inclusive L2,
+    64 B lines, 16 B bus, 8 FSHRs, 8-deep flush queue. *)
+
+val tiny : ?cores:int -> unit -> Params.t
+(** A deliberately small hierarchy (2 KiB L1 / 8 KiB L2) that forces
+    evictions quickly — for tests that exercise replacement, inclusion and
+    eviction/flush interference. *)

@@ -1,0 +1,159 @@
+module Params = Skipit_cache.Params
+module Instr = Skipit_cpu.Instr
+module Lsu = Skipit_cpu.Lsu
+module Dcache = Skipit_l1.Dcache
+module Flush_unit = Skipit_l1.Flush_unit
+module L2 = Skipit_l2.Inclusive_cache
+module Dram = Skipit_mem.Dram
+module Allocator = Skipit_mem.Allocator
+open Skipit_tilelink
+
+module Memside = Skipit_l2.Memside_cache
+
+type t = {
+  params : Params.t;
+  dcaches : Dcache.t array;
+  lsus : Lsu.t array;
+  l2 : L2.t;
+  l3 : Memside.t option;
+  dram : Dram.t;
+  allocator : Allocator.t;
+  persist_log : Skipit_mem.Persist_log.t;
+}
+
+let create params =
+  (match Params.validate params with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("System.create: " ^ msg));
+  let dram =
+    Dram.create ~channels:params.Params.dram_channels
+      ~read_latency:params.Params.dram_read_latency
+      ~write_latency:params.Params.dram_write_latency
+      ~occupancy:params.Params.dram_occupancy ~line_bytes:(Params.line_bytes params)
+  in
+  let l3 =
+    Option.map
+      (fun cfg ->
+        Memside.create ~geom:cfg.Params.l3_geom ~access_latency:cfg.Params.l3_latency
+          ~banks:cfg.Params.l3_banks ~bank_busy:cfg.Params.l3_bank_busy ~dram)
+      params.Params.l3
+  in
+  let backend =
+    match l3 with
+    | Some m -> Memside.backend m
+    | None -> Skipit_l2.Backend.of_dram dram
+  in
+  let l2 = L2.create params ~backend in
+  let dcaches = Array.init params.Params.n_cores (fun core -> Dcache.create params ~core ~l2) in
+  L2.set_probe_handler l2 (fun ~core ~addr ~cap ~now ->
+    Dcache.handle_probe dcaches.(core) ~addr ~cap ~now);
+  let lsus = Array.map Lsu.create dcaches in
+  let persist_log = Skipit_mem.Persist_log.create () in
+  Dram.attach_log dram persist_log;
+  { params; dcaches; lsus; l2; l3; dram; allocator = Allocator.create (); persist_log }
+
+let params t = t.params
+let n_cores t = t.params.Params.n_cores
+let lsu t core = t.lsus.(core)
+let dcache t core = t.dcaches.(core)
+let l2 t = t.l2
+let l3 t = t.l3
+let dram t = t.dram
+let persist_log t = t.persist_log
+let allocator t = t.allocator
+
+let exec t ~core instr = Lsu.exec t.lsus.(core) instr
+
+let load t ~core addr = exec t ~core (Instr.Load { addr })
+let store t ~core addr value = ignore (exec t ~core (Instr.Store { addr; value }))
+
+let cas t ~core addr ~expected ~desired =
+  exec t ~core (Instr.Cas { addr; expected; desired }) = 1
+
+let clean t ~core addr = ignore (exec t ~core (Instr.Cbo_clean { addr }))
+let flush t ~core addr = ignore (exec t ~core (Instr.Cbo_flush { addr }))
+let inval t ~core addr = ignore (exec t ~core (Instr.Cbo_inval { addr }))
+let zero t ~core addr = ignore (exec t ~core (Instr.Cbo_zero { addr }))
+let fence t ~core = ignore (exec t ~core Instr.Fence)
+let clock t ~core = Lsu.clock t.lsus.(core)
+
+let max_clock t = Array.fold_left (fun acc l -> max acc (Lsu.clock l)) 0 t.lsus
+
+let peek_word t addr =
+  (* At most one core holds the line dirty; its copy is the architectural
+     value.  Otherwise every cached copy agrees with the L2. *)
+  let from_l1 =
+    Array.fold_left
+      (fun acc dc ->
+        match acc, Dcache.line_state dc addr with
+        | Some _, _ -> acc
+        | None, Some line when line.Dcache.dirty -> Some (Dcache.peek_word dc addr)
+        | None, (Some _ | None) -> None)
+      None t.dcaches
+  in
+  match from_l1 with Some v -> v | None -> L2.peek_word t.l2 addr
+
+let poke_word t addr value = Dram.poke_word t.dram addr value
+let persisted_word t addr = Dram.peek_word t.dram addr
+
+let crash t =
+  Array.iter Dcache.crash t.dcaches;
+  L2.crash t.l2
+
+let check_coherence t =
+  (* Inclusion + directory agreement. *)
+  let inclusion =
+    L2.check_inclusion t.l2 ~l1_lines:(fun core -> Dcache.held_lines t.dcaches.(core))
+  in
+  match inclusion with
+  | Error _ as e -> e
+  | Ok () ->
+    let error = ref None in
+    let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+    let holders addr =
+      Array.to_list t.dcaches
+      |> List.filter_map (fun dc ->
+           match Dcache.line_state dc addr with
+           | Some line -> Some (Dcache.core dc, line)
+           | None -> None)
+    in
+    Array.iter
+      (fun dc ->
+        List.iter
+          (fun (addr, perm) ->
+            let others =
+              List.filter (fun (c, _) -> c <> Dcache.core dc) (holders addr)
+            in
+            (* Single writer. *)
+            if Perm.equal perm Perm.Trunk && others <> [] then
+              fail "line %#x: Trunk on core %d but %d other copies" addr (Dcache.core dc)
+                (List.length others);
+            match Dcache.line_state dc addr with
+            | None -> ()
+            | Some line ->
+              (* At most one dirty copy, and dirty requires Trunk. *)
+              if line.Dcache.dirty && not (Perm.equal line.Dcache.perm Perm.Trunk) then
+                fail "line %#x: dirty without Trunk on core %d" addr (Dcache.core dc);
+              (* §6.2 safety: valid ∧ ¬dirty ∧ skip ⇒ L2 copy not dirty. *)
+              if (not line.Dcache.dirty) && line.Dcache.skip && L2.dir_dirty t.l2 addr then
+                fail "line %#x: skip bit set on core %d but L2 copy is dirty" addr
+                  (Dcache.core dc))
+          (Dcache.held_lines dc))
+      t.dcaches;
+    (match !error with Some msg -> Error msg | None -> Ok ())
+
+let stats_report t =
+  let acc = ref [] in
+  let push prefix reg =
+    List.iter
+      (fun (name, v) -> acc := (prefix ^ "." ^ name, v) :: !acc)
+      (Skipit_sim.Stats.Registry.to_list reg)
+  in
+  Array.iteri (fun i dc -> push (Printf.sprintf "l1.%d" i) (Dcache.stats dc)) t.dcaches;
+  Array.iteri
+    (fun i dc -> push (Printf.sprintf "fu.%d" i) (Flush_unit.stats (Dcache.flush_unit dc)))
+    t.dcaches;
+  push "l2" (L2.stats t.l2);
+  (match t.l3 with Some m -> push "l3" (Memside.stats m) | None -> ());
+  acc := ("dram.reads", Dram.reads t.dram) :: ("dram.writes", Dram.writes t.dram) :: !acc;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc

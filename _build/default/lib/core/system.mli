@@ -1,0 +1,82 @@
+(** The simulated SoC: cores with private L1 data caches, a shared inclusive
+    L2, and DRAM as the persistence domain — the paper's experimental
+    platform (§7.1) as one object.
+
+    This is the main entry point of the library.  Build a system from a
+    {!Config} parameter block, then either drive individual cores through
+    {!exec}/the typed wrappers, or run concurrent workloads with
+    {!module:Thread}. *)
+
+module Params = Skipit_cache.Params
+module Instr = Skipit_cpu.Instr
+
+type t
+
+val create : Params.t -> t
+(** Raises [Invalid_argument] if the parameter block fails
+    [Params.validate]. *)
+
+val params : t -> Params.t
+val n_cores : t -> int
+
+val lsu : t -> int -> Skipit_cpu.Lsu.t
+val dcache : t -> int -> Skipit_l1.Dcache.t
+val l2 : t -> Skipit_l2.Inclusive_cache.t
+
+val l3 : t -> Skipit_l2.Memside_cache.t option
+(** The memory-side L3, when [Params.l3] is set. *)
+
+val dram : t -> Skipit_mem.Dram.t
+
+val persist_log : t -> Skipit_mem.Persist_log.t
+(** Ordered record of every line that became durable — the observability
+    behind the §4 memory-semantics tests. *)
+
+val allocator : t -> Skipit_mem.Allocator.t
+(** A system-wide bump allocator for workload data. *)
+
+val exec : t -> core:int -> Instr.t -> int
+(** Run one instruction on [core] at that core's current clock. *)
+
+(** Typed wrappers around {!exec}. *)
+
+val load : t -> core:int -> int -> int
+val store : t -> core:int -> int -> int -> unit
+val cas : t -> core:int -> int -> expected:int -> desired:int -> bool
+val clean : t -> core:int -> int -> unit
+val flush : t -> core:int -> int -> unit
+val inval : t -> core:int -> int -> unit
+val zero : t -> core:int -> int -> unit
+val fence : t -> core:int -> unit
+val clock : t -> core:int -> int
+
+val max_clock : t -> int
+(** Latest core clock — the experiment's elapsed cycle count. *)
+
+val peek_word : t -> int -> int
+(** Functional, coherent read of the current architectural value (prefers a
+    dirty L1 copy, then L2, then DRAM); costs no simulated time. *)
+
+val poke_word : t -> int -> int -> unit
+(** Initialise DRAM contents directly (test fixtures); bypasses caches —
+    only sound before any cached access to the location. *)
+
+val persisted_word : t -> int -> int
+(** What a crash at this instant would leave at the address (DRAM only). *)
+
+val crash : t -> unit
+(** Power failure: all volatile cache state vanishes; DRAM (the NVMM)
+    survives; core clocks are preserved. *)
+
+val check_coherence : t -> (unit, string) result
+(** Global invariants:
+    - inclusion: every L1 line is present in L2 with matching directory bits;
+    - single writer: a Trunk copy excludes all other copies;
+    - at most one dirty copy per line;
+    - the Skip-It safety invariant (§6.2): a valid, clean L1 line with its
+      skip bit {e set} implies the L2 copy is not dirty (skipping its
+      writeback cannot lose data). *)
+
+val stats_report : t -> (string * int) list
+(** Aggregated named counters from all components, prefixed by component
+    (["l1.0.load_hits"], ["l2.dram_writebacks"], ["fu.0.skip_dropped"], ...). *)

@@ -1,0 +1,76 @@
+module Instr = Skipit_cpu.Instr
+module Lsu = Skipit_cpu.Lsu
+open Effect
+open Effect.Deep
+
+type request = Exec of Instr.t | Get_now | Get_core
+
+type _ Effect.t += Mem : request -> int Effect.t
+
+let perform_req r = perform (Mem r)
+
+let load addr = perform_req (Exec (Instr.Load { addr }))
+let store addr value = ignore (perform_req (Exec (Instr.Store { addr; value })))
+let cas addr ~expected ~desired = perform_req (Exec (Instr.Cas { addr; expected; desired })) = 1
+let clean addr = ignore (perform_req (Exec (Instr.Cbo_clean { addr })))
+let flush addr = ignore (perform_req (Exec (Instr.Cbo_flush { addr })))
+let inval addr = ignore (perform_req (Exec (Instr.Cbo_inval { addr })))
+let zero addr = ignore (perform_req (Exec (Instr.Cbo_zero { addr })))
+let fence () = ignore (perform_req (Exec Instr.Fence))
+let delay n = ignore (perform_req (Exec (Instr.Delay n)))
+let now () = perform_req Get_now
+let core_id () = perform_req Get_core
+
+type task = { core : int; body : unit -> unit }
+
+type status = Done | Blocked of request * (int, status) continuation
+
+type fiber = { fcore : int; mutable status : status }
+
+let start body =
+  match_with body ()
+    {
+      retc = (fun () -> Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Mem r -> Some (fun (k : (a, status) continuation) -> Blocked (r, k))
+          | _ -> None);
+    }
+
+let run system tasks =
+  let fibers = List.map (fun t -> { fcore = t.core; status = start t.body }) tasks in
+  let runnable () =
+    List.filter (fun f -> match f.status with Done -> false | Blocked _ -> true) fibers
+  in
+  (* Timestamp-ordered scheduling: always advance the fiber whose core clock
+     is smallest, so cross-core state mutations happen in global time
+     order. *)
+  let rec loop () =
+    match runnable () with
+    | [] -> ()
+    | ready ->
+      let fiber =
+        List.fold_left
+          (fun best f ->
+            if Lsu.clock (System.lsu system f.fcore) < Lsu.clock (System.lsu system best.fcore)
+            then f
+            else best)
+          (List.hd ready) (List.tl ready)
+      in
+      (match fiber.status with
+       | Done -> assert false
+       | Blocked (req, k) ->
+         let lsu = System.lsu system fiber.fcore in
+         let answer =
+           match req with
+           | Exec i -> Lsu.exec lsu i
+           | Get_now -> Lsu.clock lsu
+           | Get_core -> fiber.fcore
+         in
+         fiber.status <- continue k answer);
+      loop ()
+  in
+  loop ();
+  System.max_clock system

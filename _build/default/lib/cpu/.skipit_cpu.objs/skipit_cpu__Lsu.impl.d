@@ -1,0 +1,1 @@
+lib/cpu/lsu.ml: Instr Message Skipit_cache Skipit_l1 Skipit_tilelink Store_queue

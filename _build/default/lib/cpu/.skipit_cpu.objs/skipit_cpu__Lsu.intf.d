@@ -1,0 +1,1 @@
+lib/cpu/lsu.mli: Instr Skipit_l1

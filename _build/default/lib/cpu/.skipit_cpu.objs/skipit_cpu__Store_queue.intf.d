@@ -1,0 +1,1 @@
+lib/cpu/store_queue.mli:

@@ -1,0 +1,81 @@
+module Dcache = Skipit_l1.Dcache
+module Flush_unit = Skipit_l1.Flush_unit
+module Params = Skipit_cache.Params
+open Skipit_tilelink
+
+type t = {
+  dcache : Dcache.t;
+  stq : Store_queue.t;
+  async_stores : bool;
+  store_commit_cost : int;
+  mutable clock : int;
+  mutable instructions : int;
+}
+
+let create dcache =
+  let p = Dcache.params dcache in
+  {
+    dcache;
+    stq = Store_queue.create ~entries:p.Params.stq_entries;
+    async_stores = p.Params.async_stores;
+    store_commit_cost = p.Params.l1_store_commit;
+    clock = 0;
+    instructions = 0;
+  }
+let dcache t = t.dcache
+let core t = Dcache.core t.dcache
+let clock t = t.clock
+
+let advance_to t cycle = if cycle > t.clock then t.clock <- cycle
+
+let exec t instr =
+  t.instructions <- t.instructions + 1;
+  match instr with
+  | Instr.Load { addr } ->
+    let value, done_at = Dcache.load t.dcache ~addr ~now:t.clock in
+    t.clock <- done_at;
+    value
+  | Instr.Store { addr; value } ->
+    let drain_at = Dcache.store t.dcache ~addr ~value ~now:t.clock in
+    if t.async_stores then begin
+      (* §3.2: the store retires once the STQ holds it; it drains in the
+         background and only fences (or a full STQ) expose its latency. *)
+      let commit = Store_queue.insert t.stq ~now:t.clock ~drain_at in
+      t.clock <- commit + t.store_commit_cost
+    end
+    else t.clock <- drain_at;
+    0
+  | Instr.Cas { addr; expected; desired } ->
+    let ok, done_at = Dcache.cas t.dcache ~addr ~expected ~desired ~now:t.clock in
+    t.clock <- done_at;
+    if ok then 1 else 0
+  | Instr.Cbo_clean { addr } ->
+    let r = Dcache.cbo t.dcache ~addr ~kind:Message.Wb_clean ~now:t.clock in
+    t.clock <- r.Dcache.commit_at;
+    0
+  | Instr.Cbo_flush { addr } ->
+    let r = Dcache.cbo t.dcache ~addr ~kind:Message.Wb_flush ~now:t.clock in
+    t.clock <- r.Dcache.commit_at;
+    0
+  | Instr.Cbo_inval { addr } ->
+    t.clock <- Dcache.cbo_inval t.dcache ~addr ~now:t.clock;
+    0
+  | Instr.Cbo_zero { addr } ->
+    t.clock <- Dcache.cbo_zero t.dcache ~addr ~now:t.clock;
+    0
+  | Instr.Fence ->
+    let flushes_done = Dcache.fence t.dcache ~now:t.clock in
+    let stores_done = Store_queue.drained_at t.stq ~now:t.clock in
+    t.clock <- max flushes_done stores_done;
+    0
+  | Instr.Delay n ->
+    if n < 0 then invalid_arg "Lsu.exec: negative delay";
+    t.clock <- t.clock + n;
+    0
+
+let instructions t = t.instructions
+
+let pending_writebacks t =
+  Flush_unit.outstanding (Dcache.flush_unit t.dcache) ~now:t.clock
+
+let pending_stores t = Store_queue.occupancy t.stq ~now:t.clock

@@ -1,0 +1,1 @@
+lib/l1/dcache.ml: Array Flush_unit Fshr_fsm Geometry Hashtbl Link Message Option Params Perm Printf Resource Skipit_cache Skipit_l2 Skipit_sim Skipit_tilelink Stats Store

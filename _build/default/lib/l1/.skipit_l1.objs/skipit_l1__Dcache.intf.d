@@ -1,0 +1,1 @@
+lib/l1/dcache.mli: Flush_unit Message Params Perm Skipit_cache Skipit_l2 Skipit_sim Skipit_tilelink

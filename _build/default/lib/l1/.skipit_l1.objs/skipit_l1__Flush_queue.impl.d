@@ -1,0 +1,1 @@
+lib/l1/flush_queue.ml: List Message Perm Queue Skipit_tilelink

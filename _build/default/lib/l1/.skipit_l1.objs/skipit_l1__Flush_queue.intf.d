@@ -1,0 +1,1 @@
+lib/l1/flush_queue.mli: Message Perm Skipit_tilelink

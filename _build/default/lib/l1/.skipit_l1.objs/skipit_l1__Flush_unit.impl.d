@@ -1,0 +1,1 @@
+lib/l1/flush_unit.ml: Admission Flush_queue Fshr_fsm List Message Option Params Printf Resource Skipit_cache Skipit_sim Skipit_tilelink Stats

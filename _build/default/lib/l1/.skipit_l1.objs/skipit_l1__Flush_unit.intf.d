@@ -1,0 +1,1 @@
+lib/l1/flush_unit.mli: Flush_queue Fshr_fsm Message Params Perm Skipit_cache Skipit_sim Skipit_tilelink

@@ -1,0 +1,1 @@
+lib/l1/fshr_fsm.ml: Format List Message Skipit_tilelink

@@ -1,0 +1,1 @@
+lib/l1/fshr_fsm.mli: Format Message Skipit_tilelink

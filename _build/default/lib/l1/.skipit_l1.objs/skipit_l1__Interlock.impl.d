@@ -1,0 +1,1 @@
+lib/l1/interlock.ml:

@@ -1,0 +1,353 @@
+open Skipit_sim
+open Skipit_tilelink
+open Skipit_cache
+module L2 = Skipit_l2.Inclusive_cache
+
+type line = {
+  mutable perm : Perm.t;
+  mutable dirty : bool;
+  mutable skip : bool;
+  data : int array;
+}
+
+type t = {
+  p : Params.t;
+  core : int;
+  store_arr : line Store.t;
+  mshrs : Resource.t;
+  wbu : Resource.t;
+  link : Link.t;
+  flush : Flush_unit.t;
+  l2 : L2.t;
+  (* Last cycle each line's state was changed by a store, probe or eviction;
+     bounds flush-queue coalescing legality (§5.3). *)
+  last_change : (int, int) Hashtbl.t;
+  stats : Stats.Registry.t;
+}
+
+let create p ~core ~l2 =
+  {
+    p;
+    core;
+    store_arr =
+      (let policy =
+         match p.Params.l1_replacement with
+         | `Lru -> Store.Lru
+         | `Random -> Store.Random (Skipit_sim.Rng.create ~seed:(0xCAFE + core))
+       in
+       Store.create ~policy p.Params.l1_geom);
+    mshrs = Resource.create ~count:p.Params.l1_mshrs (Printf.sprintf "l1-mshr-%d" core);
+    wbu = Resource.create (Printf.sprintf "l1-wbu-%d" core);
+    link = Link.create ~core;
+    flush = Flush_unit.create p ~core;
+    l2;
+    last_change = Hashtbl.create 256;
+    stats = Stats.Registry.create ();
+  }
+
+let core t = t.core
+let params t = t.p
+let flush_unit t = t.flush
+let stats t = t.stats
+
+let line_base t addr = Geometry.line_base t.p.Params.l1_geom addr
+let word_off t addr = Geometry.offset_word t.p.Params.l1_geom addr
+let beats t = Params.data_beats t.p
+
+(* Serialize [beats] of an outgoing/incoming message on a shared channel
+   whose serialization time is already part of [finish]: contention-free
+   sends cost nothing extra, concurrent senders queue. *)
+let channel_c t ~finish ~beats =
+  Link.acquire_c t.link ~now:(finish - beats) ~beats
+
+let channel_d t ~finish ~beats =
+  Link.acquire_d t.link ~now:(finish - beats) ~beats
+
+let note_change t ~addr ~now = Hashtbl.replace t.last_change (line_base t addr) now
+
+let last_change t ~addr =
+  match Hashtbl.find_opt t.last_change (line_base t addr) with Some c -> c | None -> min_int
+
+let find_line t addr = Store.find t.store_arr (line_base t addr)
+
+(* Victim eviction through the writeback unit (§3.3): dirty lines release
+   their data to the L2; clean lines send a permission report so the
+   directory stays exact.  Honours the §5.4.2 interlock with the flush unit.
+   Returns the cycle at which the slot is free for refill (the L2-side ack
+   proceeds off the critical path). *)
+let evict_slot t slot ~now =
+  let vaddr = Store.slot_addr t.store_arr slot in
+  let line = Store.payload_exn slot in
+  let t0 = Flush_unit.evict_block_until t.flush ~addr:vaddr ~now in
+  note_change t ~addr:vaddr ~now:t0;
+  let t_free =
+    if line.dirty then begin
+      Stats.Registry.incr t.stats "evictions_dirty";
+      let _, t_buf = Resource.acquire t.wbu ~now:t0 ~busy:(beats t) in
+      let t_sent = channel_c t ~finish:t_buf ~beats:(beats t) in
+      let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
+      ignore (L2.release t.l2 ~core:t.core ~addr:vaddr ~shrink ~data:(Some (Array.copy line.data)) ~now:t_sent);
+      t_sent
+    end
+    else begin
+      Stats.Registry.incr t.stats "evictions_clean";
+      let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
+      ignore (L2.release t.l2 ~core:t.core ~addr:vaddr ~shrink ~data:None ~now:t0);
+      t0 + 1
+    end
+  in
+  Store.invalidate slot;
+  t_free
+
+(* Fetch a line at [target] permission through an MSHR: pick and evict a
+   victim, Acquire from the L2, install with the skip bit from the grant
+   flavour (GrantData vs GrantDataDirty, §6.1). *)
+let refill t ~addr ~grow ~now =
+  let addr = line_base t addr in
+  let installed = ref None in
+  let _, finish =
+    Resource.acquire_dyn t.mshrs ~now (fun start ->
+      let slot, t_slot =
+        match find_line t addr with
+        | Some slot ->
+          (* Upgrade in place (Branch → Trunk); no victim needed. *)
+          slot, start
+        | None ->
+          let victim = Store.victim t.store_arr addr in
+          let t_free = if victim.Store.valid then evict_slot t victim ~now:start else start in
+          victim, t_free
+      in
+      let t_sent = Link.acquire_a t.link ~now:t_slot in
+      let grant = L2.acquire t.l2 ~core:t.core ~addr ~grow ~now:t_sent in
+      (* Grant data shares the D channel with every other response into
+         this core. *)
+      let grant =
+        { grant with L2.done_at = channel_d t ~finish:grant.L2.done_at ~beats:(beats t) }
+      in
+      let line =
+        {
+          perm = grant.L2.perm;
+          dirty = false;
+          skip = not grant.L2.l2_dirty;
+          data = Array.copy grant.L2.data;
+        }
+      in
+      Store.fill t.store_arr slot ~addr ~payload:line ~now:grant.L2.done_at;
+      installed := Some line;
+      grant.L2.done_at)
+  in
+  match !installed with
+  | Some line -> line, finish
+  | None -> assert false
+
+let rec load t ~addr ~now =
+  match find_line t addr with
+  | Some slot ->
+    let line = Store.payload_exn slot in
+    Stats.Registry.incr t.stats "load_hits";
+    Store.touch t.store_arr slot ~now;
+    line.data.(word_off t addr), now + t.p.Params.l1_load_to_use
+  | None -> (
+    let base = line_base t addr in
+    match Flush_unit.load_conflict t.flush ~addr:base ~now with
+    | Flush_unit.Load_forward tb ->
+      (* §5.3: the FSHR's filled data buffer is forwarded to the load. *)
+      Stats.Registry.incr t.stats "load_forwards";
+      L2.peek_word t.l2 addr, tb + t.p.Params.l1_load_to_use
+    | Flush_unit.Load_wait tw ->
+      Stats.Registry.incr t.stats "load_nacks";
+      load t ~addr ~now:(tw + t.p.Params.nack_retry_delay)
+    | Flush_unit.Load_no_conflict ->
+      Stats.Registry.incr t.stats "load_misses";
+      let line, t_done = refill t ~addr ~grow:Perm.N_to_B ~now in
+      line.data.(word_off t addr), t_done + t.p.Params.l1_load_to_use)
+
+(* Obtain a Trunk copy for a write-type access, honouring the §5.3 pending-
+   writeback conditions; returns the writable line and the cycle the write
+   may retire. *)
+let writable_line t ~addr ~now =
+  let base = line_base t addr in
+  let now =
+    match Flush_unit.store_proceed_at t.flush ~addr:base ~now with
+    | Some tw when tw > now ->
+      Stats.Registry.incr t.stats "store_nacks";
+      tw
+    | Some _ | None -> now
+  in
+  match find_line t addr with
+  | Some slot when Perm.includes (Store.payload_exn slot).perm Perm.Trunk ->
+    Stats.Registry.incr t.stats "store_hits";
+    Store.touch t.store_arr slot ~now;
+    Store.payload_exn slot, now + t.p.Params.l1_store_commit
+  | Some slot ->
+    (* Branch → Trunk upgrade; data is re-granted (no AcquirePerm, §3.3). *)
+    Stats.Registry.incr t.stats "store_upgrades";
+    ignore slot;
+    let line, t_done = refill t ~addr ~grow:Perm.B_to_T ~now in
+    line, t_done + t.p.Params.l1_store_commit
+  | None ->
+    Stats.Registry.incr t.stats "store_misses";
+    let line, t_done = refill t ~addr ~grow:Perm.N_to_T ~now in
+    line, t_done + t.p.Params.l1_store_commit
+
+let store t ~addr ~value ~now =
+  let line, t_done = writable_line t ~addr ~now in
+  line.data.(word_off t addr) <- value;
+  line.dirty <- true;
+  (* The architectural state change happens in program order at issue; the
+     drain completion time is a background timing artefact (§3.2) and must
+     not poison the §5.3 coalescing window. *)
+  note_change t ~addr ~now;
+  t_done
+
+let cas t ~addr ~expected ~desired ~now =
+  let line, t_done = writable_line t ~addr ~now in
+  let t_done = t_done + t.p.Params.cas_extra in
+  let current = line.data.(word_off t addr) in
+  if current = expected then begin
+    line.data.(word_off t addr) <- desired;
+    line.dirty <- true;
+    note_change t ~addr ~now;
+    true, t_done
+  end
+  else false, t_done
+
+type cbo_result = {
+  commit_at : int;
+  ack_at : int;
+  dropped : [ `Skip_bit | `Coalesced | `Executed ];
+}
+
+let cbo t ~addr ~kind ~now =
+  let base = line_base t addr in
+  (* The CBO.X travels the STQ like a store (§5.1) and reads the metadata
+     array on arrival; the snapshot is carried in the flush request. *)
+  let t_access = now + t.p.Params.cbo_issue_cost in
+  let slot = find_line t base in
+  let hit, dirty, skip =
+    match slot with
+    | Some s ->
+      let line = Store.payload_exn s in
+      true, line.dirty, line.skip
+    | None -> false, false, false
+  in
+  if t.p.Params.skip_it && hit && (not dirty) && skip then begin
+    (* §6.1 fast drop: the line is persisted; signal success to the LSU. *)
+    Flush_unit.note_skip_drop t.flush;
+    { commit_at = t_access; ack_at = t_access; dropped = `Skip_bit }
+  end
+  else begin
+    let line_data =
+      match slot with
+      | Some s when dirty -> Some (Array.copy (Store.payload_exn s).data)
+      | Some _ | None -> None
+    in
+    let apply_meta effect =
+      match slot, effect with
+      | Some s, Fshr_fsm.Invalidate_line -> Store.invalidate s
+      | Some s, Fshr_fsm.Clear_dirty ->
+        let line = Store.payload_exn s in
+        line.dirty <- false
+      | (Some _ | None), (Fshr_fsm.No_meta_change | Fshr_fsm.Invalidate_line | Fshr_fsm.Clear_dirty)
+        -> ()
+    in
+    let send ~data ~now =
+      (* The FSHR's beats are its own serialization; arbitrate them onto
+         the shared C channel before the message travels. *)
+      let nbeats = if data = None then 1 else beats t in
+      let sent = channel_c t ~finish:now ~beats:nbeats in
+      L2.root_release t.l2 ~core:t.core ~addr:base ~kind ~data ~now:sent
+    in
+    let result =
+      Flush_unit.submit t.flush ~addr:base ~kind ~hit ~dirty ~line_data
+        ~last_line_change:(last_change t ~addr:base) ~now:t_access ~apply_meta ~send
+    in
+    (* A completed CBO.CLEAN leaves the line persisted: its skip bit may be
+       set (§6.2 — L2 wrote the data through to DRAM and cleared its dirty
+       bit). *)
+    (match result, kind, slot with
+     | Flush_unit.Accepted _, Message.Wb_clean, Some s when hit ->
+       let line = Store.payload_exn s in
+       if Perm.compare line.perm Perm.Nothing > 0 then line.skip <- true
+     | (Flush_unit.Accepted _ | Flush_unit.Coalesced _), _, _ -> ());
+    match result with
+    | Flush_unit.Coalesced { commit_at; ack_at } -> { commit_at; ack_at; dropped = `Coalesced }
+    | Flush_unit.Accepted p ->
+      { commit_at = p.Flush_unit.commit_at; ack_at = p.Flush_unit.ack_at; dropped = `Executed }
+  end
+
+let cbo_inval t ~addr ~now =
+  let base = line_base t addr in
+  Stats.Registry.incr t.stats "cbo_invals";
+  (* Wait out any pending writeback of the line (its FSHR owns the
+     metadata, §5.4), then discard the local copy and tell the L2 to revoke
+     the rest. *)
+  let t0 =
+    match Flush_unit.find_pending t.flush ~addr:base ~now with
+    | Some p -> max now p.Flush_unit.ack_at
+    | None -> now
+  in
+  let t0 = t0 + t.p.Params.l1_meta_access in
+  (match find_line t base with
+   | Some slot -> Store.invalidate slot
+   | None -> ());
+  note_change t ~addr:base ~now:t0;
+  L2.root_inval t.l2 ~core:t.core ~addr:base ~now:t0
+
+let cbo_zero t ~addr ~now =
+  let base = line_base t addr in
+  Stats.Registry.incr t.stats "cbo_zeros";
+  let line, t_done = writable_line t ~addr:base ~now in
+  Array.fill line.data 0 (Array.length line.data) 0;
+  line.dirty <- true;
+  note_change t ~addr:base ~now:t_done;
+  t_done
+
+let fence t ~now = Flush_unit.fence_ready_at t.flush ~now + t.p.Params.fence_base_cost
+
+let handle_probe t ~addr ~cap ~now =
+  let base = line_base t addr in
+  Stats.Registry.incr t.stats "probes_handled";
+  let t0 = Flush_unit.probe_block_until t.flush ~addr:base ~cap ~now in
+  let meta = t.p.Params.l1_meta_access in
+  match find_line t base with
+  | None ->
+    { L2.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
+  | Some slot ->
+    let line = Store.payload_exn slot in
+    if Perm.compare line.perm cap > 0 then begin
+      let dirty_data =
+        if line.dirty && Perm.compare cap Perm.Trunk < 0 then Some (Array.copy line.data)
+        else None
+      in
+      (match cap with
+       | Perm.Nothing -> Store.invalidate slot
+       | Perm.Branch | Perm.Trunk ->
+         line.perm <- cap;
+         if dirty_data <> None then begin
+           line.dirty <- false;
+           (* The dirty data now lives (only) in the L2: not persisted. *)
+           line.skip <- false
+         end);
+      note_change t ~addr:base ~now:t0;
+      let wire = if dirty_data = None then 1 else beats t in
+      let sent = channel_c t ~finish:(t0 + meta + wire) ~beats:wire in
+      { L2.dirty_data; done_at = sent + t.p.Params.link_latency }
+    end
+    else { L2.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
+
+let peek_word t addr =
+  match find_line t addr with
+  | Some slot -> (Store.payload_exn slot).data.(word_off t addr)
+  | None -> L2.peek_word t.l2 addr
+
+let line_state t addr =
+  Option.map (fun slot -> Store.payload_exn slot) (find_line t addr)
+
+let held_lines t =
+  let acc = ref [] in
+  Store.iter_valid t.store_arr (fun addr slot ->
+    acc := (addr, (Store.payload_exn slot).perm) :: !acc);
+  !acc
+
+let crash t = Store.invalidate_all t.store_arr

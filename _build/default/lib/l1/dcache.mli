@@ -1,0 +1,89 @@
+(** The SonicBOOM L1 data cache (§3.3) extended with the flush unit (§5) and
+    the Skip-It bit (§6).
+
+    One instance per core.  Entry points take the cycle [now] at which the
+    LSU fires the request and return the completion time computed by the
+    transaction-level model (hits, MSHR-mediated refills including victim
+    eviction through the writeback unit, CBO.X through the flush unit, and
+    coherence probes from the L2).
+
+    Skip-bit maintenance (§6.1/§6.2):
+    - install on Grant: skip := ¬GrantDataDirty;
+    - CBO.CLEAN writeback completed: skip := true (the line is persisted);
+    - probe that extracts dirty data: skip := false (the L2 copy is now
+      dirty);
+    - stores set the dirty bit, rendering the skip bit temporarily invalid
+      (§6.2's definition of validity) without changing it.
+
+    The bit is maintained unconditionally; [Params.skip_it] only gates the
+    fast-drop of redundant writebacks, so the ablation benches compare pure
+    policy. *)
+
+open Skipit_tilelink
+open Skipit_cache
+
+type line = {
+  mutable perm : Perm.t;
+  mutable dirty : bool;
+  mutable skip : bool;
+  data : int array;
+}
+
+type t
+
+val create : Params.t -> core:int -> l2:Skipit_l2.Inclusive_cache.t -> t
+val core : t -> int
+val params : t -> Params.t
+
+val load : t -> addr:int -> now:int -> int * int
+(** [(value, done_at)].  Handles §5.3 interactions with pending writebacks:
+    forwarding from a filled FSHR buffer, or nack-stall until the FSHR
+    completes. *)
+
+val store : t -> addr:int -> value:int -> now:int -> int
+(** Completion time.  Applies the §5.3 store conditions against pending
+    writebacks before proceeding. *)
+
+val cas : t -> addr:int -> expected:int -> desired:int -> now:int -> bool * int
+(** Atomic compare-and-swap (AMO); acquires write permission like a store. *)
+
+type cbo_result = {
+  commit_at : int;  (** When the instruction leaves the STQ (committable). *)
+  ack_at : int;  (** When the writeback is persisted (RootReleaseAck). *)
+  dropped : [ `Skip_bit | `Coalesced | `Executed ];
+}
+
+val cbo : t -> addr:int -> kind:Message.wb_kind -> now:int -> cbo_result
+(** CBO.CLEAN / CBO.FLUSH. *)
+
+val cbo_inval : t -> addr:int -> now:int -> int
+(** CBO.INVAL (CMO spec): discard every cached copy of the line — local L1,
+    other L1s and the L2 — without writing anything back.  Dirty data is
+    forfeited by definition.  Returns completion time (synchronous: the
+    invalidation is a coherence action, not a buffered writeback). *)
+
+val cbo_zero : t -> addr:int -> now:int -> int
+(** CBO.ZERO (CMO spec): obtain write permission and set the whole line to
+    zero, leaving it dirty in the L1. *)
+
+val fence : t -> now:int -> int
+(** FENCE RW,RW extended per §5.3: commits only once the flush counter
+    reaches zero; returns completion time. *)
+
+val handle_probe : t -> addr:int -> cap:Perm.t -> now:int -> Skipit_l2.Inclusive_cache.probe_result
+(** Channel-B probe from the L2: blocks on [flush_rdy] (§5.4.1), downgrades
+    the line, hands back dirty data. *)
+
+val peek_word : t -> int -> int
+(** Functional read through this cache (falls back to L2/DRAM). *)
+
+val line_state : t -> int -> line option
+(** Metadata snapshot of the line, if present (tests). *)
+
+val held_lines : t -> (int * Perm.t) list
+(** All (line address, permission) pairs — for inclusion checking. *)
+
+val flush_unit : t -> Flush_unit.t
+val stats : t -> Skipit_sim.Stats.Registry.t
+val crash : t -> unit
+(** Volatile contents vanish. *)

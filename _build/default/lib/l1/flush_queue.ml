@@ -1,0 +1,57 @@
+open Skipit_tilelink
+
+type entry = {
+  addr : int;
+  kind : Message.wb_kind;
+  mutable hit : bool;
+  mutable dirty : bool;
+  enq_at : int;
+  mutable coalesced : int;
+}
+
+type t = { depth : int; q : entry Queue.t }
+
+let create ~depth =
+  if depth < 0 then invalid_arg "Flush_queue.create: negative depth";
+  { depth; q = Queue.create () }
+
+let depth t = t.depth
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let is_full t = Queue.length t.q >= t.depth
+
+let enqueue t entry =
+  if is_full t then false
+  else begin
+    Queue.add entry t.q;
+    true
+  end
+
+let dequeue t = Queue.take_opt t.q
+let peek t = Queue.peek_opt t.q
+
+let probe_invalidate t ~addr ~cap =
+  Queue.iter
+    (fun e ->
+      if e.addr = addr then begin
+        (match cap with
+         | Perm.Nothing ->
+           e.hit <- false;
+           e.dirty <- false
+         | Perm.Branch -> e.dirty <- false
+         | Perm.Trunk -> ())
+      end)
+    t.q
+
+let evict_invalidate t ~addr = probe_invalidate t ~addr ~cap:Perm.Nothing
+
+let find_coalescible t ~addr ~kind =
+  let found = ref None in
+  Queue.iter
+    (fun e -> if !found = None && e.addr = addr && e.kind = kind then found := Some e)
+    t.q;
+  !found
+
+let record_coalesce entry = entry.coalesced <- entry.coalesced + 1
+
+let to_list t = List.of_seq (Queue.to_seq t.q)

@@ -1,0 +1,209 @@
+open Skipit_sim
+open Skipit_tilelink
+open Skipit_cache
+
+type pending = {
+  entry : Flush_queue.entry;
+  commit_at : int;
+  alloc_at : int;
+  meta_write_at : int option;
+  buffer_ready_at : int option;
+  release_at : int;
+  ack_at : int;
+}
+
+type submit_result =
+  | Coalesced of { commit_at : int; ack_at : int }
+  | Accepted of pending
+
+type t = {
+  p : Params.t;
+  core : int;
+  fshrs : Resource.t;
+  (* Queue-slot back-pressure (§5.2): a request may enqueue only once the
+     request [flush_queue_depth] positions earlier was dequeued. *)
+  admission : Admission.t option;  (* None when depth = 0 (no buffering) *)
+  (* All requests whose ack is still outstanding, newest last.  Doubles as
+     the flush counter (§5.2) and the §5.3/§5.4 conflict-check structure. *)
+  mutable pendings : pending list;
+  book : Flush_queue.t;  (** Bookkeeping mirror of queued entries for tests. *)
+  stats : Stats.Registry.t;
+}
+
+let create p ~core =
+  {
+    p;
+    core;
+    fshrs = Resource.create ~count:p.Params.n_fshrs (Printf.sprintf "fshr-%d" core);
+    admission =
+      (if p.Params.flush_queue_depth > 0 then
+         Some (Admission.create ~capacity:p.Params.flush_queue_depth)
+       else None);
+    pendings = [];
+    book = Flush_queue.create ~depth:(max 1 p.Params.flush_queue_depth);
+    stats = Stats.Registry.create ();
+  }
+
+let stats t = t.stats
+let note_skip_drop t = Stats.Registry.incr t.stats "skip_dropped"
+
+(* Retire completed requests from the conflict structures. *)
+let prune t ~now =
+  t.pendings <- List.filter (fun p -> p.ack_at > now) t.pendings;
+  let rec drop_booked () =
+    match Flush_queue.peek t.book with
+    | Some e when not (List.exists (fun p -> p.entry == e && p.alloc_at > now) t.pendings) ->
+      ignore (Flush_queue.dequeue t.book);
+      drop_booked ()
+    | Some _ | None -> ()
+  in
+  drop_booked ()
+
+let find_pending t ~addr ~now =
+  prune t ~now;
+  List.find_opt (fun p -> p.entry.Flush_queue.addr = addr) t.pendings
+
+(* The §5.3 coalescing partner: a request of the same kind to the same
+   line, still PENDING IN THE FLUSH QUEUE (not yet dequeued into an FSHR —
+   once the FSHR starts, its metadata write is a state change of its own),
+   with the cache-line state unchanged since it was enqueued.  This makes
+   coalescing self-regulating: when the FSHRs keep up, requests leave the
+   queue immediately and nothing merges; when they back up, same-line
+   requests pile onto the queued entry — exactly the burst-absorbing
+   behaviour §5.2 describes. *)
+let find_coalescible t ~addr ~kind ~last_line_change ~now =
+  prune t ~now;
+  List.find_opt
+    (fun p ->
+      p.entry.Flush_queue.addr = addr
+      && p.entry.Flush_queue.kind = kind
+      && p.alloc_at > now
+      && p.entry.Flush_queue.enq_at >= last_line_change)
+    t.pendings
+
+let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
+  assert (Option.is_some line_data = (hit && dirty));
+  let depth = t.p.Params.flush_queue_depth in
+  (* A full queue nacks the LSU, which retries — modelled as the stall
+     until the oldest buffered request is dequeued into an FSHR. *)
+  let enq_at =
+    match t.admission with Some a -> Admission.admit a ~now | None -> now
+  in
+  let plan = { Fshr_fsm.hit; dirty; kind } in
+  let entry =
+    { Flush_queue.addr; kind; hit; dirty; enq_at; coalesced = 0 }
+  in
+  ignore (Flush_queue.enqueue t.book entry);
+  Stats.Registry.incr t.stats "fshr_allocs";
+  (* FSHR allocation and the Fig. 7 walk.  The FSHR is occupied from
+     dequeue until the RootReleaseAck returns (root_release_ack state). *)
+  let buffer_ready = ref None in
+  let meta_write = ref None in
+  let release_time = ref 0 in
+  let ack_time = ref 0 in
+  let fshr_alloc_at, _ =
+    Resource.acquire_dyn t.fshrs ~now:enq_at (fun alloc_at ->
+      let meta_cycles = t.p.Params.l1_meta_access in
+      let fill_cycles = Params.fill_buffer_cycles t.p in
+      let data_beats = Params.data_beats t.p in
+      let tm = ref alloc_at in
+      List.iter
+        (fun state ->
+          (match state with
+           | Fshr_fsm.Meta_write ->
+             meta_write := Some (!tm + meta_cycles);
+             apply_meta (Fshr_fsm.meta_effect plan)
+           | Fshr_fsm.Fill_buffer -> buffer_ready := Some (!tm + fill_cycles)
+           | Fshr_fsm.Invalid | Fshr_fsm.Root_release_data | Fshr_fsm.Root_release
+           | Fshr_fsm.Root_release_ack -> ());
+          tm := !tm + Fshr_fsm.state_cycles state ~meta_cycles ~fill_cycles ~data_beats)
+        (Fshr_fsm.path plan);
+      release_time := !tm;
+      let data = if Fshr_fsm.sends_data plan then line_data else None in
+      Stats.Registry.incr t.stats (if data = None then "wb_without_data" else "wb_with_data");
+      ack_time := send ~data ~now:!tm;
+      !ack_time)
+  in
+  let pending =
+    {
+      entry;
+      commit_at = (if depth = 0 then !ack_time else enq_at);
+      alloc_at = fshr_alloc_at;
+      meta_write_at = !meta_write;
+      buffer_ready_at = !buffer_ready;
+      release_at = !release_time;
+      ack_at = !ack_time;
+    }
+  in
+  Stats.Registry.add t.stats "fshr_busy_cycles" (!ack_time - fshr_alloc_at);
+  (match t.admission with
+   | Some a -> Admission.release a ~at:pending.alloc_at
+   | None -> ());
+  t.pendings <- t.pendings @ [ pending ];
+  Accepted pending
+
+let submit t ~addr ~kind ~hit ~dirty ~line_data ~last_line_change ~now ~apply_meta ~send =
+  Stats.Registry.incr t.stats "submitted";
+  if t.p.Params.coalescing then begin
+    match find_coalescible t ~addr ~kind ~last_line_change ~now with
+    | Some partner ->
+      Stats.Registry.incr t.stats "coalesced";
+      Flush_queue.record_coalesce partner.entry;
+      Coalesced { commit_at = now; ack_at = partner.ack_at }
+    | None -> submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send
+  end
+  else submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send
+
+type load_conflict = Load_no_conflict | Load_forward of int | Load_wait of int
+
+let load_conflict t ~addr ~now =
+  match find_pending t ~addr ~now with
+  | None -> Load_no_conflict
+  | Some p -> (
+    (* Forwarding from the FSHR's data buffer is only sound while
+       [flush_rdy] is still low (before the release): probes are interlocked
+       out then (§5.4.1), so the buffer provably holds the line's current
+       data.  Once the release has gone out, a remote store may already have
+       superseded the buffered data — the load waits for the ack and takes
+       the ordinary miss path. *)
+    match p.buffer_ready_at with
+    | Some tb when max now tb < p.release_at -> Load_forward (max now tb)
+    | Some _ | None -> Load_wait (max now p.ack_at))
+
+let store_proceed_at t ~addr ~now =
+  match find_pending t ~addr ~now with
+  | None -> None
+  | Some p -> (
+    match p.entry.Flush_queue.kind with
+    | Message.Wb_flush -> Some (max now p.ack_at)
+    | Message.Wb_clean -> (
+      (* Clean: may proceed once the FSHR is allocated and, if the line was
+         dirty, once the data buffer is filled (§5.3). *)
+      match p.buffer_ready_at with
+      | Some tb -> Some (max now (max p.alloc_at tb))
+      | None -> Some (max now p.alloc_at)))
+
+let block_until t ~addr ~now =
+  prune t ~now;
+  List.fold_left
+    (fun acc p ->
+      if p.entry.Flush_queue.addr = addr && p.alloc_at <= now && p.release_at > now then
+        max acc p.release_at
+      else acc)
+    now t.pendings
+
+let probe_block_until t ~addr ~cap ~now =
+  Flush_queue.probe_invalidate t.book ~addr ~cap;
+  block_until t ~addr ~now
+
+let evict_block_until t ~addr ~now =
+  Flush_queue.evict_invalidate t.book ~addr;
+  block_until t ~addr ~now
+
+let fence_ready_at t ~now =
+  prune t ~now;
+  List.fold_left (fun acc p -> max acc p.ack_at) now t.pendings
+
+let outstanding t ~now =
+  prune t ~now;
+  List.length t.pendings

@@ -1,0 +1,1 @@
+lib/l2/backend.ml: Skipit_mem

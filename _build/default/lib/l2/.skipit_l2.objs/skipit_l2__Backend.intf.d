@@ -1,0 +1,1 @@
+lib/l2/backend.mli: Skipit_mem

@@ -1,0 +1,1 @@
+lib/l2/directory.ml: Array List Perm Printf Skipit_tilelink String

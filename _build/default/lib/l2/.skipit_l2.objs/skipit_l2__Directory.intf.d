@@ -1,0 +1,1 @@
+lib/l2/directory.mli: Perm Skipit_tilelink

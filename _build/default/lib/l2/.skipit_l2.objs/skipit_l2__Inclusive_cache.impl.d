@@ -1,0 +1,1 @@
+lib/l2/inclusive_cache.ml: Admission Array Backend Directory Geometry List Message Option Params Perm Printf Resource Skipit_cache Skipit_sim Skipit_tilelink Stats Store

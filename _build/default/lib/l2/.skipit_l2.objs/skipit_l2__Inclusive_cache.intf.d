@@ -1,0 +1,1 @@
+lib/l2/inclusive_cache.mli: Backend Message Params Perm Skipit_cache Skipit_sim Skipit_tilelink

@@ -1,0 +1,1 @@
+lib/l2/memside_cache.ml: Array Backend Geometry Resource Skipit_cache Skipit_mem Skipit_sim Stats Store

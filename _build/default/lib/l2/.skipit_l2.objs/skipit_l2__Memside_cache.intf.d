@@ -1,0 +1,1 @@
+lib/l2/memside_cache.mli: Backend Geometry Skipit_cache Skipit_mem Skipit_sim

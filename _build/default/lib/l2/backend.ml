@@ -1,0 +1,25 @@
+module Dram = Skipit_mem.Dram
+
+type t = {
+  read_line : addr:int -> now:int -> int array * int * bool;
+  write_line : addr:int -> data:int array -> now:int -> int;
+  persist_line : addr:int -> data:int array -> now:int -> int;
+  persist_if_dirty : addr:int -> now:int -> int;
+  discard_line : addr:int -> unit;
+  peek_word : int -> int;
+  crash : unit -> unit;
+}
+
+let of_dram dram =
+  {
+    read_line =
+      (fun ~addr ~now ->
+        let data, t = Dram.read_line dram ~addr ~now in
+        data, t, false);
+    write_line = (fun ~addr ~data ~now -> Dram.write_line dram ~addr ~data ~now);
+    persist_line = (fun ~addr ~data ~now -> Dram.write_line dram ~addr ~data ~now);
+    persist_if_dirty = (fun ~addr:_ ~now -> now);
+    discard_line = (fun ~addr:_ -> ());
+    peek_word = (fun addr -> Dram.peek_word dram addr);
+    crash = (fun () -> ());
+  }

@@ -1,0 +1,37 @@
+open Skipit_tilelink
+
+type t = { mutable dirty : bool; data : int array; owners : Perm.t array }
+
+let create ~n_cores ~data ~dirty = { dirty; data; owners = Array.make n_cores Perm.Nothing }
+
+let owner_perm t core = t.owners.(core)
+let set_owner t core perm = t.owners.(core) <- perm
+
+let trunk_owner t =
+  let n = Array.length t.owners in
+  let rec scan i =
+    if i >= n then None
+    else if Perm.equal t.owners.(i) Perm.Trunk then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let owners_above t level =
+  let acc = ref [] in
+  for i = Array.length t.owners - 1 downto 0 do
+    if Perm.compare t.owners.(i) level > 0 then acc := i :: !acc
+  done;
+  !acc
+
+let has_owners t = owners_above t Perm.Nothing <> []
+
+let check_invariants t =
+  match trunk_owner t with
+  | None -> Ok ()
+  | Some core ->
+    let others = List.filter (fun c -> c <> core) (owners_above t Perm.Nothing) in
+    if others = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "Trunk owner %d coexists with other owners [%s]" core
+           (String.concat "; " (List.map string_of_int others)))

@@ -1,0 +1,30 @@
+(** Per-line L2 directory state (§3.4).
+
+    The SiFive inclusive cache keeps a full map of directory bits with each
+    line's metadata: which L1 clients hold the line and at what permission,
+    plus the line's dirty bit.  This module is the pure bookkeeping; the
+    timed agent lives in {!Inclusive_cache}. *)
+
+open Skipit_tilelink
+
+type t = {
+  mutable dirty : bool;  (** L2 copy differs from DRAM. *)
+  data : int array;  (** The BankedStore words for this line. *)
+  owners : Perm.t array;  (** Per-client permission (full map). *)
+}
+
+val create : n_cores:int -> data:int array -> dirty:bool -> t
+
+val owner_perm : t -> int -> Perm.t
+val set_owner : t -> int -> Perm.t -> unit
+
+val trunk_owner : t -> int option
+(** The unique client holding Trunk, if any. *)
+
+val owners_above : t -> Perm.t -> int list
+(** Clients holding strictly more than the given level. *)
+
+val has_owners : t -> bool
+
+val check_invariants : t -> (unit, string) result
+(** Single-Trunk and Trunk-excludes-Branch coherence invariants. *)

@@ -1,0 +1,323 @@
+open Skipit_sim
+open Skipit_tilelink
+open Skipit_cache
+
+type probe_result = { dirty_data : int array option; done_at : int }
+type probe_handler = core:int -> addr:int -> cap:Perm.t -> now:int -> probe_result
+
+type grant = { perm : Perm.t; data : int array; l2_dirty : bool; done_at : int }
+
+type t = {
+  p : Params.t;
+  store : Directory.t Store.t;
+  mshrs : Resource.t;
+  (* The ListBuffer (§3.4): channel-C requests that cannot get an MSHR wait
+     here; when it is full the sender stalls until the oldest waiter is
+     scheduled. *)
+  list_buffer : Admission.t;
+  banks : Resource.Banked.t;
+  backend : Backend.t;
+  mutable probe : probe_handler option;
+  stats : Stats.Registry.t;
+}
+
+let create p ~backend =
+  {
+    p;
+    store = Store.create p.Params.l2_geom;
+    mshrs = Resource.create ~count:p.Params.l2_mshrs "l2-mshrs";
+    list_buffer = Admission.create ~capacity:p.Params.l2_list_buffer;
+    banks = Resource.Banked.create ~banks:p.Params.l2_banks "l2-banks";
+    backend;
+    probe = None;
+    stats = Stats.Registry.create ();
+  }
+
+let set_probe_handler t h = t.probe <- Some h
+let stats t = t.stats
+
+let line t addr = Geometry.line_base t.p.Params.l2_geom addr
+let line_bytes t = Params.line_bytes t.p
+let beats t = Params.data_beats t.p
+
+let bank_access t ~addr ~now =
+  let _, finish =
+    Resource.Banked.acquire t.banks ~addr ~line_bytes:(line_bytes t) ~now
+      ~busy:t.p.Params.l2_bank_busy
+  in
+  finish
+
+(* Probe one client.  The registered handler accounts for the client-side
+   processing and the C-channel serialization; we add the outgoing B-channel
+   travel here and trust [done_at] to be the ProbeAck arrival at the L2. *)
+let probe_one t ~core ~addr ~cap ~now =
+  match t.probe with
+  | Some h ->
+    Stats.Registry.incr t.stats "probes";
+    h ~core ~addr ~cap ~now:(now + t.p.Params.link_latency)
+  | None -> invalid_arg "Inclusive_cache: probe handler not set"
+
+(* Probe [cores] in parallel, capping each to [cap]; merge any dirty data
+   into the directory payload.  Returns the time the last ProbeAck lands. *)
+let probe_all t ~addr ~cap ~cores ~now dir =
+  List.fold_left
+    (fun t_done core ->
+      let prev = Directory.owner_perm dir core in
+      let r = probe_one t ~core ~addr ~cap ~now in
+      (match r.dirty_data with
+       | Some d ->
+         Array.blit d 0 dir.Directory.data 0 (Array.length d);
+         dir.Directory.dirty <- true
+       | None -> ());
+      let next = if Perm.compare prev cap > 0 then cap else prev in
+      Directory.set_owner dir core next;
+      max t_done r.done_at)
+    now cores
+
+(* Evict a valid L2 victim: revoke every L1 copy (inclusion), then push dirty
+   data to DRAM.  The DRAM write proceeds off the critical path; the returned
+   time is when the slot is vacated. *)
+let evict_victim t slot ~now =
+  let vaddr = Store.slot_addr t.store slot in
+  let dir = Store.payload_exn slot in
+  Stats.Registry.incr t.stats "evictions";
+  let owners = Directory.owners_above dir Perm.Nothing in
+  let t_probed = probe_all t ~addr:vaddr ~cap:Perm.Nothing ~cores:owners ~now dir in
+  if dir.Directory.dirty then begin
+    Stats.Registry.incr t.stats "dram_writebacks";
+    ignore (t.backend.Backend.write_line ~addr:vaddr ~data:dir.Directory.data ~now:t_probed)
+  end;
+  Store.invalidate slot;
+  t_probed
+
+let acquire t ~core ~addr ~grow ~now =
+  let addr = line t addr in
+  let arrive = now + t.p.Params.link_latency in
+  let target = Perm.grow_to grow in
+  let result = ref (false, [||]) in
+  let _, finish =
+    Resource.acquire_dyn t.mshrs ~now:arrive (fun start ->
+      let tm = start + t.p.Params.l2_tag_access in
+      match Store.find t.store addr with
+      | Some slot ->
+        Stats.Registry.incr t.stats "hits";
+        let dir = Store.payload_exn slot in
+        let to_probe =
+          match target with
+          | Perm.Trunk ->
+            List.filter (fun c -> c <> core) (Directory.owners_above dir Perm.Nothing)
+          | Perm.Branch | Perm.Nothing ->
+            (match Directory.trunk_owner dir with
+             | Some c when c <> core -> [ c ]
+             | Some _ | None -> [])
+        in
+        let cap = match target with Perm.Trunk -> Perm.Nothing | _ -> Perm.Branch in
+        let tm = probe_all t ~addr ~cap ~cores:to_probe ~now:tm dir in
+        let tm = bank_access t ~addr ~now:tm in
+        Directory.set_owner dir core target;
+        Store.touch t.store slot ~now:tm;
+        result := (dir.Directory.dirty, Array.copy dir.Directory.data);
+        tm
+      | None ->
+        Stats.Registry.incr t.stats "misses";
+        let victim = Store.victim t.store addr in
+        let t_evict = if victim.Store.valid then evict_victim t victim ~now:tm else tm in
+        let data, t_data, dirty_below = t.backend.Backend.read_line ~addr ~now:tm in
+        (* A dirty memory-side copy means the line is not persisted: the
+           L2 copy inherits the dirty bit so grants carry GrantDataDirty
+           and a later RootRelease pushes it to DRAM (§6.2 one level
+           deeper). *)
+        let dir =
+          Directory.create ~n_cores:t.p.Params.n_cores ~data:(Array.copy data)
+            ~dirty:dirty_below
+        in
+        Directory.set_owner dir core target;
+        let t_fill = max t_evict t_data in
+        Store.fill t.store victim ~addr ~payload:dir ~now:t_fill;
+        result := (dirty_below, Array.copy data);
+        t_fill)
+  in
+  let l2_dirty, data = !result in
+  Stats.Registry.incr t.stats (if l2_dirty then "grants_dirty" else "grants_clean");
+  (* D-channel: serialization beats for the data plus travel. *)
+  { perm = target; data; l2_dirty; done_at = finish + beats t + t.p.Params.link_latency }
+
+(* Channel-C requests pass through the ListBuffer before an MSHR; the
+   buffer's admission stall models SinkC back-pressure (§3.4). *)
+let sink_c t ~arrive f =
+  let admitted = Admission.admit t.list_buffer ~now:arrive in
+  let start, finish = Resource.acquire_dyn t.mshrs ~now:admitted f in
+  Admission.release t.list_buffer ~at:start;
+  finish
+
+let release t ~core ~addr ~shrink ~data ~now =
+  let addr = line t addr in
+  let arrive = now + t.p.Params.link_latency in
+  let finish =
+    sink_c t ~arrive (fun start ->
+      let tm = start + t.p.Params.l2_tag_access in
+      match Store.find t.store addr with
+      | Some slot ->
+        let dir = Store.payload_exn slot in
+        let tm =
+          match data with
+          | Some d ->
+            let tb = bank_access t ~addr ~now:tm in
+            Array.blit d 0 dir.Directory.data 0 (Array.length d);
+            dir.Directory.dirty <- true;
+            tb
+          | None -> tm
+        in
+        Directory.set_owner dir core (Perm.shrink_to shrink);
+        Store.touch t.store slot ~now:tm;
+        tm
+      | None ->
+        (* Inclusion guarantees the line is present whenever a client can
+           release it; reaching this is a coherence bug. *)
+        invalid_arg (Printf.sprintf "Inclusive_cache.release: %#x not present" addr))
+  in
+  finish + t.p.Params.link_latency
+
+let root_release t ~core ~addr ~kind ~data ~now =
+  let addr = line t addr in
+  Stats.Registry.incr t.stats "root_releases";
+  let arrive = now + t.p.Params.link_latency in
+  let finish =
+    sink_c t ~arrive (fun start ->
+      let tm = start + t.p.Params.l2_tag_access in
+      match Store.find t.store addr with
+      | Some slot ->
+        let dir = Store.payload_exn slot in
+        (* The RootRelease doubles as the requester's own permission report:
+           a flush implies it invalidated its copy, a clean keeps it. *)
+        (match kind with
+         | Message.Wb_flush -> Directory.set_owner dir core Perm.Nothing
+         | Message.Wb_clean -> ());
+        let tm =
+          match data with
+          | Some d ->
+            let tb = bank_access t ~addr ~now:tm in
+            Array.blit d 0 dir.Directory.data 0 (Array.length d);
+            dir.Directory.dirty <- true;
+            tb
+          | None -> tm
+        in
+        let to_probe, cap =
+          match kind with
+          | Message.Wb_flush ->
+            ( List.filter (fun c -> c <> core) (Directory.owners_above dir Perm.Nothing),
+              Perm.Nothing )
+          | Message.Wb_clean ->
+            ( (match Directory.trunk_owner dir with
+               | Some c when c <> core -> [ c ]
+               | Some _ | None -> []),
+              Perm.Branch )
+        in
+        let tm = probe_all t ~addr ~cap ~cores:to_probe ~now:tm dir in
+        let tm =
+          if dir.Directory.dirty || not t.p.Params.l2_trivial_skip then begin
+            Stats.Registry.incr t.stats "dram_writebacks";
+            let tb = bank_access t ~addr ~now:tm in
+            let td = t.backend.Backend.persist_line ~addr ~data:dir.Directory.data ~now:tb in
+            dir.Directory.dirty <- false;
+            td
+          end
+          else begin
+            Stats.Registry.incr t.stats "trivial_skips";
+            (* The L2 copy is clean, but a dirty copy may sit in a
+               memory-side cache below: it must be pushed for the ack to
+               mean "persisted". *)
+            t.backend.Backend.persist_if_dirty ~addr ~now:tm
+          end
+        in
+        (match kind with
+         | Message.Wb_flush -> Store.invalidate slot
+         | Message.Wb_clean -> Store.touch t.store slot ~now:tm);
+        tm
+      | None -> (
+        (* Not present in L2: by inclusion no L1 holds it either, so there is
+           nothing to write back above — but a memory-side cache may still
+           hold it dirty, and data carried by the request is pushed
+           straight through (defensive; cannot arise sequentially). *)
+        match data with
+        | Some d ->
+          Stats.Registry.incr t.stats "dram_writebacks";
+          t.backend.Backend.persist_line ~addr ~data:d ~now:tm
+        | None ->
+          Stats.Registry.incr t.stats "trivial_skips";
+          t.backend.Backend.persist_if_dirty ~addr ~now:tm))
+  in
+  finish + t.p.Params.link_latency
+
+let root_inval t ~core ~addr ~now =
+  let addr = line t addr in
+  Stats.Registry.incr t.stats "root_invals";
+  let arrive = now + t.p.Params.link_latency in
+  let finish =
+    sink_c t ~arrive (fun start ->
+      let tm = start + t.p.Params.l2_tag_access in
+      match Store.find t.store addr with
+      | Some slot ->
+        let dir = Store.payload_exn slot in
+        Directory.set_owner dir core Perm.Nothing;
+        let others =
+          List.filter (fun c -> c <> core) (Directory.owners_above dir Perm.Nothing)
+        in
+        (* Probe and revoke; any dirty data handed back is discarded with
+           the line (CBO.INVAL forfeits unwritten data by definition). *)
+        let tm = probe_all t ~addr ~cap:Perm.Nothing ~cores:others ~now:tm dir in
+        Store.invalidate slot;
+        t.backend.Backend.discard_line ~addr;
+        tm
+      | None ->
+        t.backend.Backend.discard_line ~addr;
+        tm)
+  in
+  finish + t.p.Params.link_latency
+
+let dir_dirty t addr =
+  match Store.find t.store (line t addr) with
+  | Some slot -> (Store.payload_exn slot).Directory.dirty
+  | None -> false
+
+let present t addr = Option.is_some (Store.find t.store (line t addr))
+
+let owner_perm t ~core ~addr =
+  match Store.find t.store (line t addr) with
+  | Some slot -> Directory.owner_perm (Store.payload_exn slot) core
+  | None -> Perm.Nothing
+
+let peek_word t addr =
+  let base = line t addr in
+  match Store.find t.store base with
+  | Some slot ->
+    let dir = Store.payload_exn slot in
+    dir.Directory.data.(Geometry.offset_word t.p.Params.l2_geom addr)
+  | None -> t.backend.Backend.peek_word addr
+
+let check_inclusion t ~l1_lines =
+  let violation = ref None in
+  for core = 0 to t.p.Params.n_cores - 1 do
+    List.iter
+      (fun (addr, perm) ->
+        if !violation = None then begin
+          match Store.find t.store (line t addr) with
+          | None ->
+            violation :=
+              Some (Printf.sprintf "core %d holds %#x but L2 does not" core addr)
+          | Some slot ->
+            let dir = Store.payload_exn slot in
+            if not (Perm.equal (Directory.owner_perm dir core) perm) then
+              violation :=
+                Some
+                  (Printf.sprintf "directory for %#x: core %d has %s, dir says %s" addr
+                     core (Perm.to_string perm)
+                     (Perm.to_string (Directory.owner_perm dir core)))
+        end)
+      (l1_lines core)
+  done;
+  match !violation with Some msg -> Error msg | None -> Ok ()
+
+let crash t =
+  Store.invalidate_all t.store;
+  t.backend.Backend.crash ()

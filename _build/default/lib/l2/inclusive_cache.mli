@@ -1,0 +1,96 @@
+(** The SiFive-style inclusive last-level cache (§3.4, §5.5, §6.1).
+
+    Acts as the manager for all L1 clients and as a client of DRAM.  Holds a
+    full-map directory per line, enforces inclusion (an L2 eviction probes
+    and revokes every L1 copy), merges dirty data handed back by probes, and
+    implements the paper's extensions:
+
+    - {b RootRelease handling} (§5.5): on [RootReleaseFlush] it recursively
+      probes every other owner and revokes permissions; on
+      [RootReleaseClean] it probes only a foreign Trunk owner.  Dirty data —
+      whether carried by the request, already present, or extracted by the
+      probes — is then released to DRAM.  If the line is dirty nowhere, the
+      DRAM write is {e trivially skipped} via the L2 dirty bit (toggle
+      [Params.l2_trivial_skip]).  Completion is acknowledged with
+      [RootReleaseAck].
+    - {b GrantDataDirty} (§6.1): Acquire responses report whether the L2
+      block is dirty so the L1 can maintain its skip bit.
+
+    Probes of L1s are performed through a handler registered by the system
+    builder, keeping this library independent of the L1 implementation.
+
+    Timing: all entry points take [now] = the cycle the message leaves the
+    client, and return completion times that include link traversal, beat
+    counts, MSHR/ListBuffer queueing, tag and bank occupancy, probe round
+    trips and DRAM latency. *)
+
+open Skipit_tilelink
+open Skipit_cache
+
+type probe_result = {
+  dirty_data : int array option;
+      (** Data handed back on channel C iff the client held the line dirty. *)
+  done_at : int;  (** Cycle the ProbeAck arrives back at the L2. *)
+}
+
+type probe_handler = core:int -> addr:int -> cap:Perm.t -> now:int -> probe_result
+(** Downgrade client [core]'s copy of [addr] to at most [cap]. *)
+
+type grant = {
+  perm : Perm.t;  (** Permission granted (always the requested level). *)
+  data : int array;  (** Line contents. *)
+  l2_dirty : bool;
+      (** [true] ⇒ the response is {e GrantDataDirty}: the block is not
+          persisted and the L1 must clear its skip bit (§6.1). *)
+  done_at : int;  (** Cycle the Grant(Data) finishes arriving at the L1. *)
+}
+
+type t
+
+val create : Params.t -> backend:Backend.t -> t
+(** [backend] is DRAM itself ({!Backend.of_dram}) or a memory-side L3
+    ({!Memside_cache.backend}). *)
+
+val set_probe_handler : t -> probe_handler -> unit
+(** Must be called by the system builder before any traffic. *)
+
+val acquire : t -> core:int -> addr:int -> grow:Perm.grow -> now:int -> grant
+(** Channel-A AcquireBlock.  May recursively probe other owners and/or evict
+    an L2 victim (probing its owners and writing dirty data back to DRAM). *)
+
+val release : t -> core:int -> addr:int -> shrink:Perm.shrink -> data:int array option -> now:int -> int
+(** Channel-C voluntary Release(Data) from an L1 writeback unit; returns the
+    ReleaseAck arrival time. *)
+
+val root_release :
+  t -> core:int -> addr:int -> kind:Message.wb_kind -> data:int array option -> now:int -> int
+(** The paper's new channel-C message (§5.1/§5.5); returns the
+    RootReleaseAck arrival time, by which the line is persisted. *)
+
+val root_inval : t -> core:int -> addr:int -> now:int -> int
+(** CBO.INVAL (CMO spec): revoke and {e discard} every cached copy of the
+    line, including the L2's own, without writing anything back.  Returns
+    the acknowledgement time. *)
+
+val dir_dirty : t -> int -> bool
+(** Is the line present-and-dirty in L2?  (The ground truth against which the
+    skip-bit invariant of §6.2 is checked.) *)
+
+val present : t -> int -> bool
+val owner_perm : t -> core:int -> addr:int -> Perm.t
+
+val peek_word : t -> int -> int
+(** Functional read: L2 copy if present, else DRAM. *)
+
+val check_inclusion : t -> l1_lines:(int -> (int * Perm.t) list) -> (unit, string) result
+(** Verify that every line any L1 claims to hold is present in L2 with
+    directory bits matching ([l1_lines core] lists that L1's
+    (line address, permission) pairs). *)
+
+val crash : t -> unit
+(** Drop all (volatile) contents. *)
+
+val stats : t -> Skipit_sim.Stats.Registry.t
+(** Counters: ["hits"], ["misses"], ["probes"], ["evictions"],
+    ["dram_writebacks"], ["trivial_skips"], ["root_releases"],
+    ["grants_dirty"], ["grants_clean"]. *)

@@ -1,0 +1,139 @@
+open Skipit_sim
+open Skipit_cache
+module Dram = Skipit_mem.Dram
+
+type line = { mutable dirty : bool; data : int array }
+
+type t = {
+  geom : Geometry.t;
+  access_latency : int;
+  banks : Resource.Banked.t;
+  bank_busy : int;
+  dram : Dram.t;
+  store : line Store.t;
+  stats : Stats.Registry.t;
+  mutable clock_hint : int;  (* monotone hint for LRU ordering *)
+}
+
+let create ~geom ~access_latency ~banks ~bank_busy ~dram =
+  {
+    geom;
+    access_latency;
+    banks = Resource.Banked.create ~banks "l3-banks";
+    bank_busy;
+    dram;
+    store = Store.create geom;
+    stats = Stats.Registry.create ();
+    clock_hint = 0;
+  }
+
+let stats t = t.stats
+let line_base t addr = Geometry.line_base t.geom addr
+
+let touch_clock t now = if now > t.clock_hint then t.clock_hint <- now
+
+let bank t ~addr ~now =
+  let _, finish =
+    Resource.Banked.acquire t.banks ~addr ~line_bytes:t.geom.Geometry.line_bytes ~now
+      ~busy:t.bank_busy
+  in
+  finish
+
+(* Make room for [addr]: evict the victim (dirty → DRAM, off the critical
+   path) and return the free slot. *)
+let free_slot t ~addr ~now =
+  let victim = Store.victim t.store addr in
+  if victim.Store.valid then begin
+    Stats.Registry.incr t.stats "evictions";
+    let vline = Store.payload_exn victim in
+    if vline.dirty then begin
+      Stats.Registry.incr t.stats "dram_writebacks";
+      ignore (Dram.write_line t.dram ~addr:(Store.slot_addr t.store victim) ~data:vline.data ~now)
+    end;
+    Store.invalidate victim
+  end;
+  victim
+
+let read_line t ~addr ~now =
+  let addr = line_base t addr in
+  touch_clock t now;
+  let t0 = bank t ~addr ~now:(now + t.access_latency) in
+  match Store.find t.store addr with
+  | Some slot ->
+    Stats.Registry.incr t.stats "hits";
+    Store.touch t.store slot ~now;
+    let line = Store.payload_exn slot in
+    Array.copy line.data, t0, line.dirty
+  | None ->
+    Stats.Registry.incr t.stats "misses";
+    let data, t_dram = Dram.read_line t.dram ~addr ~now:t0 in
+    let slot = free_slot t ~addr ~now:t0 in
+    Store.fill t.store slot ~addr ~payload:{ dirty = false; data = Array.copy data } ~now;
+    Array.copy data, t_dram, false
+
+let write_line t ~addr ~data ~now =
+  let addr = line_base t addr in
+  touch_clock t now;
+  let t0 = bank t ~addr ~now:(now + t.access_latency) in
+  (match Store.find t.store addr with
+   | Some slot ->
+     let line = Store.payload_exn slot in
+     Array.blit data 0 line.data 0 (Array.length data);
+     line.dirty <- true;
+     Store.touch t.store slot ~now
+   | None ->
+     let slot = free_slot t ~addr ~now:t0 in
+     Store.fill t.store slot ~addr ~payload:{ dirty = true; data = Array.copy data } ~now);
+  t0
+
+let persist_line t ~addr ~data ~now =
+  let addr = line_base t addr in
+  touch_clock t now;
+  Stats.Registry.incr t.stats "persist_writes";
+  let t0 = bank t ~addr ~now:(now + t.access_latency) in
+  (* Update (or bypass) the cached copy, leaving it clean; durability comes
+     from the write-through. *)
+  (match Store.find t.store addr with
+   | Some slot ->
+     let line = Store.payload_exn slot in
+     Array.blit data 0 line.data 0 (Array.length data);
+     line.dirty <- false
+   | None -> ());
+  Dram.write_line t.dram ~addr ~data ~now:t0
+
+let persist_if_dirty t ~addr ~now =
+  let addr = line_base t addr in
+  match Store.find t.store addr with
+  | Some slot when (Store.payload_exn slot).dirty ->
+    persist_line t ~addr ~data:(Store.payload_exn slot).data ~now
+  | Some _ | None -> now
+
+let discard_line t ~addr =
+  match Store.find t.store (line_base t addr) with
+  | Some slot -> Store.invalidate slot
+  | None -> ()
+
+let peek_word t addr =
+  match Store.find t.store (line_base t addr) with
+  | Some slot -> (Store.payload_exn slot).data.(Geometry.offset_word t.geom addr)
+  | None -> Dram.peek_word t.dram addr
+
+let present t addr = Store.find t.store (line_base t addr) <> None
+
+let dirty t addr =
+  match Store.find t.store (line_base t addr) with
+  | Some slot -> (Store.payload_exn slot).dirty
+  | None -> false
+
+let crash t = Store.invalidate_all t.store
+
+let backend t =
+  {
+    Backend.read_line = (fun ~addr ~now -> read_line t ~addr ~now);
+    write_line = (fun ~addr ~data ~now -> write_line t ~addr ~data ~now);
+    persist_line = (fun ~addr ~data ~now -> persist_line t ~addr ~data ~now);
+    persist_if_dirty = (fun ~addr ~now -> persist_if_dirty t ~addr ~now);
+    discard_line = (fun ~addr -> discard_line t ~addr);
+    peek_word = (fun addr -> peek_word t addr);
+    crash = (fun () -> crash t);
+  }

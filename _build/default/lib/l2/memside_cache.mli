@@ -1,0 +1,36 @@
+(** A memory-side L3 between the LLC and DRAM — the deeper hierarchy of the
+    §7.4 hypothesis.
+
+    Unlike the inclusive L2 it needs no directory (its only client is the
+    L2) and no probes; it is a plain write-back set-associative cache:
+
+    - reads hit here or fetch from DRAM;
+    - L2 victim writebacks lodge here dirty (fast) and reach DRAM only on
+      eviction;
+    - durability writes (the RootRelease path) write {e through} to DRAM
+      and leave the L3 copy clean, so the persistence semantics of §4 are
+      unchanged — only the depth/latency of the path grows;
+    - a dirty L3 copy makes {!Backend.read_line} report [dirty_below],
+      keeping the skip-bit invariant (§6.2) intact one level further down. *)
+
+open Skipit_cache
+
+type t
+
+val create :
+  geom:Geometry.t ->
+  access_latency:int ->
+  banks:int ->
+  bank_busy:int ->
+  dram:Skipit_mem.Dram.t ->
+  t
+
+val backend : t -> Backend.t
+(** The interface handed to the L2. *)
+
+val present : t -> int -> bool
+val dirty : t -> int -> bool
+
+val stats : t -> Skipit_sim.Stats.Registry.t
+(** ["hits"], ["misses"], ["evictions"], ["dram_writebacks"],
+    ["persist_writes"]. *)

@@ -1,0 +1,1 @@
+lib/mem/dram.ml: Backing Persist_log Resource Skipit_sim

@@ -1,0 +1,1 @@
+lib/mem/persist_log.mli:

@@ -1,0 +1,33 @@
+type t = (int, int) Hashtbl.t
+
+let word_bytes = 8
+
+let create () : t = Hashtbl.create 4096
+
+let check_aligned addr =
+  if addr land (word_bytes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Backing: unaligned word address %#x" addr)
+
+let read_word t addr =
+  check_aligned addr;
+  match Hashtbl.find_opt t addr with Some v -> v | None -> 0
+
+let write_word t addr v =
+  check_aligned addr;
+  Hashtbl.replace t addr v
+
+let line_base ~line_bytes addr = addr land lnot (line_bytes - 1)
+
+let read_line t ~line_bytes addr =
+  let base = line_base ~line_bytes addr in
+  Array.init (line_bytes / word_bytes) (fun i -> read_word t (base + (i * word_bytes)))
+
+let write_line t ~line_bytes addr data =
+  let words = line_bytes / word_bytes in
+  if Array.length data <> words then invalid_arg "Backing.write_line: wrong line size";
+  let base = line_base ~line_bytes addr in
+  Array.iteri (fun i v -> write_word t (base + (i * word_bytes)) v) data
+
+let copy t = Hashtbl.copy t
+let iter t f = Hashtbl.iter f t
+let footprint t = Hashtbl.length t

@@ -1,0 +1,57 @@
+open Skipit_sim
+
+type t = {
+  backing : Backing.t;
+  channels : Resource.t;
+  read_latency : int;
+  write_latency : int;
+  occupancy : int;
+  line_bytes : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable log : Persist_log.t option;
+}
+
+let create ~channels ~read_latency ~write_latency ~occupancy ~line_bytes =
+  {
+    backing = Backing.create ();
+    channels = Resource.create ~count:channels "dram";
+    read_latency;
+    write_latency;
+    occupancy;
+    line_bytes;
+    reads = 0;
+    writes = 0;
+    log = None;
+  }
+
+let read_line t ~addr ~now =
+  t.reads <- t.reads + 1;
+  let start, _ = Resource.acquire t.channels ~now ~busy:t.occupancy in
+  let data = Backing.read_line t.backing ~line_bytes:t.line_bytes addr in
+  data, start + t.read_latency
+
+let write_line t ~addr ~data ~now =
+  t.writes <- t.writes + 1;
+  let start, _ = Resource.acquire t.channels ~now ~busy:t.occupancy in
+  Backing.write_line t.backing ~line_bytes:t.line_bytes addr data;
+  let durable_at = start + t.write_latency in
+  (match t.log with
+   | Some log -> Persist_log.record log ~addr ~time:durable_at
+   | None -> ());
+  durable_at
+
+let peek_word t addr = Backing.read_word t.backing addr
+let poke_word t addr v = Backing.write_word t.backing addr v
+let peek_line t ~addr = Backing.read_line t.backing ~line_bytes:t.line_bytes addr
+let snapshot t = Backing.copy t.backing
+let backing t = t.backing
+let reads t = t.reads
+let writes t = t.writes
+
+let reset_timing t =
+  Resource.reset t.channels;
+  t.reads <- 0;
+  t.writes <- 0
+
+let attach_log t log = t.log <- Some log

@@ -1,0 +1,48 @@
+(** Timed DRAM model and persistence domain.
+
+    Wraps a {!Backing} store with a channel-occupancy latency model (the
+    FASED stand-in).  In the simulated machine the DRAM {e is} the
+    persistence domain (§2.5): a value is persisted exactly when a line-sized
+    write lands here.  Crash simulation therefore consists of discarding all
+    cache state and reading whatever this module holds. *)
+
+type t
+
+val create :
+  channels:int ->
+  read_latency:int ->
+  write_latency:int ->
+  occupancy:int ->
+  line_bytes:int ->
+  t
+
+val read_line : t -> addr:int -> now:int -> int array * int
+(** [read_line t ~addr ~now] returns the line and the cycle at which the data
+    is available to the requester-side of the memory controller. *)
+
+val write_line : t -> addr:int -> data:int array -> now:int -> int
+(** Returns the cycle at which the write is durable (acknowledged). *)
+
+val peek_word : t -> int -> int
+(** Untimed read of the persisted image — for tests and crash recovery. *)
+
+val poke_word : t -> int -> int -> unit
+(** Untimed write — for initialising test fixtures. *)
+
+val peek_line : t -> addr:int -> int array
+
+val snapshot : t -> Backing.t
+(** Copy of the current persisted image. *)
+
+val backing : t -> Backing.t
+(** The live backing store (shared, not a copy). *)
+
+val reads : t -> int
+val writes : t -> int
+(** Access counters for utilisation accounting. *)
+
+val reset_timing : t -> unit
+(** Clear channel occupancy and counters, keep contents. *)
+
+val attach_log : t -> Persist_log.t -> unit
+(** Record every durable line write into the log (at most one log). *)

@@ -1,0 +1,34 @@
+type event = { addr : int; time : int; seq : int }
+
+type t = { mutable rev_events : event list; mutable next_seq : int }
+
+let create () = { rev_events = []; next_seq = 0 }
+
+let line_base addr = addr land lnot 63
+
+let record t ~addr ~time =
+  t.rev_events <- { addr = line_base addr; time; seq = t.next_seq } :: t.rev_events;
+  t.next_seq <- t.next_seq + 1
+
+let events t = List.rev t.rev_events
+
+let persists_of t ~addr =
+  let base = line_base addr in
+  List.filter (fun e -> e.addr = base) (events t)
+
+let first_persist_time t addr =
+  match persists_of t ~addr with [] -> None | e :: _ -> Some e.time
+
+let last_persist_time t addr =
+  match List.rev (persists_of t ~addr) with [] -> None | e :: _ -> Some e.time
+
+let persisted_before t a b =
+  match last_persist_time t a, first_persist_time t b with
+  | Some ta, Some tb -> ta <= tb
+  | (Some _ | None), _ -> false
+
+let clear t =
+  t.rev_events <- [];
+  t.next_seq <- 0
+
+let length t = List.length t.rev_events

@@ -1,0 +1,39 @@
+(** Ordered record of persist events — the observability needed to test the
+    paper's §4 memory semantics (Fig. 5).
+
+    The DRAM model reports every line-sized write (the moment data becomes
+    durable) to an attached log.  Tests replay the three §4 scenarios and
+    assert exactly what the semantics guarantee:
+
+    - plain stores persist in {e no} particular order (writeback-cache
+      eviction order);
+    - [writeback(c)] orders only the earlier writes {e to c's line} before
+      the writeback's completion, not other lines;
+    - [writeback(c); fence()] orders them before everything the thread does
+      after the fence. *)
+
+type event = { addr : int; time : int; seq : int }
+(** A line became durable: line base address, simulated completion cycle,
+    and a global sequence number (ties in [time] are broken by arrival). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> addr:int -> time:int -> unit
+(** Called by the DRAM model on each durable line write. *)
+
+val events : t -> event list
+(** Chronological (sequence) order. *)
+
+val persists_of : t -> addr:int -> event list
+(** Events for one line (any address within it, 64 B lines). *)
+
+val persisted_before : t -> int -> int -> bool
+(** [persisted_before t a b]: both lines have persisted and the {e last}
+    persist of [a]'s line completed no later than the {e first} persist of
+    [b]'s line. *)
+
+val first_persist_time : t -> int -> int option
+val clear : t -> unit
+val length : t -> int

@@ -1,0 +1,1 @@
+lib/pds/bst.mli: Skipit_core Skipit_mem Skipit_persist

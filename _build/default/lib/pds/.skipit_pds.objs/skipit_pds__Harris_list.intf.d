@@ -1,0 +1,1 @@
+lib/pds/harris_list.mli: Skipit_core Skipit_mem Skipit_persist

@@ -1,0 +1,1 @@
+lib/pds/hash_table.ml: Array Harris_list List

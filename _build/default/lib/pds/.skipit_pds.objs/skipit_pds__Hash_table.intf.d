@@ -1,0 +1,1 @@
+lib/pds/hash_table.mli: Skipit_core Skipit_mem Skipit_persist

@@ -1,0 +1,1 @@
+lib/pds/ms_queue.ml: List Node Ptr Skipit_core Skipit_mem Skipit_persist

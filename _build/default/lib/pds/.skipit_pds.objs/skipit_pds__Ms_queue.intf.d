@@ -1,0 +1,1 @@
+lib/pds/ms_queue.mli: Skipit_core Skipit_mem Skipit_persist

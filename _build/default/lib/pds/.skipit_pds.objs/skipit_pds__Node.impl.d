@@ -1,0 +1,1 @@
+lib/pds/node.ml: Skipit_mem

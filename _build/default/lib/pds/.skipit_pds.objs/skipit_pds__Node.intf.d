@@ -1,0 +1,1 @@
+lib/pds/node.mli: Skipit_mem

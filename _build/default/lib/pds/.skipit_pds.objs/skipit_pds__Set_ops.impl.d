@@ -1,0 +1,1 @@
+lib/pds/set_ops.ml: Bst Harris_list Hash_table Skipit_core Skipit_persist Skiplist

@@ -1,0 +1,1 @@
+lib/pds/set_ops.mli: Skipit_core Skipit_mem Skipit_persist

@@ -1,0 +1,1 @@
+lib/pds/skiplist.ml: Array List Node Ptr Skipit_core Skipit_mem Skipit_persist

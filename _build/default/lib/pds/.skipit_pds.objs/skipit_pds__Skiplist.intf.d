@@ -1,0 +1,1 @@
+lib/pds/skiplist.mli: Skipit_core Skipit_mem Skipit_persist

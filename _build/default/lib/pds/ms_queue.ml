@@ -1,0 +1,103 @@
+module Pctx = Skipit_persist.Pctx
+module Allocator = Skipit_mem.Allocator
+
+(* Node layout: field 0 = value, field 1 = next.  head/tail are single-word
+   cells each on their own line (they are the contention hot spots). *)
+type t = { head_cell : int; tail_cell : int; alloc : Allocator.t; stride : int }
+
+let fvalue ~stride n = Node.field ~stride n 0
+let fnext ~stride n = Node.field ~stride n 1
+
+let alloc_node t p ~value ~next =
+  let n = Node.alloc t.alloc ~stride:t.stride ~fields:2 in
+  Pctx.write p (fvalue ~stride:t.stride n) value;
+  Pctx.write p (fnext ~stride:t.stride n) next;
+  Pctx.persist p (fvalue ~stride:t.stride n);
+  n
+
+let create p alloc =
+  let stride = Pctx.stride p in
+  let t =
+    {
+      head_cell = Allocator.alloc_line alloc ~line_bytes:64;
+      tail_cell = Allocator.alloc_line alloc ~line_bytes:64;
+      alloc;
+      stride;
+    }
+  in
+  let sentinel = alloc_node t p ~value:0 ~next:Ptr.null in
+  Pctx.write p t.head_cell sentinel;
+  Pctx.write p t.tail_cell sentinel;
+  Pctx.persist p t.head_cell;
+  Pctx.persist p t.tail_cell;
+  Pctx.commit p ~updated:true;
+  t
+
+let enqueue t p value =
+  if value <= 0 || value >= 1 lsl 49 then invalid_arg "Ms_queue.enqueue: value out of range";
+  let node = alloc_node t p ~value ~next:Ptr.null in
+  let rec attempt () =
+    let tail = Ptr.addr_of (Pctx.read_traverse p t.tail_cell) in
+    let next = Pctx.read_critical p (fnext ~stride:t.stride tail) in
+    if Ptr.is_null next then begin
+      if Pctx.cas p (fnext ~stride:t.stride tail) ~expected:next ~desired:node then begin
+        (* Linking CAS is the linearization point; persist it, then swing
+           the tail (failure is benign — someone helped). *)
+        Pctx.persist p (fnext ~stride:t.stride tail);
+        ignore (Pctx.cas p t.tail_cell ~expected:tail ~desired:node);
+        Pctx.commit p ~updated:true
+      end
+      else attempt ()
+    end
+    else begin
+      (* Tail is lagging: help swing it, then retry. *)
+      ignore (Pctx.cas p t.tail_cell ~expected:tail ~desired:(Ptr.addr_of next));
+      attempt ()
+    end
+  in
+  attempt ()
+
+let rec dequeue t p =
+  let head = Ptr.addr_of (Pctx.read_traverse p t.head_cell) in
+  let tail = Ptr.addr_of (Pctx.read_traverse p t.tail_cell) in
+  let next = Pctx.read_critical p (fnext ~stride:t.stride head) in
+  if head = tail then begin
+    if Ptr.is_null next then begin
+      Pctx.commit p ~updated:false;
+      None
+    end
+    else begin
+      (* Tail lagging behind a concurrent enqueue: help. *)
+      ignore (Pctx.cas p t.tail_cell ~expected:tail ~desired:(Ptr.addr_of next));
+      dequeue t p
+    end
+  end
+  else if Ptr.is_null next then (
+    (* Transient: head read raced a swing; retry. *)
+    dequeue t p)
+  else begin
+    let value = Pctx.read_critical p (fvalue ~stride:t.stride (Ptr.addr_of next)) in
+    if Pctx.cas p t.head_cell ~expected:head ~desired:(Ptr.addr_of next) then begin
+      Pctx.persist p t.head_cell;
+      Pctx.commit p ~updated:true;
+      Some value
+    end
+    else dequeue t p
+  end
+
+let is_empty t p =
+  let head = Ptr.addr_of (Pctx.read_traverse p t.head_cell) in
+  let next = Pctx.read_traverse p (fnext ~stride:t.stride head) in
+  Pctx.commit p ~updated:false;
+  Ptr.is_null next
+
+let to_list_unsafe t system =
+  let module S = Skipit_core.System in
+  let strip v = v land lnot Skipit_persist.Strategy.lap_mask in
+  let head = Ptr.addr_of (strip (S.peek_word system t.head_cell)) in
+  let rec walk node acc =
+    let next = Ptr.addr_of (strip (S.peek_word system (fnext ~stride:t.stride node))) in
+    if Ptr.is_null next then List.rev acc
+    else walk next (strip (S.peek_word system (fvalue ~stride:t.stride next)) :: acc)
+  in
+  walk head []

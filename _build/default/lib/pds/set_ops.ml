@@ -1,0 +1,65 @@
+type kind = List_set | Hash_set | Bst_set | Skiplist_set
+
+let all_kinds = [ List_set; Hash_set; Bst_set; Skiplist_set ]
+
+let kind_name = function
+  | List_set -> "linked-list"
+  | Hash_set -> "hash-table"
+  | Bst_set -> "bst"
+  | Skiplist_set -> "skiplist"
+
+let uses_word_bits = function
+  | Bst_set -> true
+  | List_set | Hash_set | Skiplist_set -> false
+
+let compatible kind strategy =
+  not (uses_word_bits kind && strategy.Skipit_persist.Strategy.uses_word_bit)
+
+type handle = {
+  name : string;
+  insert : Skipit_persist.Pctx.t -> int -> bool;
+  delete : Skipit_persist.Pctx.t -> int -> bool;
+  contains : Skipit_persist.Pctx.t -> int -> bool;
+  snapshot : Skipit_core.System.t -> int list;
+}
+
+let create_sized kind ~buckets p alloc =
+  match kind with
+  | List_set ->
+    let t = Harris_list.create p alloc in
+    {
+      name = kind_name kind;
+      insert = Harris_list.insert t;
+      delete = Harris_list.delete t;
+      contains = Harris_list.contains t;
+      snapshot = Harris_list.to_list_unsafe t;
+    }
+  | Hash_set ->
+    let t = Hash_table.create p alloc ~buckets in
+    {
+      name = kind_name kind;
+      insert = Hash_table.insert t;
+      delete = Hash_table.delete t;
+      contains = Hash_table.contains t;
+      snapshot = Hash_table.elements_unsafe t;
+    }
+  | Bst_set ->
+    let t = Bst.create p alloc in
+    {
+      name = kind_name kind;
+      insert = Bst.insert t;
+      delete = Bst.delete t;
+      contains = Bst.contains t;
+      snapshot = Bst.elements_unsafe t;
+    }
+  | Skiplist_set ->
+    let t = Skiplist.create p alloc in
+    {
+      name = kind_name kind;
+      insert = Skiplist.insert t;
+      delete = Skiplist.delete t;
+      contains = Skiplist.contains t;
+      snapshot = Skiplist.elements_unsafe t;
+    }
+
+let create kind p alloc = create_sized kind ~buckets:512 p alloc

@@ -1,0 +1,28 @@
+(** Uniform set interface over the four data structures of §7.4, so the
+    benchmark harness can sweep structure × strategy × persistence mode. *)
+
+type kind = List_set | Hash_set | Bst_set | Skiplist_set
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+val uses_word_bits : kind -> bool
+(** The BST owns spare pointer-word bits, which excludes Link-and-Persist
+    (§7.4). *)
+
+val compatible : kind -> Skipit_persist.Strategy.t -> bool
+
+type handle = {
+  name : string;
+  insert : Skipit_persist.Pctx.t -> int -> bool;
+  delete : Skipit_persist.Pctx.t -> int -> bool;
+  contains : Skipit_persist.Pctx.t -> int -> bool;
+  snapshot : Skipit_core.System.t -> int list;
+      (** Untimed sorted key snapshot (tests). *)
+}
+
+val create : kind -> Skipit_persist.Pctx.t -> Skipit_mem.Allocator.t -> handle
+(** Must run inside a {!Skipit_core.Thread} task.  Hash tables get 512
+    buckets; adjust with {!create_sized}. *)
+
+val create_sized : kind -> buckets:int -> Skipit_persist.Pctx.t -> Skipit_mem.Allocator.t -> handle

@@ -1,0 +1,23 @@
+(** Lock-free skiplist [23], persistence-instrumented.
+
+    A tower per key: the bottom level is a Harris-style marked list that
+    defines set membership; upper levels are index shortcuts maintained
+    best-effort with CAS (the standard Herlihy-Shavit construction).  Tower
+    heights are drawn deterministically from a hash of the key (geometric,
+    p = 1/2), keeping runs reproducible.
+
+    Keys must lie in [\[1, 2{^49})].  All operations must run inside a
+    {!Skipit_core.Thread} task. *)
+
+type t
+
+val max_level : int
+(** Tower height cap (12). *)
+
+val create : Skipit_persist.Pctx.t -> Skipit_mem.Allocator.t -> t
+val insert : t -> Skipit_persist.Pctx.t -> int -> bool
+val delete : t -> Skipit_persist.Pctx.t -> int -> bool
+val contains : t -> Skipit_persist.Pctx.t -> int -> bool
+
+val elements_unsafe : t -> Skipit_core.System.t -> int list
+(** Untimed snapshot from the bottom level (tests only). *)

@@ -1,0 +1,1 @@
+lib/persist/pctx.mli: Strategy

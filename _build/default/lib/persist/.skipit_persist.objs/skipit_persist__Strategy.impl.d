@@ -1,0 +1,1 @@
+lib/persist/strategy.ml: Printf Skipit_core

@@ -1,0 +1,1 @@
+lib/persist/txn.ml: List Skipit_core Skipit_mem

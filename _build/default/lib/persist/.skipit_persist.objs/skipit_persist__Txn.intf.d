@@ -1,0 +1,1 @@
+lib/persist/txn.mli: Skipit_core Skipit_mem

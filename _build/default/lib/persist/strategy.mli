@@ -1,0 +1,68 @@
+(** Software strategies for avoiding redundant writebacks (§7.4).
+
+    The paper compares its hardware mechanism against the state-of-the-art
+    software techniques.  Each strategy wraps the raw simulated-memory
+    operations ({!Skipit_core.Thread}) with the bookkeeping that technique
+    performs on real hardware:
+
+    - {b plain} — no avoidance: every persist point issues the writeback;
+    - {b FliT adjacent} [73] — a counter word next to every variable (same
+      cache line); a store sets it, a persist writes back only when set;
+    - {b FliT hash table} [73] — the counters live in a separate fixed-size
+      table indexed by address hash; collisions cause spurious writebacks
+      and the table competes for cache space (Fig. 16);
+    - {b Link-and-Persist} [23] — a mark {e inside} the data word (we use
+      bit 62) set by stores and cleared once the line is persisted; loads
+      must mask it, and it conflicts with algorithms that use spare word
+      bits themselves (the BST), exactly as the paper notes;
+    - {b Skip It} — no software bookkeeping at all: every persist point
+      issues CBO.FLUSH and the hardware drops redundant ones;
+    - {b none} — the non-persistent baseline (dotted line in Figs 14/15).
+
+    All operation functions must run inside a {!Skipit_core.Thread} task. *)
+
+type t = {
+  name : string;
+  field_stride : int;
+      (** Bytes between logical fields in node layouts — 16 for FliT
+          adjacent (value word + counter word), 8 otherwise. *)
+  uses_word_bit : bool;
+      (** Occupies a bit inside the data word (Link-and-Persist); such
+          strategies are incompatible with data structures that use spare
+          word bits for their own logic. *)
+  read : int -> int;  (** Load a shared word (masking any strategy mark). *)
+  write : int -> int -> unit;  (** Store a shared word + bookkeeping. *)
+  cas : int -> expected:int -> desired:int -> bool;
+      (** CAS on a shared word, transparent to any strategy mark. *)
+  persist_store : int -> unit;
+      (** Persist point after a store/CAS to the word (FliT decrements the
+          word's counter after flushing; Link-and-Persist clears the in-word
+          mark). *)
+  persist_load : int -> unit;
+      (** Persist point after a load of the word — the side the software
+          techniques optimise: the writeback is issued only when the word
+          has unflushed stores pending (FliT counter ≠ 0, LaP mark set). *)
+  fence : unit -> unit;  (** Persist barrier ([unit] for [none]). *)
+  persistent : bool;  (** [false] only for [none]. *)
+}
+
+val plain : unit -> t
+val none : unit -> t
+val skipit_hw : unit -> t
+
+val flit_adjacent : unit -> t
+
+val flit_hash : table_base:int -> table_slots:int -> t
+(** The counter table must be a [table_slots * 8]-byte region reserved via
+    the system allocator (zero-initialised memory). *)
+
+val link_and_persist : unit -> t
+
+val lap_mask : int
+(** The in-word mark bit used by {!link_and_persist} (bit 62) — exposed so
+    recovery procedures and tests can strip it from persisted images. *)
+
+val all_persistent :
+  table_base:int -> table_slots:int -> unit -> t list
+(** [plain; flit_adjacent; flit_hash; link_and_persist; skipit_hw] — the five
+    compared series of Figs 14/15. *)

@@ -1,0 +1,26 @@
+type t = {
+  capacity : int;
+  (* Departure times recorded but not yet consumed by a later [admit]. *)
+  departures : int Queue.t;
+  mutable admitted : int;
+  mutable released : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Admission.create: capacity must be positive";
+  { capacity; departures = Queue.create (); admitted = 0; released = 0 }
+
+let capacity t = t.capacity
+
+let admit t ~now =
+  t.admitted <- t.admitted + 1;
+  (* The k-th admission waits for the departure of the (k - capacity)-th
+     occupant; departures are recorded in admission order, so it is the
+     FIFO head. *)
+  if t.admitted > t.capacity then max now (Queue.pop t.departures) else now
+
+let release t ~at =
+  t.released <- t.released + 1;
+  Queue.add at t.departures
+
+let occupants t = t.admitted - t.released

@@ -1,0 +1,29 @@
+(** Bounded waiting rooms in the transaction-level timing model.
+
+    Several structures in the paper's SoC are FIFO buffers that admit a
+    request, hold it until a downstream unit accepts it, and push back on
+    the producer when full: the flush queue in front of the FSHRs (§5.2 — a
+    full queue nacks the LSU) and the L2's ListBuffer in front of its MSHRs
+    (§3.4).  In completion-time arithmetic that behaviour reduces to: the
+    k-th request may enter only once the (k − capacity)-th request has left.
+
+    Usage: [admit] on arrival (returns the possibly-delayed entry time),
+    then [release] with the time the request left the buffer, in admission
+    order. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] must be positive. *)
+
+val capacity : t -> int
+
+val admit : t -> now:int -> int
+(** Entry time: [now], or the departure time of the request [capacity]
+    positions earlier if the room is still full then. *)
+
+val release : t -> at:int -> unit
+(** Record (in FIFO order) that the oldest occupant left at [at]. *)
+
+val occupants : t -> int
+(** Requests admitted but not yet released. *)

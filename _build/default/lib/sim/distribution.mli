@@ -1,0 +1,21 @@
+(** Key and access-pattern distributions for workload generation.
+
+    The data-structure benchmarks (§7.4) draw keys uniformly; the ablation
+    benches additionally exercise skewed (Zipfian) access so contention-driven
+    effects of Skip It can be studied. *)
+
+type t
+
+val uniform : lo:int -> hi:int -> t
+(** Uniform integer keys in [\[lo, hi\]] inclusive. *)
+
+val zipf : n:int -> theta:float -> t
+(** Zipfian over [\[0, n)] with skew [theta] (0 = uniform-ish, 0.99 = highly
+    skewed), using the standard YCSB-style rejection-free inverse-CDF
+    construction. *)
+
+val constant : int -> t
+(** Always the same value; useful in tests. *)
+
+val sample : t -> Rng.t -> int
+(** Draw one value. *)

@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  free_at : int array;  (* per-unit time at which the unit becomes idle *)
+  mutable busy_cycles : int;
+}
+
+let create ?(count = 1) name =
+  if count <= 0 then invalid_arg "Resource.create: count <= 0";
+  { name; free_at = Array.make count 0; busy_cycles = 0 }
+
+let name t = t.name
+let count t = Array.length t.free_at
+
+let min_index arr =
+  let best = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) < arr.(!best) then best := i
+  done;
+  !best
+
+let acquire t ~now ~busy =
+  if busy < 0 then invalid_arg "Resource.acquire: negative busy";
+  let i = min_index t.free_at in
+  let start = max now t.free_at.(i) in
+  let finish = start + busy in
+  t.free_at.(i) <- finish;
+  t.busy_cycles <- t.busy_cycles + busy;
+  finish - busy, finish
+
+let acquire_dyn t ~now f =
+  let i = min_index t.free_at in
+  let start = max now t.free_at.(i) in
+  let finish = f start in
+  if finish < start then invalid_arg "Resource.acquire_dyn: finish < start";
+  t.free_at.(i) <- finish;
+  t.busy_cycles <- t.busy_cycles + (finish - start);
+  start, finish
+
+let earliest_free t = t.free_at.(min_index t.free_at)
+
+let all_free_at t = Array.fold_left max 0 t.free_at
+
+let busy_at t now =
+  Array.fold_left (fun acc f -> if f > now then acc + 1 else acc) 0 t.free_at
+
+let total_busy_cycles t = t.busy_cycles
+
+let reset t =
+  Array.fill t.free_at 0 (Array.length t.free_at) 0;
+  t.busy_cycles <- 0
+
+module Banked = struct
+  type bank = t
+  type nonrec t = { banks : t array }
+
+  let create ~banks ?(count = 1) name =
+    if banks <= 0 then invalid_arg "Resource.Banked.create: banks <= 0";
+    { banks = Array.init banks (fun i -> create ~count (Printf.sprintf "%s[%d]" name i)) }
+
+  let bank_of t ~addr ~line_bytes =
+    t.banks.(addr / line_bytes mod Array.length t.banks)
+
+  let acquire t ~addr ~line_bytes ~now ~busy =
+    acquire (bank_of t ~addr ~line_bytes) ~now ~busy
+
+  let reset t = Array.iter reset t.banks
+end

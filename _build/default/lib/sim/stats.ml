@@ -1,0 +1,110 @@
+module Sample = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 16 0.; len = 0 }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let add_int t x = add t (float_of_int x)
+  let count t = t.len
+  let is_empty t = t.len = 0
+
+  let fold f init t =
+    let acc = ref init in
+    for i = 0 to t.len - 1 do
+      acc := f !acc t.data.(i)
+    done;
+    !acc
+
+  let total t = fold ( +. ) 0. t
+
+  let mean t =
+    if t.len = 0 then invalid_arg "Sample.mean: empty";
+    total t /. float_of_int t.len
+
+  let min t =
+    if t.len = 0 then invalid_arg "Sample.min: empty";
+    fold Float.min Float.infinity t
+
+  let max t =
+    if t.len = 0 then invalid_arg "Sample.max: empty";
+    fold Float.max Float.neg_infinity t
+
+  let sorted t =
+    let arr = Array.sub t.data 0 t.len in
+    Array.sort Float.compare arr;
+    arr
+
+  let percentile t p =
+    if t.len = 0 then invalid_arg "Sample.percentile: empty";
+    if p < 0. || p > 100. then invalid_arg "Sample.percentile: p out of range";
+    let arr = sorted t in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+    end
+
+  let median t = percentile t 50.
+
+  let stddev t =
+    if t.len < 2 then 0.
+    else begin
+      let m = mean t in
+      let sumsq = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. t in
+      sqrt (sumsq /. float_of_int t.len)
+    end
+
+  let values t = Array.sub t.data 0 t.len
+end
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let get t = t.n
+  let reset t = t.n <- 0
+end
+
+module Registry = struct
+  type t = (string, Counter.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let counter t name =
+    match Hashtbl.find_opt t name with
+    | Some c -> c
+    | None ->
+      let c = Counter.create () in
+      Hashtbl.add t name c;
+      c
+
+  let get t name =
+    match Hashtbl.find_opt t name with Some c -> Counter.get c | None -> 0
+
+  let incr t name = Counter.incr (counter t name)
+  let add t name k = Counter.add (counter t name) k
+  let reset_all t = Hashtbl.iter (fun _ c -> Counter.reset c) t
+
+  let to_list t =
+    Hashtbl.fold (fun name c acc -> (name, Counter.get c) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    List.iter (fun (name, n) -> Format.fprintf ppf "%s: %d@," name n) (to_list t);
+    Format.fprintf ppf "@]"
+end

@@ -1,0 +1,70 @@
+(** Measurement aggregation for simulation experiments.
+
+    The paper reports medians and standard deviations over repeated
+    microbenchmarks (§7.1: 50 repetitions, median latency) and mean throughput
+    over repeated runs.  [Sample] collects raw observations and answers those
+    queries; [Counter] is a named monotonic event counter used for
+    microarchitectural accounting (hits, misses, nacks, skipped writebacks,
+    ...). *)
+
+module Sample : sig
+  type t
+  (** A growable collection of float observations. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val add_int : t -> int -> unit
+  val count : t -> int
+  val is_empty : t -> bool
+  val mean : t -> float
+  val total : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val median : t -> float
+  (** Median (average of middle two for even counts).  Raises
+      [Invalid_argument] when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [\[0,100\]], nearest-rank with linear
+      interpolation. *)
+
+  val stddev : t -> float
+  (** Population standard deviation, [0.] for fewer than two samples. *)
+
+  val values : t -> float array
+  (** Snapshot of all observations in insertion order. *)
+end
+
+module Counter : sig
+  type t
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Registry : sig
+  type t
+  (** A named set of counters, used as the per-component stats block so tests
+      and benches can interrogate microarchitectural event counts by name. *)
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** [counter t name] returns the counter registered under [name], creating
+      it on first use. *)
+
+  val get : t -> string -> int
+  (** [get t name] is the current count ([0] if never touched). *)
+
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val reset_all : t -> unit
+
+  val to_list : t -> (string * int) list
+  (** All counters sorted by name. *)
+
+  val pp : Format.formatter -> t -> unit
+end

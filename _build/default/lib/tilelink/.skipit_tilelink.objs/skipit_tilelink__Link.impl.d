@@ -1,0 +1,1 @@
+lib/tilelink/link.ml: Printf Resource Skipit_sim

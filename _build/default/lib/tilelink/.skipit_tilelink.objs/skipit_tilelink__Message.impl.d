@@ -1,0 +1,1 @@
+lib/tilelink/message.ml: Format Option Perm

@@ -1,0 +1,1 @@
+lib/tilelink/message.mli: Format Perm

@@ -1,0 +1,15 @@
+open Skipit_sim
+
+type t = { a : Resource.t; c : Resource.t; d : Resource.t }
+
+let create ~core =
+  {
+    a = Resource.create (Printf.sprintf "link-a-%d" core);
+    c = Resource.create (Printf.sprintf "link-c-%d" core);
+    d = Resource.create (Printf.sprintf "link-d-%d" core);
+  }
+
+let acquire_a t ~now = snd (Resource.acquire t.a ~now ~busy:1)
+let acquire_c t ~now ~beats = snd (Resource.acquire t.c ~now ~busy:beats)
+let acquire_d t ~now ~beats = snd (Resource.acquire t.d ~now ~busy:beats)
+let c_busy_cycles t = Resource.total_busy_cycles t.c

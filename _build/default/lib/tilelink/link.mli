@@ -1,0 +1,29 @@
+(** Per-core TileLink link occupancy (§2.2, Fig. 3).
+
+    Each L1↔L2 link has one physical wire set per channel, so concurrent
+    senders serialize on it: eight FSHRs may be ready to release
+    simultaneously, but their beats leave one at a time on channel C;
+    likewise grants share channel D.  This module owns the per-channel
+    occupancy; travel latency stays with the message-level costs.
+
+    Channels B and E carry single-beat messages on dedicated wires and are
+    never a bottleneck in the modelled system, so only A, C and D are
+    tracked. *)
+
+type t
+
+val create : core:int -> t
+
+val acquire_a : t -> now:int -> int
+(** Occupy channel A for one header beat; returns the cycle the message has
+    left the core. *)
+
+val acquire_c : t -> now:int -> beats:int -> int
+(** Occupy channel C for [beats] cycles (4 for a data-bearing release on
+    the 16 B bus); returns the send-completion cycle. *)
+
+val acquire_d : t -> now:int -> beats:int -> int
+(** Occupy channel D (grants, acks into the core). *)
+
+val c_busy_cycles : t -> int
+(** Total cycles channel C has been occupied (utilisation accounting). *)

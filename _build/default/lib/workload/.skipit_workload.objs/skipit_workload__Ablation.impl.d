@@ -1,0 +1,1 @@
+lib/workload/ablation.ml: Ds_bench Format List Message Micro Printf Series Skipit_cache Skipit_core Skipit_mem Skipit_pds Skipit_persist Skipit_tilelink

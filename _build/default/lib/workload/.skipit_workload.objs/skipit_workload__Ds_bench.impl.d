@@ -1,0 +1,1 @@
+lib/workload/ds_bench.ml: Array List Option Printf Series Skipit_cache Skipit_core Skipit_mem Skipit_pds Skipit_persist Skipit_sim

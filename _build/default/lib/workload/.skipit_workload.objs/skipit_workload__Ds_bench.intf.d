@@ -1,0 +1,1 @@
+lib/workload/ds_bench.mli: Series Skipit_cache Skipit_core Skipit_pds Skipit_persist

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Ds_bench Float Format List Message Micro Series Skipit_cache Skipit_pds Skipit_persist Skipit_tilelink Skipit_xarch

@@ -1,0 +1,1 @@
+lib/workload/micro.ml: Array List Message Printf Series Skipit_cache Skipit_core Skipit_mem Skipit_sim Skipit_tilelink

@@ -1,0 +1,1 @@
+lib/workload/micro.mli: Message Series Skipit_cache Skipit_tilelink

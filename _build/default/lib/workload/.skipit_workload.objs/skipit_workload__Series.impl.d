@@ -1,0 +1,1 @@
+lib/workload/series.ml: Float Format List Option Printf String

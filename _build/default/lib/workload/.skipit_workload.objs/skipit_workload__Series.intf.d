@@ -1,0 +1,1 @@
+lib/workload/series.mli: Format

@@ -1,0 +1,1 @@
+lib/workload/trace_program.ml: Array Format In_channel List Printf Result Skipit_core Skipit_cpu String

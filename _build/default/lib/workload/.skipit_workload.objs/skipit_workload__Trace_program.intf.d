@@ -1,0 +1,1 @@
+lib/workload/trace_program.mli: Format Skipit_core Skipit_cpu

@@ -1,0 +1,162 @@
+module Params = Skipit_cache.Params
+module S = Skipit_core.System
+module T = Skipit_core.Thread
+open Skipit_tilelink
+
+let line_bytes = 64
+
+(* Store+flush [lines] lines, one fence; fresh single-core system. *)
+let flush_region_cycles params ~lines =
+  let sys = S.create (Params.with_cores params 1) in
+  let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:line_bytes (lines * line_bytes) in
+  let elapsed = ref 0 in
+  ignore
+    (T.run sys
+       [
+         {
+           T.core = 0;
+           body =
+             (fun () ->
+               for i = 0 to lines - 1 do
+                 T.store (base + (i * line_bytes)) i
+               done;
+               T.fence ();
+               let t0 = T.now () in
+               for i = 0 to lines - 1 do
+                 T.flush (base + (i * line_bytes))
+               done;
+               T.fence ();
+               elapsed := T.now () - t0);
+         };
+       ]);
+  !elapsed
+
+let fshr_count ?(counts = [ 1; 2; 4; 8; 16 ]) () =
+  Series.v "32KiB flush"
+    (List.map
+       (fun n ->
+         let params = { Params.boom_default with Params.n_fshrs = n } in
+         float_of_int n, float_of_int (flush_region_cycles params ~lines:512))
+       counts)
+
+let queue_depth ?(depths = [ 0; 1; 2; 4; 8; 16 ]) () =
+  Series.v "64-line store+flush burst"
+    (List.map
+       (fun d ->
+         let params = { Params.boom_default with Params.flush_queue_depth = d } in
+         float_of_int d, float_of_int (flush_region_cycles params ~lines:64))
+       depths)
+
+(* Fig. 13's redundant workload at one size under a given config. *)
+let redundant_cycles params =
+  let series =
+    Micro.redundant ~params ~kind:Message.Wb_clean
+      ~skip_it:params.Params.skip_it ~threads:1 ~redundant:10 ~sizes:[ 4096 ] ~repeats:3 ()
+  in
+  match series.Series.points with [ p ] -> p.Series.y | _ -> nan
+
+let skip_decomposition () =
+  let base = Params.boom_default in
+  [
+    ( "no-skip-at-all",
+      { base with Params.skip_it = false; l2_trivial_skip = false; coalescing = false } );
+    ( "l2-trivial-only",
+      { base with Params.skip_it = false; l2_trivial_skip = true; coalescing = false } );
+    ( "full-skip-it",
+      { base with Params.skip_it = true; l2_trivial_skip = true; coalescing = false } );
+  ]
+  |> List.map (fun (label, params) -> Series.v label [ 4096., redundant_cycles params ])
+
+let data_array_width () =
+  [ "wide-1cycle", true; "narrow-8cycle", false ]
+  |> List.map (fun (label, wide) ->
+       let params = { Params.boom_default with Params.wide_data_array = wide } in
+       Series.v label
+         (List.map
+            (fun lines ->
+              float_of_int (lines * line_bytes),
+              float_of_int (flush_region_cycles params ~lines))
+            [ 1; 64; 512 ]))
+
+(* The Fig. 13 naive workload with queue coalescing on vs off: when the
+   FSHRs back up, queued same-line requests merge, so the flush queue
+   itself filters most redundancy — which is why coalescing is off in the
+   default calibration (see Params). *)
+let coalescing () =
+  [ "coalescing-on", true; "coalescing-off", false ]
+  |> List.map (fun (label, coalescing) ->
+       let params = { Params.boom_default with Params.coalescing } in
+       Series.v label [ 4096., redundant_cycles params ])
+
+(* §7.4's closing hypothesis: a deeper hierarchy increases writeback
+   latencies — measure how the Fig. 13 redundant-writeback workload and the
+   single-line latency respond to a memory-side L3. *)
+let hierarchy_depth () =
+  [ "l2-only", Params.boom_default; "with-l3", Params.with_l3 Params.boom_default ]
+  |> List.concat_map (fun (label, base) ->
+       let single params =
+         let series =
+           Micro.writeback_sweep ~params ~kind:Message.Wb_flush ~threads:1 ~sizes:[ 64 ]
+             ~repeats:1 ()
+         in
+         match series.Series.points with [ p ] -> p.Series.y | _ -> nan
+       in
+       [
+         Series.v (label ^ "/single-flush") [ 64., single base ];
+         Series.v (label ^ "/naive")
+           [ 4096., redundant_cycles { base with Params.skip_it = false } ];
+         Series.v (label ^ "/skip-it")
+           [ 4096., redundant_cycles { base with Params.skip_it = true } ];
+       ])
+
+(* Contended vs non-contended writebacks (Fig. 9 is non-contended): all
+   threads flushing the same region exercise cross-core probes and the
+   §5.4.1 interlocks. *)
+let contention () =
+  List.concat_map
+    (fun threads ->
+      [
+        (let s =
+           Micro.writeback_sweep ~kind:Message.Wb_flush ~threads ~sizes:[ 4096 ]
+             ~repeats:1 ()
+         in
+         { s with Series.label = Printf.sprintf "disjoint/%dT" threads });
+        Micro.contended_sweep ~kind:Message.Wb_flush ~threads ~sizes:[ 4096 ] ~repeats:1 ();
+      ])
+    [ 1; 2; 4; 8 ]
+
+(* Access skew concentrates redundant writebacks on hot lines — the regime
+   Skip It targets.  Hash-table throughput under automatic persistence,
+   uniform vs Zipf(0.99) keys, Skip It vs plain. *)
+let skew () =
+  let base =
+    { Ds_bench.default_workload with Ds_bench.key_range = 1024; prefill = 512; window = 250_000 }
+  in
+  [ "uniform", 0.; "zipf-0.99", 0.99 ]
+  |> List.concat_map (fun (label, skew) ->
+       let w = { base with Ds_bench.skew } in
+       let tput spec =
+         Ds_bench.throughput ~kind:Skipit_pds.Set_ops.Hash_set
+           ~mode:Skipit_persist.Pctx.Automatic ~spec w
+       in
+       [
+         Series.v (label ^ "/plain") [ 1024., tput Ds_bench.Plain ];
+         Series.v (label ^ "/skip-it") [ 1024., tput Ds_bench.Skipit ];
+       ])
+
+let run_all ppf =
+  let section title series ~x_name =
+    Format.fprintf ppf "@,== Ablation: %s ==@," title;
+    Series.pp_table ~x_name ppf series
+  in
+  section "FSHR count (writeback MLP)" [ fshr_count () ] ~x_name:"fshrs";
+  section "flush queue depth (early commit)" [ queue_depth () ] ~x_name:"depth";
+  section "redundant-writeback skip decomposition" (skip_decomposition ()) ~x_name:"bytes";
+  section "L1 data-array width (fill_buffer)" (data_array_width ()) ~x_name:"bytes";
+  section "flush-queue coalescing on the redundant-writeback workload" (coalescing ())
+    ~x_name:"bytes";
+  section "hierarchy depth (memory-side L3, §7.4 hypothesis)" (hierarchy_depth ())
+    ~x_name:"bytes";
+  section "contended vs disjoint writebacks (4 KiB)" (contention ()) ~x_name:"bytes";
+  section "key skew (hash table, automatic persistence, ops/kcycle)" (skew ())
+    ~x_name:"keys"

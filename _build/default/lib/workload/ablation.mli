@@ -1,0 +1,43 @@
+(** Ablations of the design choices §5–§6 call out, beyond the paper's own
+    figures.  Each returns labelled series suitable for the text tables; the
+    bench harness prints them after the figure reproductions.
+
+    1. {b FSHR count} — the writeback MLP that produces Fig. 9's slope;
+    2. {b flush-queue depth} — buffering lets the LSU commit CBO.X early
+       (§5.2); depth 0 makes writebacks synchronous;
+    3. {b skip-path decomposition} — none vs L2-trivial-skip-only (§5.5) vs
+       full Skip It (§6) on the redundant-writeback microbenchmark;
+    4. {b data-array width} — the §5.2 single-cycle line read vs the
+       original word-per-cycle array;
+    5. {b coalescing} — §5.3 merging of back-to-back CBO.X to one line. *)
+
+val fshr_count : ?counts:int list -> unit -> Series.t
+(** x = FSHR count, y = cycles to flush the full 32 KiB L1 (1 thread). *)
+
+val queue_depth : ?depths:int list -> unit -> Series.t
+(** x = queue depth, y = cycles for a 64-line store+flush burst ending in
+    one fence. *)
+
+val skip_decomposition : unit -> Series.t list
+(** Redundant-writeback latency (Fig. 13 workload, 4 KiB) for the three
+    configurations. *)
+
+val data_array_width : unit -> Series.t list
+(** Flush sweep with the widened vs narrow L1 data array. *)
+
+val coalescing : unit -> Series.t list
+(** The Fig. 13 naive workload with flush-queue coalescing on vs off — with
+    it on, the backed-up queue merges most redundant requests itself. *)
+
+val hierarchy_depth : unit -> Series.t list
+(** §7.4's closing hypothesis: single-flush latency and the Fig. 13
+    redundant-writeback workload with and without a memory-side L3. *)
+
+val contention : unit -> Series.t list
+(** Contended (same region) vs disjoint per-thread writebacks at 4 KiB. *)
+
+val skew : unit -> Series.t list
+(** Uniform vs Zipf-skewed keys on the hash table: skew concentrates
+    redundant writebacks on hot lines, the regime Skip It targets. *)
+
+val run_all : Format.formatter -> unit

@@ -1,0 +1,170 @@
+module S = Skipit_core.System
+module T = Skipit_core.Thread
+module Params = Skipit_cache.Params
+module Strategy = Skipit_persist.Strategy
+module Pctx = Skipit_persist.Pctx
+module Ops = Skipit_pds.Set_ops
+module Rng = Skipit_sim.Rng
+
+type strategy_spec =
+  | Plain
+  | Flit_adjacent
+  | Flit_hash of int
+  | Link_and_persist
+  | Skipit
+  | Baseline
+
+let spec_name = function
+  | Plain -> "plain"
+  | Flit_adjacent -> "flit-adjacent"
+  | Flit_hash n -> Printf.sprintf "flit-hash/%d" n
+  | Link_and_persist -> "link-and-persist"
+  | Skipit -> "skip-it"
+  | Baseline -> "baseline"
+
+let default_specs =
+  [ Plain; Flit_adjacent; Flit_hash 65536; Link_and_persist; Skipit; Baseline ]
+
+let realize spec sys =
+  match spec with
+  | Plain -> Strategy.plain ()
+  | Flit_adjacent -> Strategy.flit_adjacent ()
+  | Flit_hash slots ->
+    let table_base =
+      Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (slots * 8)
+    in
+    Strategy.flit_hash ~table_base ~table_slots:slots
+  | Link_and_persist -> Strategy.link_and_persist ()
+  | Skipit -> Strategy.skipit_hw ()
+  | Baseline -> Strategy.none ()
+
+let wants_skip_it_hw = function
+  | Skipit -> true
+  | Plain | Flit_adjacent | Flit_hash _ | Link_and_persist | Baseline -> false
+
+type workload = {
+  threads : int;
+  key_range : int;
+  update_pct : int;
+  prefill : int;
+  window : int;
+  seed : int;
+  skew : float;
+}
+
+(* Sized so the structures pressure the 32 KiB L1 (and, with FliT's doubled
+   footprint or separate counter table, the 512 KiB L2) the way the paper's
+   544 KiB total cache is pressured (§7.4). *)
+let default_workload =
+  {
+    threads = 2;
+    key_range = 2048;
+    update_pct = 5;
+    prefill = 1024;
+    window = 500_000;
+    seed = 7;
+    skew = 0.;
+  }
+
+let spec_uses_word_bit = function
+  | Link_and_persist -> true
+  | Plain | Flit_adjacent | Flit_hash _ | Skipit | Baseline -> false
+
+let throughput ?(params = Params.boom_default) ~kind ~mode ~spec w =
+  if Ops.uses_word_bits kind && spec_uses_word_bit spec then nan
+  else begin
+    let params =
+      Params.with_skip_it (Params.with_cores params w.threads) (wants_skip_it_hw spec)
+    in
+    let sys = S.create params in
+    let strategy = realize spec sys in
+    let pctx = Pctx.make strategy mode in
+    let alloc = S.allocator sys in
+    let handle = ref None in
+    let buckets = max 16 (w.key_range / 4) in
+    (* Build + prefill (every other key, giving [prefill] resident keys). *)
+    ignore
+      (T.run sys
+         [
+           {
+             T.core = 0;
+             body =
+               (fun () ->
+                 let h = Ops.create_sized kind ~buckets pctx alloc in
+                 (* Insert every (range/prefill)-th key in shuffled order:
+                    sorted insertion would degenerate the external BST into
+                    a vine. *)
+                 let step = max 1 (w.key_range / max 1 w.prefill) in
+                 let keys =
+                   Array.init (w.key_range / step) (fun i -> 1 + (i * step))
+                 in
+                 Rng.shuffle (Rng.create ~seed:w.seed) keys;
+                 Array.iter (fun k -> ignore (h.Ops.insert pctx k)) keys;
+                 handle := Some h);
+           };
+         ]);
+    let h = Option.get !handle in
+    let ops_done = Array.make w.threads 0 in
+    let distribution =
+      if w.skew > 0. then Some (Skipit_sim.Distribution.zipf ~n:w.key_range ~theta:w.skew)
+      else None
+    in
+    let worker core =
+      {
+        T.core;
+        body =
+          (fun () ->
+            let rng = Rng.create ~seed:(w.seed + (core * 7919)) in
+            let stop_at = T.now () + w.window in
+            let n = ref 0 in
+            while T.now () < stop_at do
+              let key =
+                match distribution with
+                | Some d -> 1 + Skipit_sim.Distribution.sample d rng
+                | None -> 1 + Rng.int rng w.key_range
+              in
+              let r = Rng.int rng 100 in
+              (if r < w.update_pct then
+                 if Rng.bool rng then ignore (h.Ops.insert pctx key)
+                 else ignore (h.Ops.delete pctx key)
+               else ignore (h.Ops.contains pctx key));
+              incr n
+            done;
+            ops_done.(core) <- !n);
+      }
+    in
+    ignore (T.run sys (List.init w.threads worker));
+    let total = Array.fold_left ( + ) 0 ops_done in
+    float_of_int total *. 1000. /. float_of_int w.window
+  end
+
+let fig14 ?params ~kind w =
+  Pctx.all_modes
+  |> List.map (fun mode ->
+       let points =
+         List.mapi
+           (fun i spec -> float_of_int i, throughput ?params ~kind ~mode ~spec w)
+           default_specs
+       in
+       let label_series =
+         List.mapi
+           (fun i spec -> Series.v (spec_name spec) [ List.nth points i ])
+           default_specs
+       in
+       Pctx.mode_name mode, label_series)
+
+let update_sweep ?params ~kind ~mode ~updates w =
+  default_specs
+  |> List.map (fun spec ->
+       Series.v (spec_name spec)
+         (List.map
+            (fun pct ->
+              ( float_of_int pct,
+                throughput ?params ~kind ~mode ~spec { w with update_pct = pct } ))
+            updates))
+
+let flit_table_sweep ?params ~kind ~mode ~slots w =
+  Series.v "flit-hash"
+    (List.map
+       (fun n -> float_of_int n, throughput ?params ~kind ~mode ~spec:(Flit_hash n) w)
+       slots)

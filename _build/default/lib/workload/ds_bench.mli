@@ -1,0 +1,83 @@
+(** Throughput harness for the persistent data-structure comparison
+    (§7.4, Figs 14–16).
+
+    A run builds a fresh system (Skip It enabled only for the Skip-It
+    strategy), creates and prefills the structure to half the key range,
+    then lets [threads] worker threads execute a read/update mix for a
+    fixed window of simulated cycles.  Updates split evenly between inserts
+    and deletes of uniformly random keys (§7.4).  Reported throughput is
+    operations per 1000 simulated cycles. *)
+
+(** The compared series.  [Baseline] is the non-persistent dotted line of
+    Figs 14/15. *)
+type strategy_spec =
+  | Plain
+  | Flit_adjacent
+  | Flit_hash of int  (** counter-table slots *)
+  | Link_and_persist
+  | Skipit
+  | Baseline
+
+val spec_name : strategy_spec -> string
+
+val default_specs : strategy_spec list
+(** The five compared methods plus the baseline, with the paper's default
+    FliT table of 2{^16} slots. *)
+
+val realize : strategy_spec -> Skipit_core.System.t -> Skipit_persist.Strategy.t
+(** Allocate any auxiliary memory (the FliT counter table) in the system
+    and return the strategy. *)
+
+val wants_skip_it_hw : strategy_spec -> bool
+
+type workload = {
+  threads : int;  (** 2 in the paper's runs. *)
+  key_range : int;
+  update_pct : int;  (** 0–100; each update is insert or delete 50/50. *)
+  prefill : int;  (** Keys inserted before measuring. *)
+  window : int;  (** Measured simulated cycles. *)
+  seed : int;
+  skew : float;
+      (** Zipf theta over the key space (0 = uniform, the paper's setting;
+          ~0.99 = heavy skew — hot lines see many more redundant
+          writebacks). *)
+}
+
+val default_workload : workload
+
+val throughput :
+  ?params:Skipit_cache.Params.t ->
+  kind:Skipit_pds.Set_ops.kind ->
+  mode:Skipit_persist.Pctx.mode ->
+  spec:strategy_spec ->
+  workload ->
+  float
+(** Ops per 1000 cycles; [nan] when the combination is incompatible
+    (Link-and-Persist × BST). *)
+
+val fig14 :
+  ?params:Skipit_cache.Params.t ->
+  kind:Skipit_pds.Set_ops.kind ->
+  workload ->
+  (string * Series.t list) list
+(** For one structure: per persistence mode, throughput of every strategy
+    (x = strategy index; rendered as grouped bars).  The baseline series is
+    included once per mode. *)
+
+val update_sweep :
+  ?params:Skipit_cache.Params.t ->
+  kind:Skipit_pds.Set_ops.kind ->
+  mode:Skipit_persist.Pctx.mode ->
+  updates:int list ->
+  workload ->
+  Series.t list
+(** Fig. 15: throughput vs update percentage, one series per strategy. *)
+
+val flit_table_sweep :
+  ?params:Skipit_cache.Params.t ->
+  kind:Skipit_pds.Set_ops.kind ->
+  mode:Skipit_persist.Pctx.mode ->
+  slots:int list ->
+  workload ->
+  Series.t
+(** Fig. 16: FliT hash-table size sensitivity (x = slots). *)

@@ -1,0 +1,19 @@
+(** Result containers shared by every figure driver: a labelled series of
+    (x, y) points plus text rendering for the harness output. *)
+
+type point = { x : float; y : float }
+
+type t = { label : string; points : point list }
+
+val v : string -> (float * float) list -> t
+
+val map_y : (float -> float) -> t -> t
+
+val pp_table : ?x_name:string -> ?y_name:string -> Format.formatter -> t list -> unit
+(** Render several series as an aligned text table, one row per x value,
+    one column per series (the form the paper's figures tabulate). *)
+
+val pp_csv : Format.formatter -> t list -> unit
+
+val bytes_label : int -> string
+(** "64B", "4KiB", ... for writeback-size axes. *)

@@ -1,0 +1,173 @@
+module Instr = Skipit_cpu.Instr
+module T = Skipit_core.Thread
+
+type t = (int * Instr.t list) list
+
+let parse_int token =
+  match int_of_string_opt token with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "not a number: %S" token)
+
+let ( let* ) r f = Result.bind r f
+
+let parse_instr tokens =
+  match tokens with
+  | [ "ld"; a ] ->
+    let* addr = parse_int a in
+    Ok (Instr.Load { addr })
+  | [ "sd"; a; v ] ->
+    let* addr = parse_int a in
+    let* value = parse_int v in
+    Ok (Instr.Store { addr; value })
+  | [ "cas"; a; e; d ] ->
+    let* addr = parse_int a in
+    let* expected = parse_int e in
+    let* desired = parse_int d in
+    Ok (Instr.Cas { addr; expected; desired })
+  | [ "cbo.clean"; a ] ->
+    let* addr = parse_int a in
+    Ok (Instr.Cbo_clean { addr })
+  | [ "cbo.flush"; a ] ->
+    let* addr = parse_int a in
+    Ok (Instr.Cbo_flush { addr })
+  | [ "cbo.inval"; a ] ->
+    let* addr = parse_int a in
+    Ok (Instr.Cbo_inval { addr })
+  | [ "cbo.zero"; a ] ->
+    let* addr = parse_int a in
+    Ok (Instr.Cbo_zero { addr })
+  | [ "fence" ] -> Ok Instr.Fence
+  | [ "delay"; n ] ->
+    let* n = parse_int n in
+    Ok (Instr.Delay n)
+  | [] -> Error "empty instruction"
+  | op :: _ -> Error (Printf.sprintf "unknown instruction %S" op)
+
+type frame = Core of int * Instr.t list | Repeat of int * Instr.t list
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  (* The stack holds the current core section and any open repeat blocks,
+     innermost first; instructions accumulate in reverse. *)
+  let finish_core streams core body = (core, List.rev body) :: streams in
+  let rec step lineno lines streams stack =
+    match lines with
+    | [] -> (
+      match stack with
+      | [] -> Ok (List.rev streams)
+      | Core (core, body) :: [] -> Ok (List.rev (finish_core streams core body))
+      | Repeat _ :: _ -> Error "unterminated repeat block"
+      | Core _ :: _ -> Error "internal: nested core sections")
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let tokens =
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      in
+      let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+      match tokens, stack with
+      | [], _ -> step (lineno + 1) rest streams stack
+      | [ "core"; n ], [] -> (
+        match parse_int n with
+        | Ok core -> step (lineno + 1) rest streams [ Core (core, []) ]
+        | Error e -> fail e)
+      | [ "core"; n ], [ Core (core, body) ] -> (
+        match parse_int n with
+        | Ok core' ->
+          step (lineno + 1) rest (finish_core streams core body) [ Core (core', []) ]
+        | Error e -> fail e)
+      | [ "core"; _ ], _ -> fail "core section inside a repeat block"
+      | _, [] -> fail "instruction outside any core section"
+      | [ "repeat"; n ], _ -> (
+        match parse_int n with
+        | Ok n when n >= 0 -> step (lineno + 1) rest streams (Repeat (n, []) :: stack)
+        | Ok _ -> fail "negative repeat count"
+        | Error e -> fail e)
+      | [ "end" ], Repeat (n, body) :: parent :: deeper ->
+        let unrolled = List.concat (List.init n (fun _ -> List.rev body)) in
+        let parent =
+          match parent with
+          | Core (core, pbody) -> Core (core, List.rev_append unrolled pbody)
+          | Repeat (m, pbody) -> Repeat (m, List.rev_append unrolled pbody)
+        in
+        step (lineno + 1) rest streams (parent :: deeper)
+      | [ "end" ], _ -> fail "end without repeat"
+      | tokens, frame :: deeper -> (
+        match parse_instr tokens with
+        | Ok instr ->
+          let frame =
+            match frame with
+            | Core (core, body) -> Core (core, instr :: body)
+            | Repeat (n, body) -> Repeat (n, instr :: body)
+          in
+          step (lineno + 1) rest streams (frame :: deeper)
+        | Error e -> fail e))
+  in
+  let* streams = step 1 lines [] [] in
+  let cores = List.map fst streams in
+  if List.length (List.sort_uniq compare cores) <> List.length cores then
+    Error "duplicate core section"
+  else Ok (List.sort (fun (a, _) (b, _) -> compare a b) streams)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> parse source
+  | exception Sys_error e -> Error e
+
+let max_core t = List.fold_left (fun acc (core, _) -> max acc core) 0 t
+
+let run sys t =
+  let checksums = Array.make (Skipit_core.System.n_cores sys) 0 in
+  let tasks =
+    List.map
+      (fun (core, instrs) ->
+        {
+          T.core;
+          body =
+            (fun () ->
+              List.iter
+                (fun instr ->
+                  match instr with
+                  | Instr.Load { addr } ->
+                    checksums.(core) <- checksums.(core) lxor T.load addr
+                  | Instr.Store { addr; value } -> T.store addr value
+                  | Instr.Cas { addr; expected; desired } ->
+                    ignore (T.cas addr ~expected ~desired)
+                  | Instr.Cbo_clean { addr } -> T.clean addr
+                  | Instr.Cbo_flush { addr } -> T.flush addr
+                  | Instr.Cbo_inval { addr } -> T.inval addr
+                  | Instr.Cbo_zero { addr } -> T.zero addr
+                  | Instr.Fence -> T.fence ()
+                  | Instr.Delay n -> T.delay n)
+                instrs);
+        })
+      t
+  in
+  let cycles = T.run sys tasks in
+  cycles, checksums
+
+(* Render in the exact surface syntax [parse] accepts ([Instr.pp] uses an
+   arrow for stores, which is for humans, not for round-tripping). *)
+let pp_instr ppf = function
+  | Instr.Load { addr } -> Format.fprintf ppf "ld %#x" addr
+  | Instr.Store { addr; value } -> Format.fprintf ppf "sd %#x %d" addr value
+  | Instr.Cas { addr; expected; desired } ->
+    Format.fprintf ppf "cas %#x %d %d" addr expected desired
+  | Instr.Cbo_clean { addr } -> Format.fprintf ppf "cbo.clean %#x" addr
+  | Instr.Cbo_flush { addr } -> Format.fprintf ppf "cbo.flush %#x" addr
+  | Instr.Cbo_inval { addr } -> Format.fprintf ppf "cbo.inval %#x" addr
+  | Instr.Cbo_zero { addr } -> Format.fprintf ppf "cbo.zero %#x" addr
+  | Instr.Fence -> Format.fprintf ppf "fence"
+  | Instr.Delay n -> Format.fprintf ppf "delay %d" n
+
+let pp ppf t =
+  List.iter
+    (fun (core, instrs) ->
+      Format.fprintf ppf "core %d@," core;
+      List.iter (fun i -> Format.fprintf ppf "  %a@," pp_instr i) instrs)
+    t

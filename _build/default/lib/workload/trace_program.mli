@@ -1,0 +1,41 @@
+(** Text-format instruction traces.
+
+    A trace is a tiny assembly-like program, one instruction per line,
+    organised in per-core sections — enough to script any experiment against
+    the simulator without writing OCaml:
+
+    {v
+    # producer/consumer over one line
+    core 0
+      sd 0x1000 42
+      cbo.clean 0x1000
+      fence
+    core 1
+      delay 200
+      ld 0x1000
+    v}
+
+    Instructions: [ld A], [sd A V], [cas A EXPECTED DESIRED],
+    [cbo.clean A], [cbo.flush A], [cbo.inval A], [cbo.zero A], [fence],
+    [delay N].  Addresses and values accept decimal or [0x] hex.  [#]
+    starts a comment.  Repetition: [repeat N] ... [end] blocks may nest. *)
+
+module Instr = Skipit_cpu.Instr
+
+type t = (int * Instr.t list) list
+(** Per-core instruction streams, core ids ascending. *)
+
+val parse : string -> (t, string) result
+(** Parse a whole program from source text; errors carry line numbers. *)
+
+val load_file : string -> (t, string) result
+
+val max_core : t -> int
+
+val run : Skipit_core.System.t -> t -> int * int array
+(** Execute every stream as a simulated thread; returns the final cycle and
+    each core's loaded-value xor-checksum (a cheap way for trace authors to
+    assert on data flow). *)
+
+val pp : Format.formatter -> t -> unit
+(** Print a parseable rendering of the program. *)

@@ -1,0 +1,1 @@
+lib/xarch/model.ml: Float

@@ -1,0 +1,62 @@
+type instruction =
+  | Intel_clflush
+  | Intel_clflushopt
+  | Intel_clwb
+  | Amd_clflush
+  | Amd_clflushopt
+  | Graviton_civac
+  | Graviton_cvac
+
+let name = function
+  | Intel_clflush -> "intel-clflush"
+  | Intel_clflushopt -> "intel-clflushopt"
+  | Intel_clwb -> "intel-clwb"
+  | Amd_clflush -> "amd-clflush"
+  | Amd_clflushopt -> "amd-clflushopt"
+  | Graviton_civac -> "graviton-civac"
+  | Graviton_cvac -> "graviton-cvac"
+
+let all =
+  [
+    Intel_clflush;
+    Intel_clflushopt;
+    Intel_clwb;
+    Amd_clflush;
+    Amd_clflushopt;
+    Graviton_civac;
+    Graviton_cvac;
+  ]
+
+let flush_like =
+  [ Intel_clflush; Intel_clflushopt; Amd_clflush; Amd_clflushopt; Graviton_civac ]
+
+type shape =
+  | Serializing of { base : float; per_line : float }
+      (** Each writeback is ordered after the previous one. *)
+  | Amortized of { base : float; per_line : float }
+      (** Weakly ordered; per-line cost already reflects LFB-level MLP. *)
+  | Sublinear of { base : float; coeff : float; exponent : float }
+
+let shape_of = function
+  | Intel_clflush -> Serializing { base = 250.; per_line = 100. }
+  | Intel_clflushopt -> Amortized { base = 250.; per_line = 14. }
+  | Intel_clwb -> Amortized { base = 230.; per_line = 13. }
+  (* AMD's clflush is not serializing in practice — the paper observes it
+     performing identically to clflushopt. *)
+  | Amd_clflush -> Amortized { base = 300.; per_line = 15.5 }
+  | Amd_clflushopt -> Amortized { base = 300.; per_line = 15. }
+  | Graviton_civac -> Sublinear { base = 280.; coeff = 27.; exponent = 0.75 }
+  | Graviton_cvac -> Sublinear { base = 260.; coeff = 25.; exponent = 0.75 }
+
+let latency instr ~threads ~bytes =
+  if threads <= 0 then invalid_arg "Model.latency: threads <= 0";
+  if bytes <= 0 then invalid_arg "Model.latency: bytes <= 0";
+  let lines = max 1 (bytes / 64) in
+  let per_thread = float_of_int (max 1 (lines / threads)) in
+  (* Sharing the memory system across threads is slightly sub-linear. *)
+  let thread_tax = Float.pow (float_of_int threads) 0.08 in
+  match shape_of instr with
+  | Serializing { base; per_line } -> base +. (per_thread *. per_line *. thread_tax)
+  | Amortized { base; per_line } -> base +. (per_thread *. per_line *. thread_tax)
+  | Sublinear { base; coeff; exponent } ->
+    base +. (coeff *. Float.pow per_thread exponent *. thread_tax)

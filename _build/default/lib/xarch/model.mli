@@ -1,0 +1,44 @@
+(** Analytic latency models of the commercial writeback instructions used in
+    the §7.3 comparison (Figs 11–12).
+
+    The paper measures AMD EPYC 7763 and Intel Xeon Gold 6238T (x86:
+    clflush, clflushopt, clwb) and AWS Graviton3 (ARMv8: DC CIVAC / DC
+    CVAC).  We obviously cannot run those CPUs here, so each instruction is
+    modelled by a small closed-form latency curve encoding the mechanisms
+    the paper identifies:
+
+    - Intel [clflush] is inherently ordered — consecutive flushes serialize,
+      so latency grows with the full per-line cost and explodes beyond
+      4 KiB (1 thread) / 16 KiB (8 threads);
+    - Intel [clflushopt]/[clwb] are weakly ordered — per-line cost is
+      amortised across the store-buffer/LFB parallelism;
+    - AMD's [clflush] behaves like its [clflushopt] (both weakly ordered
+      until the final fence), as the paper observes;
+    - Graviton3's [dc civac]/[dc cvac] latency grows {e sub-linearly} in the
+      region size, overtaking the others above ≈4 KiB;
+    - extra threads divide the throughput-bound portion, with an efficiency
+      factor below one.
+
+    The constants are calibrated to reproduce the relative positions and
+    crossover points of the published curves, not absolute cycle counts on
+    any particular machine. *)
+
+type instruction =
+  | Intel_clflush
+  | Intel_clflushopt
+  | Intel_clwb
+  | Amd_clflush
+  | Amd_clflushopt
+  | Graviton_civac  (** flush: clean+invalidate. *)
+  | Graviton_cvac  (** clean. *)
+
+val name : instruction -> string
+val all : instruction list
+
+val flush_like : instruction list
+(** The instructions plotted in the flush comparison (Fig. 11/12):
+    both Intel and AMD clflush/clflushopt plus Graviton CIVAC. *)
+
+val latency : instruction -> threads:int -> bytes:int -> float
+(** Modelled latency in cycles for writing back [bytes] (one fence at the
+    end), split across [threads]. *)

@@ -1,0 +1,1 @@
+test/test_admission.ml: Alcotest List QCheck QCheck_alcotest Skipit_cache Skipit_core Skipit_mem Skipit_sim

@@ -1,0 +1,1 @@
+test/test_cmo_ext.ml: Alcotest List Option Skipit_core Skipit_l1 Skipit_l2 Skipit_mem

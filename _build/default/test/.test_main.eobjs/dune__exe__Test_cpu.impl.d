@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Format Skipit_cache Skipit_core Skipit_cpu Skipit_mem

@@ -1,0 +1,1 @@
+test/test_dcache.ml: Alcotest Array Fun List Message Option Perm Skipit_cache Skipit_core Skipit_l1 Skipit_l2 Skipit_mem Skipit_sim Skipit_tilelink

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest List Message Option Result Skipit_cache Skipit_core Skipit_l1 Skipit_mem Skipit_pds Skipit_persist Skipit_sim Skipit_tilelink Skipit_workload

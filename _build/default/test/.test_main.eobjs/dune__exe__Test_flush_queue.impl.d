@@ -1,0 +1,1 @@
+test/test_flush_queue.ml: Alcotest List Message Perm QCheck QCheck_alcotest Skipit_l1 Skipit_tilelink

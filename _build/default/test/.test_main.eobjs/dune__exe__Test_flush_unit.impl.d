@@ -1,0 +1,1 @@
+test/test_flush_unit.ml: Alcotest Array List Message Option Perm Skipit_cache Skipit_l1 Skipit_sim Skipit_tilelink

@@ -1,0 +1,1 @@
+test/test_fshr_fsm.ml: Alcotest Format List Message QCheck QCheck_alcotest Skipit_l1 Skipit_tilelink

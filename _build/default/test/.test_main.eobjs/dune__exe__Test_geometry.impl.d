@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest QCheck QCheck_alcotest Skipit_cache

@@ -1,0 +1,1 @@
+test/test_interlock.ml: Alcotest List QCheck QCheck_alcotest Skipit_l1 Skipit_sim

@@ -1,0 +1,1 @@
+test/test_l3.ml: Alcotest Array Fun List Option Printf Skipit_cache Skipit_core Skipit_l1 Skipit_l2 Skipit_mem Skipit_sim

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array List QCheck QCheck_alcotest Skipit_mem

@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Array Format List Message Perm Skipit_tilelink

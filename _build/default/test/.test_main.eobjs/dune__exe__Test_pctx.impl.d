@@ -1,0 +1,1 @@
+test/test_pctx.ml: Alcotest List Option Skipit_core Skipit_mem Skipit_persist

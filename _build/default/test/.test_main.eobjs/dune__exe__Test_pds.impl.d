@@ -1,0 +1,1 @@
+test/test_pds.ml: Alcotest Array Hashtbl List Option Printf Skipit_core Skipit_pds Skipit_persist Skipit_sim

@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Format List Perm Skipit_tilelink

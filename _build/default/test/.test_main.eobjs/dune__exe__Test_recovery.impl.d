@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest List Option Skipit_core Skipit_pds Skipit_persist

@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest List QCheck QCheck_alcotest Skipit_sim

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest List Option Printf Skipit_core Skipit_cpu Skipit_mem

@@ -1,0 +1,1 @@
+test/test_skipbit.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Skipit_cache Skipit_core Skipit_l1 Skipit_l2 Skipit_mem Skipit_sim

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Skipit_cache Skipit_sim

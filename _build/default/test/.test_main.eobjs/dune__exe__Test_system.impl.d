@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest Skipit_cache Skipit_core Skipit_mem Skipit_sim

@@ -1,0 +1,1 @@
+test/test_thread.ml: Alcotest List Skipit_core Skipit_mem

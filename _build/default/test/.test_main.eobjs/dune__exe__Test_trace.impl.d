@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Format List Skipit_core Skipit_cpu Skipit_workload String

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest List Option Printf QCheck QCheck_alcotest Queue Skipit_core Skipit_mem Skipit_pds Skipit_persist Skipit_sim

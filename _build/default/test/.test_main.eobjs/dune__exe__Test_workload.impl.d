@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Format List Message Printf Skipit_pds Skipit_persist Skipit_sim Skipit_tilelink Skipit_workload Skipit_xarch String

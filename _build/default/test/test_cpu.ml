@@ -1,0 +1,116 @@
+module S = Skipit_core.System
+module C = Skipit_core.Config
+module Instr = Skipit_cpu.Instr
+module Lsu = Skipit_cpu.Lsu
+
+let fresh () =
+  let sys = S.create (C.platform ~cores:1 ()) in
+  sys, S.lsu sys 0, Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64
+
+let test_instr_classification () =
+  Alcotest.(check bool) "load is memory" true (Instr.is_memory (Instr.Load { addr = 0 }));
+  Alcotest.(check bool) "fence is not" false (Instr.is_memory Instr.Fence);
+  Alcotest.(check bool) "delay is not" false (Instr.is_memory (Instr.Delay 5));
+  Alcotest.(check (option int)) "touches" (Some 64)
+    (Instr.touches (Instr.Cbo_flush { addr = 64 }));
+  Alcotest.(check (option int)) "fence touches nothing" None (Instr.touches Instr.Fence)
+
+let test_instr_pp () =
+  Alcotest.(check string) "load" "ld 0x40"
+    (Format.asprintf "%a" Instr.pp (Instr.Load { addr = 0x40 }));
+  Alcotest.(check string) "cbo" "cbo.clean 0x40"
+    (Format.asprintf "%a" Instr.pp (Instr.Cbo_clean { addr = 0x40 }))
+
+let test_lsu_executes () =
+  let _, lsu, a = fresh () in
+  ignore (Lsu.exec lsu (Instr.Store { addr = a; value = 3 }));
+  let v = Lsu.exec lsu (Instr.Load { addr = a }) in
+  Alcotest.(check int) "value through LSU" 3 v;
+  Alcotest.(check int) "instruction count" 2 (Lsu.instructions lsu);
+  Alcotest.(check bool) "clock advanced" true (Lsu.clock lsu > 0)
+
+let test_cbo_async_commit () =
+  let _, lsu, a = fresh () in
+  ignore (Lsu.exec lsu (Instr.Store { addr = a; value = 1 }));
+  let before = Lsu.clock lsu in
+  ignore (Lsu.exec lsu (Instr.Cbo_flush { addr = a }));
+  Alcotest.(check bool) "CBO.X advances only to commit" true (Lsu.clock lsu - before < 20);
+  Alcotest.(check int) "one pending writeback" 1 (Lsu.pending_writebacks lsu);
+  ignore (Lsu.exec lsu Instr.Fence);
+  Alcotest.(check int) "drained by the fence" 0 (Lsu.pending_writebacks lsu);
+  Alcotest.(check bool) "fence paid the latency" true (Lsu.clock lsu - before > 50)
+
+let test_cas_result_encoding () =
+  let _, lsu, a = fresh () in
+  ignore (Lsu.exec lsu (Instr.Store { addr = a; value = 2 }));
+  Alcotest.(check int) "success = 1" 1
+    (Lsu.exec lsu (Instr.Cas { addr = a; expected = 2; desired = 3 }));
+  Alcotest.(check int) "failure = 0" 0
+    (Lsu.exec lsu (Instr.Cas { addr = a; expected = 2; desired = 4 }))
+
+let test_advance_to () =
+  let _, lsu, _ = fresh () in
+  Lsu.advance_to lsu 100;
+  Alcotest.(check int) "forward" 100 (Lsu.clock lsu);
+  Lsu.advance_to lsu 50;
+  Alcotest.(check int) "never backwards" 100 (Lsu.clock lsu)
+
+let test_delay_negative_rejected () =
+  let _, lsu, _ = fresh () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Lsu.exec: negative delay")
+    (fun () -> ignore (Lsu.exec lsu (Instr.Delay (-1))))
+
+module SQ = Skipit_cpu.Store_queue
+
+let test_store_queue_basics () =
+  let q = SQ.create ~entries:2 in
+  Alcotest.(check int) "empty" 0 (SQ.occupancy q ~now:0);
+  Alcotest.(check int) "insert commits now" 0 (SQ.insert q ~now:0 ~drain_at:100);
+  Alcotest.(check int) "second too" 1 (SQ.insert q ~now:1 ~drain_at:90);
+  Alcotest.(check int) "occupancy" 2 (SQ.occupancy q ~now:2);
+  (* Full: the third insert stalls until the oldest drains. *)
+  Alcotest.(check int) "third waits" 100 (SQ.insert q ~now:2 ~drain_at:150);
+  (* In-order drain: the 90-cycle store cannot complete before the 100. *)
+  Alcotest.(check int) "fence waits for all (in order)" 150 (SQ.drained_at q ~now:2);
+  Alcotest.(check int) "drained later" 200 (SQ.drained_at q ~now:200);
+  Alcotest.(check int) "pruned" 0 (SQ.occupancy q ~now:200)
+
+let test_async_store_hides_miss () =
+  let sys = S.create (C.platform ~cores:1 ()) in
+  let lsu = S.lsu sys 0 in
+  let a = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+  let t0 = Lsu.clock lsu in
+  ignore (Lsu.exec lsu (Instr.Store { addr = a; value = 1 }));
+  Alcotest.(check bool) "store miss hidden by the STQ (§3.2)" true
+    (Lsu.clock lsu - t0 < 20);
+  Alcotest.(check int) "one store draining" 1 (Lsu.pending_stores lsu);
+  ignore (Lsu.exec lsu Instr.Fence);
+  Alcotest.(check bool) "fence exposes the drain" true (Lsu.clock lsu - t0 > 50);
+  Alcotest.(check int) "drained" 0 (Lsu.pending_stores lsu)
+
+let test_sync_store_blocks () =
+  let params =
+    { (C.platform ~cores:1 ()) with Skipit_cache.Params.async_stores = false }
+  in
+  let sys = S.create params in
+  let lsu = S.lsu sys 0 in
+  let a = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+  let t0 = Lsu.clock lsu in
+  ignore (Lsu.exec lsu (Instr.Store { addr = a; value = 1 }));
+  Alcotest.(check bool) "synchronous store pays the miss" true (Lsu.clock lsu - t0 > 50);
+  Alcotest.(check int) "nothing pending" 0 (Lsu.pending_stores lsu)
+
+let tests =
+  ( "cpu",
+    [
+      Alcotest.test_case "instr classification" `Quick test_instr_classification;
+      Alcotest.test_case "instr pp" `Quick test_instr_pp;
+      Alcotest.test_case "lsu executes" `Quick test_lsu_executes;
+      Alcotest.test_case "CBO.X async commit" `Quick test_cbo_async_commit;
+      Alcotest.test_case "cas encoding" `Quick test_cas_result_encoding;
+      Alcotest.test_case "advance_to monotone" `Quick test_advance_to;
+      Alcotest.test_case "negative delay rejected" `Quick test_delay_negative_rejected;
+      Alcotest.test_case "store queue basics" `Quick test_store_queue_basics;
+      Alcotest.test_case "async store hides miss (§3.2)" `Quick test_async_store_hides_miss;
+      Alcotest.test_case "sync-store ablation blocks" `Quick test_sync_store_blocks;
+    ] )

@@ -1,0 +1,166 @@
+(* L1 data-cache behaviour driven directly: hit/miss paths, upgrades, the
+   §5.3 pending-writeback interactions, and probe handling. *)
+
+module S = Skipit_core.System
+module C = Skipit_core.Config
+module Dcache = Skipit_l1.Dcache
+open Skipit_tilelink
+
+let fresh ?(cores = 2) ?(params_f = Fun.id) () =
+  let sys = S.create (params_f (C.platform ~cores ())) in
+  sys, S.dcache sys 0, Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64
+
+let test_load_miss_then_hit () =
+  let _, dc, a = fresh () in
+  let _, t1 = Dcache.load dc ~addr:a ~now:0 in
+  Alcotest.(check bool) "miss pays the L2/DRAM trip" true (t1 > 50);
+  let _, t2 = Dcache.load dc ~addr:a ~now:t1 in
+  Alcotest.(check bool) "hit is a few cycles" true (t2 - t1 < 10)
+
+let test_store_sets_dirty_and_value () =
+  let _, dc, a = fresh () in
+  let t = Dcache.store dc ~addr:(a + 16) ~value:5 ~now:0 in
+  let line = Option.get (Dcache.line_state dc a) in
+  Alcotest.(check bool) "dirty" true line.Dcache.dirty;
+  Alcotest.(check bool) "Trunk" true (Perm.equal line.Dcache.perm Perm.Trunk);
+  Alcotest.(check int) "word placed" 5 (Dcache.peek_word dc (a + 16));
+  Alcotest.(check int) "other words zero" 0 (Dcache.peek_word dc a);
+  Alcotest.(check bool) "time" true (t > 0)
+
+let test_branch_to_trunk_upgrade () =
+  let _, dc, a = fresh () in
+  ignore (Dcache.load dc ~addr:a ~now:0) (* Branch *);
+  let t = Dcache.store dc ~addr:a ~value:1 ~now:1000 in
+  Alcotest.(check bool) "upgrade went to L2" true (t - 1000 > 20);
+  let line = Option.get (Dcache.line_state dc a) in
+  Alcotest.(check bool) "now Trunk" true (Perm.equal line.Dcache.perm Perm.Trunk);
+  Alcotest.(check int) "one upgrade counted" 1
+    (Skipit_sim.Stats.Registry.get (Dcache.stats dc) "store_upgrades")
+
+let test_cas_semantics () =
+  let _, dc, a = fresh () in
+  ignore (Dcache.store dc ~addr:a ~value:3 ~now:0);
+  let ok, t1 = Dcache.cas dc ~addr:a ~expected:3 ~desired:4 ~now:500 in
+  Alcotest.(check bool) "success" true ok;
+  let ok2, _ = Dcache.cas dc ~addr:a ~expected:3 ~desired:5 ~now:t1 in
+  Alcotest.(check bool) "failure leaves value" false ok2;
+  Alcotest.(check int) "value" 4 (Dcache.peek_word dc a)
+
+let test_cbo_skip_check_disabled () =
+  (* With skip_it off the fast drop never fires even when safe. *)
+  let sys = S.create (C.platform ~cores:1 ~skip_it:false ()) in
+  let dc = S.dcache sys 0 in
+  let a = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+  ignore (Dcache.load dc ~addr:a ~now:0) (* clean + skip set *);
+  let r = Dcache.cbo dc ~addr:a ~kind:Message.Wb_clean ~now:1000 in
+  Alcotest.(check bool) "executed, not dropped" true (r.Dcache.dropped = `Executed)
+
+let coalescing_params p =
+  { p with Skipit_cache.Params.coalescing = true; n_fshrs = 1 }
+
+let test_cbo_coalesce () =
+  let sys, dc, a = fresh ~params_f:coalescing_params () in
+  (* Pin the single FSHR with a writeback of another line so the next
+     request waits in the queue, where coalescing applies (§5.3). *)
+  let blocker = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+  ignore (Dcache.store dc ~addr:blocker ~value:1 ~now:0);
+  ignore (Dcache.store dc ~addr:a ~value:1 ~now:0);
+  ignore (Dcache.cbo dc ~addr:blocker ~kind:Message.Wb_clean ~now:99);
+  let r1 = Dcache.cbo dc ~addr:a ~kind:Message.Wb_clean ~now:100 in
+  let r2 = Dcache.cbo dc ~addr:a ~kind:Message.Wb_clean ~now:105 in
+  Alcotest.(check bool) "first executed" true (r1.Dcache.dropped = `Executed);
+  Alcotest.(check bool) "second coalesced" true (r2.Dcache.dropped = `Coalesced);
+  Alcotest.(check int) "same completion" r1.Dcache.ack_at r2.Dcache.ack_at
+
+let test_cbo_store_then_no_coalesce () =
+  let _, dc, a = fresh ~params_f:coalescing_params () in
+  ignore (Dcache.store dc ~addr:a ~value:1 ~now:0);
+  let r1 = Dcache.cbo dc ~addr:a ~kind:Message.Wb_clean ~now:100 in
+  (* An intervening store changes the line: §5.3 forbids merging. *)
+  let t = Dcache.store dc ~addr:a ~value:2 ~now:(r1.Dcache.commit_at + 1) in
+  let r2 = Dcache.cbo dc ~addr:a ~kind:Message.Wb_clean ~now:(t + 1) in
+  Alcotest.(check bool) "fresh writeback" true (r2.Dcache.dropped = `Executed)
+
+let test_load_forwarding_after_flush () =
+  let _, dc, a = fresh () in
+  ignore (Dcache.store dc ~addr:a ~value:9 ~now:0);
+  let r = Dcache.cbo dc ~addr:a ~kind:Message.Wb_flush ~now:100 in
+  (* Immediately after the flush commits, the line is gone but the FSHR's
+     buffer holds it: the load forwards (§5.3). *)
+  let v, t = Dcache.load dc ~addr:a ~now:(r.Dcache.commit_at + 1) in
+  Alcotest.(check int) "forwarded value" 9 v;
+  Alcotest.(check bool) "well before the ack" true (t < r.Dcache.ack_at);
+  Alcotest.(check int) "counted" 1
+    (Skipit_sim.Stats.Registry.get (Dcache.stats dc) "load_forwards")
+
+let test_store_blocked_by_pending_flush () =
+  let _, dc, a = fresh () in
+  ignore (Dcache.store dc ~addr:a ~value:1 ~now:0);
+  let r = Dcache.cbo dc ~addr:a ~kind:Message.Wb_flush ~now:100 in
+  (* §5.3: stores to a line with a pending *flush* wait for the ack. *)
+  let t = Dcache.store dc ~addr:a ~value:2 ~now:(r.Dcache.commit_at + 1) in
+  Alcotest.(check bool) "store delayed past the ack" true (t >= r.Dcache.ack_at)
+
+let test_store_proceeds_after_clean_fill () =
+  let _, dc, a = fresh () in
+  ignore (Dcache.store dc ~addr:a ~value:1 ~now:0);
+  let r = Dcache.cbo dc ~addr:a ~kind:Message.Wb_clean ~now:100 in
+  let t = Dcache.store dc ~addr:a ~value:2 ~now:(r.Dcache.commit_at + 1) in
+  Alcotest.(check bool) "store released before the ack (§5.3 clean rule)" true
+    (t < r.Dcache.ack_at);
+  Alcotest.(check int) "both values correct" 2 (Dcache.peek_word dc a)
+
+let test_probe_handling () =
+  let _, dc, a = fresh () in
+  ignore (Dcache.store dc ~addr:a ~value:6 ~now:0);
+  let r = Dcache.handle_probe dc ~addr:a ~cap:Perm.Branch ~now:100 in
+  (match r.Skipit_l2.Inclusive_cache.dirty_data with
+   | Some data -> Alcotest.(check int) "dirty data handed over" 6 data.(0)
+   | None -> Alcotest.fail "expected dirty data");
+  let line = Option.get (Dcache.line_state dc a) in
+  Alcotest.(check bool) "downgraded" true (Perm.equal line.Dcache.perm Perm.Branch);
+  Alcotest.(check bool) "clean now" false line.Dcache.dirty;
+  (* Probing a line we do not have acks without data. *)
+  let r2 = Dcache.handle_probe dc ~addr:(a + 4096) ~cap:Perm.Nothing ~now:200 in
+  Alcotest.(check bool) "miss probe: no data" true
+    (r2.Skipit_l2.Inclusive_cache.dirty_data = None)
+
+let test_probe_blocked_by_fshr () =
+  (* §5.4.1: a probe racing an allocated FSHR waits for flush_rdy. *)
+  let _, dc, a = fresh () in
+  ignore (Dcache.store dc ~addr:a ~value:1 ~now:0);
+  let r = Dcache.cbo dc ~addr:a ~kind:Message.Wb_flush ~now:100 in
+  let pending =
+    Option.get (Skipit_l1.Flush_unit.find_pending (Dcache.flush_unit dc) ~addr:a ~now:(r.Dcache.commit_at + 1))
+  in
+  let probe =
+    Dcache.handle_probe dc ~addr:a ~cap:Perm.Nothing
+      ~now:(pending.Skipit_l1.Flush_unit.alloc_at + 1)
+  in
+  Alcotest.(check bool) "probe completion after release" true
+    (probe.Skipit_l2.Inclusive_cache.done_at >= pending.Skipit_l1.Flush_unit.release_at)
+
+let test_held_lines_inclusion () =
+  let sys, dc, a = fresh () in
+  ignore (Dcache.load dc ~addr:a ~now:0);
+  Alcotest.(check bool) "listed" true
+    (List.mem_assoc a (Dcache.held_lines dc));
+  match S.check_coherence sys with Ok () -> () | Error e -> Alcotest.fail e
+
+let tests =
+  ( "dcache",
+    [
+      Alcotest.test_case "load miss/hit" `Quick test_load_miss_then_hit;
+      Alcotest.test_case "store dirty+value" `Quick test_store_sets_dirty_and_value;
+      Alcotest.test_case "B->T upgrade" `Quick test_branch_to_trunk_upgrade;
+      Alcotest.test_case "cas" `Quick test_cas_semantics;
+      Alcotest.test_case "skip check gated" `Quick test_cbo_skip_check_disabled;
+      Alcotest.test_case "cbo coalescing" `Quick test_cbo_coalesce;
+      Alcotest.test_case "store breaks coalescing" `Quick test_cbo_store_then_no_coalesce;
+      Alcotest.test_case "load forwards from FSHR" `Quick test_load_forwarding_after_flush;
+      Alcotest.test_case "store blocked by flush" `Quick test_store_blocked_by_pending_flush;
+      Alcotest.test_case "store freed by clean fill" `Quick test_store_proceeds_after_clean_fill;
+      Alcotest.test_case "probe handling" `Quick test_probe_handling;
+      Alcotest.test_case "probe blocked by FSHR (§5.4.1)" `Quick test_probe_blocked_by_fshr;
+      Alcotest.test_case "held lines" `Quick test_held_lines_inclusion;
+    ] )

@@ -1,0 +1,96 @@
+module Q = Skipit_l1.Flush_queue
+open Skipit_tilelink
+
+let entry ?(kind = Message.Wb_flush) ?(hit = true) ?(dirty = true) addr =
+  { Q.addr; kind; hit; dirty; enq_at = 0; coalesced = 0 }
+
+let test_fifo () =
+  let q = Q.create ~depth:4 in
+  Alcotest.(check bool) "enq a" true (Q.enqueue q (entry 0x40));
+  Alcotest.(check bool) "enq b" true (Q.enqueue q (entry 0x80));
+  Alcotest.(check int) "length" 2 (Q.length q);
+  (match Q.dequeue q with
+   | Some e -> Alcotest.(check int) "FIFO head" 0x40 e.Q.addr
+   | None -> Alcotest.fail "expected entry");
+  Alcotest.(check int) "length after" 1 (Q.length q)
+
+let test_capacity () =
+  let q = Q.create ~depth:2 in
+  Alcotest.(check bool) "1" true (Q.enqueue q (entry 0x40));
+  Alcotest.(check bool) "2" true (Q.enqueue q (entry 0x80));
+  Alcotest.(check bool) "full nacks" false (Q.enqueue q (entry 0xc0));
+  Alcotest.(check bool) "is_full" true (Q.is_full q);
+  ignore (Q.dequeue q);
+  Alcotest.(check bool) "space again" true (Q.enqueue q (entry 0xc0))
+
+let test_probe_invalidate_to_nothing () =
+  (* §5.4.1: probe to Nothing clears hit and dirty of pending entries for
+     the line — and only that line. *)
+  let q = Q.create ~depth:4 in
+  ignore (Q.enqueue q (entry 0x40));
+  ignore (Q.enqueue q (entry 0x80));
+  Q.probe_invalidate q ~addr:0x40 ~cap:Perm.Nothing;
+  (match Q.to_list q with
+   | [ a; b ] ->
+     Alcotest.(check bool) "hit cleared" false a.Q.hit;
+     Alcotest.(check bool) "dirty cleared" false a.Q.dirty;
+     Alcotest.(check bool) "other entry untouched" true (b.Q.hit && b.Q.dirty)
+   | _ -> Alcotest.fail "expected 2 entries")
+
+let test_probe_invalidate_to_branch () =
+  (* Downgrade to Branch hands the dirty data over but keeps the line. *)
+  let q = Q.create ~depth:4 in
+  ignore (Q.enqueue q (entry 0x40));
+  Q.probe_invalidate q ~addr:0x40 ~cap:Perm.Branch;
+  (match Q.to_list q with
+   | [ a ] ->
+     Alcotest.(check bool) "still hit" true a.Q.hit;
+     Alcotest.(check bool) "dirty cleared" false a.Q.dirty
+   | _ -> Alcotest.fail "expected 1 entry")
+
+let test_evict_invalidate () =
+  let q = Q.create ~depth:4 in
+  ignore (Q.enqueue q (entry 0x40));
+  Q.evict_invalidate q ~addr:0x40;
+  (match Q.to_list q with
+   | [ a ] -> Alcotest.(check bool) "evicted => miss" false (a.Q.hit || a.Q.dirty)
+   | _ -> Alcotest.fail "expected 1 entry")
+
+let test_coalescible_same_kind_only () =
+  (* §5.3: clean may coalesce with pending clean, flush with flush, never
+     across kinds. *)
+  let q = Q.create ~depth:4 in
+  ignore (Q.enqueue q (entry ~kind:Message.Wb_clean 0x40));
+  Alcotest.(check bool) "clean+clean" true
+    (Q.find_coalescible q ~addr:0x40 ~kind:Message.Wb_clean <> None);
+  Alcotest.(check bool) "flush+clean rejected" true
+    (Q.find_coalescible q ~addr:0x40 ~kind:Message.Wb_flush = None);
+  Alcotest.(check bool) "different line rejected" true
+    (Q.find_coalescible q ~addr:0x80 ~kind:Message.Wb_clean = None)
+
+let test_record_coalesce () =
+  let e = entry 0x40 in
+  Q.record_coalesce e;
+  Q.record_coalesce e;
+  Alcotest.(check int) "count" 2 e.Q.coalesced
+
+let prop_enqueue_respects_depth =
+  QCheck.Test.make ~name:"never exceeds depth" ~count:200
+    QCheck.(pair (int_range 0 8) (list_of_size (QCheck.Gen.int_range 0 20) (int_range 0 7)))
+  @@ fun (depth, lines) ->
+  let q = Q.create ~depth in
+  List.iter (fun line -> ignore (Q.enqueue q (entry (line * 64)))) lines;
+  Q.length q <= depth
+
+let tests =
+  ( "flush_queue",
+    [
+      Alcotest.test_case "FIFO order" `Quick test_fifo;
+      Alcotest.test_case "capacity nack" `Quick test_capacity;
+      Alcotest.test_case "probe invalidate (toN)" `Quick test_probe_invalidate_to_nothing;
+      Alcotest.test_case "probe invalidate (toB)" `Quick test_probe_invalidate_to_branch;
+      Alcotest.test_case "evict invalidate" `Quick test_evict_invalidate;
+      Alcotest.test_case "coalescing kind rules" `Quick test_coalescible_same_kind_only;
+      Alcotest.test_case "coalesce counter" `Quick test_record_coalesce;
+      QCheck_alcotest.to_alcotest prop_enqueue_respects_depth;
+    ] )

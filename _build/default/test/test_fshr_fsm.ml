@@ -1,0 +1,91 @@
+(* The five legal paths of Fig. 7 and their metadata effects. *)
+
+module F = Skipit_l1.Fshr_fsm
+open Skipit_tilelink
+
+let plan ~hit ~dirty ~kind = { F.hit; dirty; kind }
+
+let path_names p = List.map (Format.asprintf "%a" F.pp_state) (F.path p)
+
+let test_hit_dirty_flush () =
+  let p = plan ~hit:true ~dirty:true ~kind:Message.Wb_flush in
+  Alcotest.(check (list string)) "path"
+    [ "meta_write"; "fill_buffer"; "root_release_data"; "root_release_ack" ]
+    (path_names p);
+  Alcotest.(check bool) "invalidates" true (F.meta_effect p = F.Invalidate_line);
+  Alcotest.(check bool) "sends data" true (F.sends_data p)
+
+let test_hit_dirty_clean () =
+  let p = plan ~hit:true ~dirty:true ~kind:Message.Wb_clean in
+  Alcotest.(check (list string)) "path"
+    [ "meta_write"; "fill_buffer"; "root_release_data"; "root_release_ack" ]
+    (path_names p);
+  Alcotest.(check bool) "clears dirty only" true (F.meta_effect p = F.Clear_dirty)
+
+let test_hit_clean_flush () =
+  let p = plan ~hit:true ~dirty:false ~kind:Message.Wb_flush in
+  Alcotest.(check (list string)) "path"
+    [ "meta_write"; "root_release"; "root_release_ack" ]
+    (path_names p);
+  Alcotest.(check bool) "invalidates" true (F.meta_effect p = F.Invalidate_line);
+  Alcotest.(check bool) "no data" false (F.sends_data p)
+
+let test_hit_clean_clean () =
+  let p = plan ~hit:true ~dirty:false ~kind:Message.Wb_clean in
+  Alcotest.(check (list string)) "path" [ "root_release"; "root_release_ack" ] (path_names p);
+  Alcotest.(check bool) "no metadata change" true (F.meta_effect p = F.No_meta_change)
+
+let test_miss () =
+  (* §5.2: on a miss the RootRelease is still sent — other caches may hold
+     dirty data. *)
+  List.iter
+    (fun kind ->
+      let p = plan ~hit:false ~dirty:false ~kind in
+      Alcotest.(check (list string)) "path" [ "root_release"; "root_release_ack" ]
+        (path_names p);
+      Alcotest.(check bool) "no metadata change" true (F.meta_effect p = F.No_meta_change))
+    [ Message.Wb_clean; Message.Wb_flush ]
+
+let test_ack_returns_to_invalid () =
+  let p = plan ~hit:true ~dirty:true ~kind:Message.Wb_flush in
+  Alcotest.(check bool) "cycle closes" true
+    (F.equal_state (F.next p F.Root_release_ack) F.Invalid)
+
+let test_invalid_needs_first_state () =
+  let p = plan ~hit:false ~dirty:false ~kind:Message.Wb_clean in
+  Alcotest.check_raises "next from Invalid"
+    (Invalid_argument "Fshr_fsm.next: use first_state from Invalid") (fun () ->
+      ignore (F.next p F.Invalid))
+
+let test_state_cycles () =
+  let cycles s = F.state_cycles s ~meta_cycles:2 ~fill_cycles:1 ~data_beats:4 in
+  Alcotest.(check int) "meta" 2 (cycles F.Meta_write);
+  Alcotest.(check int) "fill (widened array)" 1 (cycles F.Fill_buffer);
+  Alcotest.(check int) "data release = 4 beats" 4 (cycles F.Root_release_data);
+  Alcotest.(check int) "headers 1 beat" 1 (cycles F.Root_release);
+  Alcotest.(check int) "ack waits, no occupancy" 0 (cycles F.Root_release_ack)
+
+let prop_path_well_formed =
+  QCheck.Test.make ~name:"every plan's path ends in ack and never revisits" ~count:100
+    QCheck.(triple bool bool bool)
+  @@ fun (hit, dirty_raw, clean) ->
+  let dirty = hit && dirty_raw in
+  let kind = if clean then Message.Wb_clean else Message.Wb_flush in
+  let path = F.path { F.hit; dirty; kind } in
+  let rec last = function [ x ] -> Some x | _ :: tl -> last tl | [] -> None in
+  last path = Some F.Root_release_ack
+  && List.length (List.sort_uniq compare path) = List.length path
+
+let tests =
+  ( "fshr_fsm",
+    [
+      Alcotest.test_case "hit+dirty flush" `Quick test_hit_dirty_flush;
+      Alcotest.test_case "hit+dirty clean" `Quick test_hit_dirty_clean;
+      Alcotest.test_case "hit clean-line flush" `Quick test_hit_clean_flush;
+      Alcotest.test_case "hit clean-line clean" `Quick test_hit_clean_clean;
+      Alcotest.test_case "miss still releases" `Quick test_miss;
+      Alcotest.test_case "ack -> invalid" `Quick test_ack_returns_to_invalid;
+      Alcotest.test_case "invalid guarded" `Quick test_invalid_needs_first_state;
+      Alcotest.test_case "state cycle costs" `Quick test_state_cycles;
+      QCheck_alcotest.to_alcotest prop_path_well_formed;
+    ] )

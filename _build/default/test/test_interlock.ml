@@ -1,0 +1,122 @@
+(* The §5.4.1 ready-signal protocol, including the simultaneous-lowering
+   race and its resolution, plus a random-schedule liveness property. *)
+
+module I = Skipit_l1.Interlock
+module Rng = Skipit_sim.Rng
+
+let test_initial_state () =
+  let t = I.create () in
+  Alcotest.(check bool) "probe_rdy" true (I.probe_rdy t);
+  Alcotest.(check bool) "wb_rdy" true (I.wb_rdy t);
+  Alcotest.(check bool) "flush_rdy" true (I.flush_rdy t)
+
+let test_probe_blocks_dequeue () =
+  let t = I.create () in
+  Alcotest.(check bool) "intrusion accepted" true
+    (I.begin_intrusion t I.Probe_unit = Ok ());
+  Alcotest.(check bool) "probe_rdy low" false (I.probe_rdy t);
+  Alcotest.(check bool) "dequeue blocked" true (I.try_dequeue t = Error `Blocked);
+  I.end_intrusion t I.Probe_unit;
+  Alcotest.(check bool) "dequeue after" true (I.try_dequeue t = Ok ())
+
+let test_fshr_blocks_probe () =
+  let t = I.create () in
+  Alcotest.(check bool) "dequeue" true (I.try_dequeue t = Ok ());
+  Alcotest.(check bool) "flush_rdy low" false (I.flush_rdy t);
+  (* A probe may still ARRIVE (lower probe_rdy)... *)
+  Alcotest.(check bool) "probe arrives" true (I.begin_intrusion t I.Probe_unit = Ok ());
+  (* ...but must not proceed until the FSHR completes. *)
+  Alcotest.(check bool) "blocked on flush_rdy" false (I.intrusion_may_proceed t I.Probe_unit);
+  I.fshr_complete t;
+  Alcotest.(check bool) "released" true (I.intrusion_may_proceed t I.Probe_unit);
+  I.end_intrusion t I.Probe_unit
+
+let test_simultaneous_lowering_race () =
+  (* §5.4.1's corner case: a probe arrives in the same cycle as a dequeue.
+     The dequeued request wins; the probe's one-cycle-later re-check waits
+     for it, and probe_rdy (still low) stops any further dequeue. *)
+  let t = I.create () in
+  Alcotest.(check bool) "dequeue this cycle" true (I.try_dequeue t = Ok ());
+  Alcotest.(check bool) "probe same cycle" true (I.begin_intrusion t I.Probe_unit = Ok ());
+  (* Next cycle: the probe re-checks and waits. *)
+  Alcotest.(check bool) "probe waits" false (I.intrusion_may_proceed t I.Probe_unit);
+  (* No other flush request can overtake the waiting probe. *)
+  I.fshr_complete t;
+  Alcotest.(check bool) "dequeue still blocked by probe_rdy" true
+    (I.try_dequeue t = Error `Blocked);
+  Alcotest.(check bool) "probe proceeds first" true (I.intrusion_may_proceed t I.Probe_unit);
+  I.end_intrusion t I.Probe_unit;
+  Alcotest.(check bool) "then the queue flows again" true (I.try_dequeue t = Ok ())
+
+let test_wb_unit_same_protocol () =
+  let t = I.create () in
+  Alcotest.(check bool) "eviction arrives" true
+    (I.begin_intrusion t I.Writeback_unit = Ok ());
+  Alcotest.(check bool) "dequeue blocked by wb_rdy" true (I.try_dequeue t = Error `Blocked);
+  Alcotest.(check bool) "double intrusion refused" true
+    (I.begin_intrusion t I.Writeback_unit = Error `Busy);
+  I.end_intrusion t I.Writeback_unit
+
+let test_misuse_raises () =
+  let t = I.create () in
+  Alcotest.check_raises "complete without FSHR"
+    (Invalid_argument "Interlock.fshr_complete: no FSHR holds the interlock") (fun () ->
+      I.fshr_complete t);
+  Alcotest.check_raises "end without begin"
+    (Invalid_argument "Interlock.end_intrusion: agent was not intruding") (fun () ->
+      I.end_intrusion t I.Probe_unit)
+
+(* Liveness under random schedules: from any reachable state some transition
+   fires, and every intrusion/dequeue eventually completes. *)
+let prop_liveness =
+  QCheck.Test.make ~name:"random schedules never wedge" ~count:200 QCheck.small_int
+  @@ fun seed ->
+  let rng = Rng.create ~seed in
+  let t = I.create () in
+  let pending_fshr = ref false in
+  let intruding = ref [] in
+  let steps = ref 0 in
+  for _ = 1 to 300 do
+    incr steps;
+    (match Rng.int rng 5 with
+     | 0 -> (
+       match I.try_dequeue t with Ok () -> pending_fshr := true | Error `Blocked -> ())
+     | 1 ->
+       let agent = if Rng.bool rng then I.Probe_unit else I.Writeback_unit in
+       (match I.begin_intrusion t agent with
+        | Ok () -> intruding := agent :: !intruding
+        | Error `Busy -> ())
+     | 2 -> if !pending_fshr then (I.fshr_complete t; pending_fshr := false)
+     | 3 ->
+       intruding :=
+         List.filter
+           (fun agent ->
+             if I.intrusion_may_proceed t agent then (I.end_intrusion t agent; false)
+             else true)
+           !intruding
+     | _ -> (
+       match I.check_deadlock_free t with
+       | Ok () -> ()
+       | Error msg -> failwith msg))
+  done;
+  (* Drain: everything must be able to finish. *)
+  if !pending_fshr then I.fshr_complete t;
+  List.iter
+    (fun agent ->
+      if not (I.intrusion_may_proceed t agent) then failwith "wedged intrusion";
+      I.end_intrusion t agent)
+    !intruding;
+  I.probe_rdy t && I.wb_rdy t && I.flush_rdy t
+
+let tests =
+  ( "interlock",
+    [
+      Alcotest.test_case "initial state" `Quick test_initial_state;
+      Alcotest.test_case "probe blocks dequeue" `Quick test_probe_blocks_dequeue;
+      Alcotest.test_case "FSHR blocks probe" `Quick test_fshr_blocks_probe;
+      Alcotest.test_case "simultaneous-lowering race (§5.4.1)" `Quick
+        test_simultaneous_lowering_race;
+      Alcotest.test_case "writeback unit protocol" `Quick test_wb_unit_same_protocol;
+      Alcotest.test_case "misuse raises" `Quick test_misuse_raises;
+      QCheck_alcotest.to_alcotest prop_liveness;
+    ] )

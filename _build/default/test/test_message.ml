@@ -1,0 +1,67 @@
+open Skipit_tilelink
+
+let test_beats () =
+  Alcotest.(check int) "data = 4 beats on 16B bus"
+    4 (Message.beats ~bus_bytes:16 ~line_bytes:64 ~has_data:true);
+  Alcotest.(check int) "header = 1 beat"
+    1 (Message.beats ~bus_bytes:16 ~line_bytes:64 ~has_data:false);
+  Alcotest.(check int) "wider bus, fewer beats"
+    2 (Message.beats ~bus_bytes:32 ~line_bytes:64 ~has_data:true)
+
+let test_chan_c_accessors () =
+  let data = Array.make 8 0 in
+  let cases =
+    [
+      Message.Probe_ack { addr = 0x40; shrink = Perm.T_to_N }, 0x40, false;
+      Message.Probe_ack_data { addr = 0x80; shrink = Perm.T_to_B; data }, 0x80, true;
+      Message.Release { addr = 0xc0; shrink = Perm.B_to_N }, 0xc0, false;
+      Message.Release_data { addr = 0x100; shrink = Perm.T_to_N; data }, 0x100, true;
+      Message.Root_release { addr = 0x140; kind = Message.Wb_flush; data = Some data }, 0x140, true;
+      Message.Root_release { addr = 0x180; kind = Message.Wb_clean; data = None }, 0x180, false;
+    ]
+  in
+  List.iter
+    (fun (msg, addr, has_data) ->
+      Alcotest.(check int) "addr" addr (Message.chan_c_addr msg);
+      Alcotest.(check bool) "has_data" has_data (Message.chan_c_has_data msg))
+    cases
+
+let test_pp_encodings () =
+  (* The paper's encodings (§5.1/§6) surface in the printed forms. *)
+  let s =
+    Format.asprintf "%a" Message.pp_chan_c
+      (Message.Root_release { addr = 0x40; kind = Message.Wb_flush; data = None })
+  in
+  Alcotest.(check string) "RootReleaseFlush" "RootReleaseFLUSH(0x40)" s;
+  let s =
+    Format.asprintf "%a" Message.pp_chan_d
+      (Message.Grant_data { addr = 0x40; perm = Perm.Trunk; dirty = true; data = [||] })
+  in
+  Alcotest.(check string) "GrantDataDirty" "GrantDataDirty(0x40, T)" s;
+  let s =
+    Format.asprintf "%a" Message.pp_chan_d (Message.Root_release_ack { addr = 0x80 })
+  in
+  Alcotest.(check string) "RootReleaseAck" "RootReleaseAck(0x80)" s
+
+module Link = Skipit_tilelink.Link
+
+let test_link_channels () =
+  let l = Link.create ~core:0 in
+  (* Contention-free: a send whose serialization is already accounted costs
+     nothing extra. *)
+  Alcotest.(check int) "free channel" 10 (Link.acquire_c l ~now:6 ~beats:4);
+  (* A second sender wanting the same window queues behind it. *)
+  Alcotest.(check int) "contended send queues" 14 (Link.acquire_c l ~now:6 ~beats:4);
+  (* Channels are independent. *)
+  Alcotest.(check int) "A channel free" 8 (Link.acquire_a l ~now:7);
+  Alcotest.(check int) "D channel free" 11 (Link.acquire_d l ~now:7 ~beats:4);
+  Alcotest.(check int) "C utilisation" 8 (Link.c_busy_cycles l)
+
+let tests =
+  ( "message",
+    [
+      Alcotest.test_case "beat counts" `Quick test_beats;
+      Alcotest.test_case "channel C accessors" `Quick test_chan_c_accessors;
+      Alcotest.test_case "paper encodings printable" `Quick test_pp_encodings;
+      Alcotest.test_case "link channel occupancy" `Quick test_link_channels;
+    ] )

@@ -1,0 +1,87 @@
+(* The persistence-discipline layer: which accesses reach the strategy's
+   persist points under automatic / NVTraverse / manual (§7.4), observed
+   through the flush unit's counters. *)
+
+module S = Skipit_core.System
+module T = Skipit_core.Thread
+module C = Skipit_core.Config
+module Strategy = Skipit_persist.Strategy
+module Pctx = Skipit_persist.Pctx
+
+let run_task sys body = ignore (T.run sys [ { T.core = 0; body } ])
+
+let submitted sys =
+  Option.value ~default:0 (List.assoc_opt "fu.0.submitted" (S.stats_report sys))
+
+(* One traversal read + one critical read + one write + one explicit persist
+   point + commit, under the plain strategy (every persist = one flush). *)
+let flushes_for mode =
+  let sys = S.create (C.platform ~cores:1 ()) in
+  let a = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+  let p = Pctx.make (Strategy.plain ()) mode in
+  run_task sys (fun () ->
+    T.store a 1 (* make the line dirty so load-side persists fire *);
+    ignore (Pctx.read_traverse p a);
+    ignore (Pctx.read_critical p a);
+    Pctx.write p a 2;
+    Pctx.persist p a;
+    Pctx.commit p ~updated:true);
+  submitted sys
+
+let test_mode_gating () =
+  (* automatic: traverse-read + critical-read + write all persist; the
+     explicit point is a no-op (already covered).  nvtraverse: critical-read
+     + write.  manual: only the explicit point. *)
+  Alcotest.(check int) "automatic persists 3 accesses" 3 (flushes_for Pctx.Automatic);
+  Alcotest.(check int) "nvtraverse persists 2" 2 (flushes_for Pctx.Nvtraverse);
+  Alcotest.(check int) "manual persists 1" 1 (flushes_for Pctx.Manual)
+
+let fences_for mode ~updated =
+  let sys = S.create (C.platform ~cores:1 ()) in
+  let a = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+  let p = Pctx.make (Strategy.plain ()) mode in
+  (* Measure whether commit waits on a pending writeback. *)
+  let waited = ref false in
+  run_task sys (fun () ->
+    T.store a 1;
+    T.flush a;
+    let t0 = T.now () in
+    Pctx.commit p ~updated;
+    waited := T.now () - t0 > 50);
+  !waited
+
+let test_commit_fencing () =
+  Alcotest.(check bool) "automatic fences read-only ops" true
+    (fences_for Pctx.Automatic ~updated:false);
+  Alcotest.(check bool) "nvtraverse skips read-only fences" false
+    (fences_for Pctx.Nvtraverse ~updated:false);
+  Alcotest.(check bool) "nvtraverse fences updates" true
+    (fences_for Pctx.Nvtraverse ~updated:true);
+  Alcotest.(check bool) "manual fences updates" true (fences_for Pctx.Manual ~updated:true)
+
+let test_cas_persist_only_on_success () =
+  let sys = S.create (C.platform ~cores:1 ()) in
+  let a = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64 in
+  let p = Pctx.make (Strategy.plain ()) Pctx.Nvtraverse in
+  run_task sys (fun () ->
+    T.store a 1;
+    ignore (Pctx.cas p a ~expected:99 ~desired:2) (* fails: no persist *));
+  Alcotest.(check int) "failed cas persists nothing" 0 (submitted sys);
+  run_task sys (fun () -> ignore (Pctx.cas p a ~expected:1 ~desired:2));
+  Alcotest.(check int) "successful cas persists" 1 (submitted sys)
+
+let test_metadata () =
+  let p = Pctx.make (Strategy.flit_adjacent ()) Pctx.Manual in
+  Alcotest.(check int) "stride from strategy" 16 (Pctx.stride p);
+  Alcotest.(check string) "mode name" "manual" (Pctx.mode_name (Pctx.mode p));
+  Alcotest.(check string) "strategy name" "flit-adjacent" (Pctx.strategy p).Strategy.name;
+  Alcotest.(check int) "all modes" 3 (List.length Pctx.all_modes)
+
+let tests =
+  ( "pctx",
+    [
+      Alcotest.test_case "mode gating of persists" `Quick test_mode_gating;
+      Alcotest.test_case "commit fencing rules" `Quick test_commit_fencing;
+      Alcotest.test_case "cas persists only on success" `Quick test_cas_persist_only_on_success;
+      Alcotest.test_case "metadata accessors" `Quick test_metadata;
+    ] )

@@ -1,0 +1,80 @@
+module Resource = Skipit_sim.Resource
+
+let test_single_unit_serializes () =
+  let r = Resource.create "r" in
+  let s1, f1 = Resource.acquire r ~now:0 ~busy:10 in
+  let s2, f2 = Resource.acquire r ~now:0 ~busy:10 in
+  Alcotest.(check (pair int int)) "first immediate" (0, 10) (s1, f1);
+  Alcotest.(check (pair int int)) "second queued" (10, 20) (s2, f2)
+
+let test_parallel_units () =
+  let r = Resource.create ~count:3 "r" in
+  let starts = List.init 4 (fun _ -> fst (Resource.acquire r ~now:0 ~busy:10)) in
+  Alcotest.(check (list int)) "three run now, fourth waits" [ 0; 0; 0; 10 ] starts
+
+let test_idle_time_not_billed () =
+  let r = Resource.create "r" in
+  let _ = Resource.acquire r ~now:0 ~busy:5 in
+  let s, f = Resource.acquire r ~now:100 ~busy:5 in
+  Alcotest.(check (pair int int)) "starts at request time when idle" (100, 105) (s, f)
+
+let test_all_free_at () =
+  let r = Resource.create ~count:2 "r" in
+  ignore (Resource.acquire r ~now:0 ~busy:10);
+  ignore (Resource.acquire r ~now:0 ~busy:30);
+  Alcotest.(check int) "all free when slowest done" 30 (Resource.all_free_at r);
+  Alcotest.(check int) "earliest free" 10 (Resource.earliest_free r);
+  Alcotest.(check int) "busy at t=5" 2 (Resource.busy_at r 5);
+  Alcotest.(check int) "busy at t=15" 1 (Resource.busy_at r 15)
+
+let test_acquire_dyn () =
+  let r = Resource.create "r" in
+  let s, f = Resource.acquire_dyn r ~now:3 (fun start -> start + 7) in
+  Alcotest.(check (pair int int)) "dyn occupancy" (3, 10) (s, f);
+  let s2, _ = Resource.acquire_dyn r ~now:0 (fun start -> start) in
+  Alcotest.(check int) "queued behind dyn" 10 s2
+
+let test_utilization () =
+  let r = Resource.create "r" in
+  ignore (Resource.acquire r ~now:0 ~busy:4);
+  ignore (Resource.acquire r ~now:0 ~busy:6);
+  Alcotest.(check int) "busy cycles accumulate" 10 (Resource.total_busy_cycles r);
+  Resource.reset r;
+  Alcotest.(check int) "reset" 0 (Resource.total_busy_cycles r)
+
+let test_banked_routing () =
+  let b = Resource.Banked.create ~banks:4 "banks" in
+  (* Same line → same bank → serialize; different lines → parallel. *)
+  let _, f1 = Resource.Banked.acquire b ~addr:0 ~line_bytes:64 ~now:0 ~busy:10 in
+  let s2, _ = Resource.Banked.acquire b ~addr:0 ~line_bytes:64 ~now:0 ~busy:10 in
+  let s3, _ = Resource.Banked.acquire b ~addr:64 ~line_bytes:64 ~now:0 ~busy:10 in
+  Alcotest.(check int) "same bank serializes" f1 s2;
+  Alcotest.(check int) "other bank parallel" 0 s3;
+  (* Bank index wraps. *)
+  let bank0 = Resource.Banked.bank_of b ~addr:0 ~line_bytes:64 in
+  let bank4 = Resource.Banked.bank_of b ~addr:(4 * 64) ~line_bytes:64 in
+  Alcotest.(check string) "wraps modulo banks" (Resource.name bank0) (Resource.name bank4)
+
+let prop_start_never_before_now =
+  QCheck.Test.make ~name:"start >= now always" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (pair (int_range 0 100) (int_range 0 20)))
+  @@ fun reqs ->
+  let r = Skipit_sim.Resource.create ~count:2 "r" in
+  List.for_all
+    (fun (now, busy) ->
+      let s, f = Resource.acquire r ~now ~busy in
+      s >= now && f = s + busy)
+    reqs
+
+let tests =
+  ( "resource",
+    [
+      Alcotest.test_case "single unit serializes" `Quick test_single_unit_serializes;
+      Alcotest.test_case "parallel units" `Quick test_parallel_units;
+      Alcotest.test_case "idle time not billed" `Quick test_idle_time_not_billed;
+      Alcotest.test_case "all_free_at/busy_at" `Quick test_all_free_at;
+      Alcotest.test_case "acquire_dyn" `Quick test_acquire_dyn;
+      Alcotest.test_case "utilization accounting" `Quick test_utilization;
+      Alcotest.test_case "banked routing" `Quick test_banked_routing;
+      QCheck_alcotest.to_alcotest prop_start_never_before_now;
+    ] )

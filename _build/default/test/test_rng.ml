@@ -1,0 +1,85 @@
+(* The deterministic RNG underpins experiment reproducibility. *)
+
+let test_determinism () =
+  let a = Skipit_sim.Rng.create ~seed:123 in
+  let b = Skipit_sim.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Skipit_sim.Rng.next_int64 a)
+      (Skipit_sim.Rng.next_int64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Skipit_sim.Rng.create ~seed:1 in
+  let b = Skipit_sim.Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Skipit_sim.Rng.next_int64 a = Skipit_sim.Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 4)
+
+let test_copy_preserves () =
+  let a = Skipit_sim.Rng.create ~seed:9 in
+  ignore (Skipit_sim.Rng.next_int64 a);
+  let b = Skipit_sim.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Skipit_sim.Rng.next_int64 a)
+    (Skipit_sim.Rng.next_int64 b)
+
+let test_split_independent () =
+  let a = Skipit_sim.Rng.create ~seed:5 in
+  let child = Skipit_sim.Rng.split a in
+  (* The child stream should not replay the parent's continuation. *)
+  let parent_next = Skipit_sim.Rng.next_int64 a in
+  let child_next = Skipit_sim.Rng.next_int64 child in
+  Alcotest.(check bool) "split diverges" true (parent_next <> child_next)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+  @@ fun (seed, bound) ->
+  let rng = Skipit_sim.Rng.create ~seed in
+  let v = Skipit_sim.Rng.int rng bound in
+  v >= 0 && v < bound
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int_in within inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+  @@ fun (seed, lo, width) ->
+  let rng = Skipit_sim.Rng.create ~seed in
+  let v = Skipit_sim.Rng.int_in rng ~lo ~hi:(lo + width) in
+  v >= lo && v <= lo + width
+
+let prop_float_unit =
+  QCheck.Test.make ~name:"float in [0,1)" ~count:500 QCheck.small_int @@ fun seed ->
+  let rng = Skipit_sim.Rng.create ~seed in
+  let v = Skipit_sim.Rng.float rng in
+  v >= 0. && v < 1.
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 0 40) int))
+  @@ fun (seed, xs) ->
+  let rng = Skipit_sim.Rng.create ~seed in
+  let arr = Array.of_list xs in
+  Skipit_sim.Rng.shuffle rng arr;
+  List.sort compare (Array.to_list arr) = List.sort compare xs
+
+let test_chance_extremes () =
+  let rng = Skipit_sim.Rng.create ~seed:3 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always true" true (Skipit_sim.Rng.chance rng 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Skipit_sim.Rng.chance rng 0.0)
+  done
+
+let tests =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+      Alcotest.test_case "copy preserves state" `Quick test_copy_preserves;
+      Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+      QCheck_alcotest.to_alcotest prop_int_bounds;
+      QCheck_alcotest.to_alcotest prop_int_in_bounds;
+      QCheck_alcotest.to_alcotest prop_float_unit;
+      QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    ] )

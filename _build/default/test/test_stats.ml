@@ -1,0 +1,96 @@
+module Sample = Skipit_sim.Stats.Sample
+module Counter = Skipit_sim.Stats.Counter
+module Registry = Skipit_sim.Stats.Registry
+
+let of_list xs =
+  let s = Sample.create () in
+  List.iter (Sample.add s) xs;
+  s
+
+let test_median_odd () =
+  Alcotest.(check (float 1e-9)) "median of odd count" 3. (Sample.median (of_list [ 5.; 1.; 3. ]))
+
+let test_median_even () =
+  Alcotest.(check (float 1e-9)) "median of even count" 2.5
+    (Sample.median (of_list [ 1.; 2.; 3.; 4. ]))
+
+let test_percentiles () =
+  let s = of_list (List.init 101 float_of_int) in
+  Alcotest.(check (float 1e-9)) "p0" 0. (Sample.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Sample.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "p90" 90. (Sample.percentile s 90.)
+
+let test_mean_stddev () =
+  let s = of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check (float 1e-9)) "mean" 5. (Sample.mean s);
+  Alcotest.(check (float 1e-9)) "population stddev" 2. (Sample.stddev s)
+
+let test_empty_raises () =
+  Alcotest.check_raises "median of empty" (Invalid_argument "Sample.percentile: empty")
+    (fun () -> ignore (Sample.median (Sample.create ())));
+  ignore (Alcotest.(check bool) "empty" true (Sample.is_empty (Sample.create ())))
+
+let test_growth () =
+  let s = Sample.create () in
+  for i = 1 to 1000 do
+    Sample.add_int s i
+  done;
+  Alcotest.(check int) "count" 1000 (Sample.count s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Sample.min s);
+  Alcotest.(check (float 1e-9)) "max" 1000. (Sample.max s);
+  Alcotest.(check (float 1e-9)) "total" 500500. (Sample.total s)
+
+let prop_median_bounded =
+  QCheck.Test.make ~name:"median within [min,max]" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 60) (float_range (-1e6) 1e6))
+  @@ fun xs ->
+  let s = of_list xs in
+  let m = Sample.median s in
+  m >= Sample.min s && m <= Sample.max s
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 60) (float_range (-1e6) 1e6))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+  @@ fun (xs, (p1, p2)) ->
+  let s = of_list xs in
+  let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+  Sample.percentile s lo <= Sample.percentile s hi +. 1e-9
+
+let test_counter () =
+  let c = Counter.create () in
+  Counter.incr c;
+  Counter.add c 5;
+  Alcotest.(check int) "count" 6 (Counter.get c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.get c)
+
+let test_registry () =
+  let r = Registry.create () in
+  Registry.incr r "hits";
+  Registry.add r "hits" 2;
+  Registry.incr r "misses";
+  Alcotest.(check int) "hits" 3 (Registry.get r "hits");
+  Alcotest.(check int) "untouched" 0 (Registry.get r "nacks");
+  Alcotest.(check (list (pair string int))) "to_list sorted"
+    [ "hits", 3; "misses", 1 ]
+    (Registry.to_list r);
+  Registry.reset_all r;
+  Alcotest.(check int) "reset all" 0 (Registry.get r "hits")
+
+let tests =
+  ( "stats",
+    [
+      Alcotest.test_case "median odd" `Quick test_median_odd;
+      Alcotest.test_case "median even" `Quick test_median_even;
+      Alcotest.test_case "percentiles" `Quick test_percentiles;
+      Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+      Alcotest.test_case "empty raises" `Quick test_empty_raises;
+      Alcotest.test_case "growth to 1000" `Quick test_growth;
+      Alcotest.test_case "counter" `Quick test_counter;
+      Alcotest.test_case "registry" `Quick test_registry;
+      QCheck_alcotest.to_alcotest prop_median_bounded;
+      QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    ] )

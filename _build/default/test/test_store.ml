@@ -1,0 +1,103 @@
+module Geometry = Skipit_cache.Geometry
+module Store = Skipit_cache.Store
+
+let tiny = Geometry.v ~size_bytes:(4 * 2 * 64) ~ways:2 ~line_bytes:64
+(* 4 sets, 2 ways. *)
+
+let addr_for ~set ~tag = Geometry.addr_of tiny ~tag ~index:set
+
+let test_miss_then_hit () =
+  let s = Store.create tiny in
+  let a = addr_for ~set:1 ~tag:5 in
+  Alcotest.(check bool) "initially miss" true (Store.find s a = None);
+  let slot = Store.victim s a in
+  Store.fill s slot ~addr:a ~payload:"x" ~now:0;
+  (match Store.find s a with
+   | Some slot -> Alcotest.(check string) "payload" "x" (Store.payload_exn slot)
+   | None -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "slot addr" a (Store.slot_addr s slot)
+
+let test_lru_victim () =
+  let s = Store.create tiny in
+  let a = addr_for ~set:0 ~tag:1 and b = addr_for ~set:0 ~tag:2 in
+  Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
+  Store.fill s (Store.victim s b) ~addr:b ~payload:"b" ~now:1;
+  (* Touch [a] so [b] becomes LRU. *)
+  (match Store.find s a with Some slot -> Store.touch s slot ~now:5 | None -> assert false);
+  let c = addr_for ~set:0 ~tag:3 in
+  let victim = Store.victim s c in
+  Alcotest.(check int) "victim is LRU (b)" b (Store.slot_addr s victim)
+
+let test_invalid_way_preferred () =
+  let s = Store.create tiny in
+  let a = addr_for ~set:2 ~tag:1 in
+  Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
+  let b = addr_for ~set:2 ~tag:2 in
+  let v = Store.victim s b in
+  Alcotest.(check bool) "free way chosen before eviction" false v.Store.valid
+
+let test_invalidate () =
+  let s = Store.create tiny in
+  let a = addr_for ~set:3 ~tag:7 in
+  Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
+  (match Store.find s a with Some slot -> Store.invalidate slot | None -> assert false);
+  Alcotest.(check bool) "gone" true (Store.find s a = None);
+  Alcotest.(check int) "count" 0 (Store.count_valid s)
+
+let test_iter_and_invalidate_all () =
+  let s = Store.create tiny in
+  let addrs = List.init 6 (fun i -> addr_for ~set:(i mod 4) ~tag:(10 + i)) in
+  List.iter (fun a -> Store.fill s (Store.victim s a) ~addr:a ~payload:"p" ~now:0) addrs;
+  Alcotest.(check int) "count" 6 (Store.count_valid s);
+  let seen = ref [] in
+  Store.iter_valid s (fun addr _ -> seen := addr :: !seen);
+  Alcotest.(check (list int)) "iter covers all"
+    (List.sort compare addrs) (List.sort compare !seen);
+  Store.invalidate_all s;
+  Alcotest.(check int) "crash clears" 0 (Store.count_valid s)
+
+let test_tag_aliasing () =
+  (* Same index, different tags must not alias. *)
+  let s = Store.create tiny in
+  let a = addr_for ~set:1 ~tag:1 and b = addr_for ~set:1 ~tag:2 in
+  Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
+  Alcotest.(check bool) "b still misses" true (Store.find s b = None)
+
+let test_random_replacement () =
+  let rng = Skipit_sim.Rng.create ~seed:9 in
+  let s = Store.create ~policy:(Store.Random rng) tiny in
+  let a = addr_for ~set:0 ~tag:1 and b = addr_for ~set:0 ~tag:2 in
+  Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
+  Store.fill s (Store.victim s b) ~addr:b ~payload:"b" ~now:1;
+  (* The victim is one of the two valid ways, regardless of recency. *)
+  let c = addr_for ~set:0 ~tag:3 in
+  let seen = Hashtbl.create 4 in
+  for _ = 1 to 32 do
+    Hashtbl.replace seen (Store.slot_addr s (Store.victim s c)) ()
+  done;
+  Alcotest.(check bool) "both ways eventually chosen" true (Hashtbl.length seen = 2)
+
+let prop_fill_find =
+  QCheck.Test.make ~name:"fill then find returns the slot" ~count:300
+    QCheck.(int_range 0 0xFFFF)
+  @@ fun line_no ->
+  let s = Store.create tiny in
+  let addr = line_no * 64 in
+  let slot = Store.victim s addr in
+  Store.fill s slot ~addr ~payload:line_no ~now:0;
+  match Store.find s addr with
+  | Some found -> Store.payload_exn found = line_no && Store.slot_addr s found = addr
+  | None -> false
+
+let tests =
+  ( "store",
+    [
+      Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+      Alcotest.test_case "LRU victim" `Quick test_lru_victim;
+      Alcotest.test_case "invalid way preferred" `Quick test_invalid_way_preferred;
+      Alcotest.test_case "invalidate" `Quick test_invalidate;
+      Alcotest.test_case "iter + invalidate_all" `Quick test_iter_and_invalidate_all;
+      Alcotest.test_case "tag aliasing" `Quick test_tag_aliasing;
+      Alcotest.test_case "random replacement" `Quick test_random_replacement;
+      QCheck_alcotest.to_alcotest prop_fill_find;
+    ] )

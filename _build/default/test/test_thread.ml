@@ -1,0 +1,150 @@
+module S = Skipit_core.System
+module T = Skipit_core.Thread
+module C = Skipit_core.Config
+
+let make ?(cores = 2) () = S.create (C.platform ~cores ())
+let line sys = Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64
+
+let test_single_task () =
+  let sys = make () in
+  let a = line sys in
+  let seen = ref 0 in
+  let final =
+    T.run sys
+      [ { T.core = 0; body = (fun () -> T.store a 9; seen := T.load a) } ]
+  in
+  Alcotest.(check int) "value flows" 9 !seen;
+  Alcotest.(check bool) "time advanced" true (final > 0)
+
+let test_core_id_and_now () =
+  let sys = make () in
+  let ids = ref [] in
+  ignore
+    (T.run sys
+       (List.init 2 (fun core ->
+          {
+            T.core;
+            body =
+              (fun () ->
+                (* Bind effects first: [!ids] must be read after the last
+                   suspension point or concurrent fibers lose updates. *)
+                let c = T.core_id () in
+                let t = T.now () in
+                ids := (c, t) :: !ids);
+          })));
+  Alcotest.(check (list int)) "both cores ran" [ 0; 1 ]
+    (List.sort compare (List.map fst !ids))
+
+let test_timestamp_ordering () =
+  (* The slow thread's store at t~1000 must land after the fast thread's at
+     t~0 — observable as the final value. *)
+  let sys = make () in
+  let a = line sys in
+  let order = ref [] in
+  ignore
+    (T.run sys
+       [
+         {
+           T.core = 0;
+           body = (fun () -> T.delay 1000; T.store a 1; order := 1 :: !order);
+         };
+         { T.core = 1; body = (fun () -> T.store a 2; order := 2 :: !order) };
+       ]);
+  Alcotest.(check (list int)) "min-clock-first execution" [ 1; 2 ] !order;
+  Alcotest.(check int) "later store wins" 1 (S.peek_word sys a)
+
+let test_two_tasks_one_core () =
+  let sys = make ~cores:1 () in
+  let a = line sys in
+  ignore
+    (T.run sys
+       [
+         { T.core = 0; body = (fun () -> for _ = 1 to 10 do T.store a 1 done) };
+         { T.core = 0; body = (fun () -> for _ = 1 to 10 do T.store a 2 done) };
+       ]);
+  Alcotest.(check bool) "completed" true (List.mem (S.peek_word sys a) [ 1; 2 ])
+
+let test_fence_and_flush_in_thread () =
+  let sys = make () in
+  let a = line sys in
+  ignore
+    (T.run sys
+       [
+         {
+           T.core = 0;
+           body =
+             (fun () ->
+               T.store a 5;
+               T.clean a;
+               T.fence ());
+         };
+       ]);
+  Alcotest.(check int) "persisted from a task" 5 (S.persisted_word sys a)
+
+let test_cas_in_thread () =
+  let sys = make () in
+  let a = line sys in
+  let wins = ref 0 in
+  ignore
+    (T.run sys
+       (List.init 2 (fun core ->
+          {
+            T.core;
+            body =
+              (fun () ->
+                if T.cas a ~expected:0 ~desired:(core + 1) then incr wins);
+          })));
+  Alcotest.(check int) "exactly one CAS wins" 1 !wins
+
+let test_exception_propagates () =
+  let sys = make () in
+  Alcotest.check_raises "body exception escapes run" Exit (fun () ->
+    ignore (T.run sys [ { T.core = 0; body = (fun () -> raise Exit) } ]))
+
+let test_delay_advances_clock () =
+  let sys = make ~cores:1 () in
+  let t = ref 0 in
+  ignore (T.run sys [ { T.core = 0; body = (fun () -> T.delay 500; t := T.now ()) } ]);
+  Alcotest.(check bool) "delay counted" true (!t >= 500)
+
+let test_many_tasks_progress () =
+  (* 8 cores contending on one line: all must terminate and agree. *)
+  let sys = make ~cores:8 () in
+  let a = line sys in
+  let total = ref 0 in
+  ignore
+    (T.run sys
+       (List.init 8 (fun core ->
+          {
+            T.core;
+            body =
+              (fun () ->
+                for _ = 1 to 20 do
+                  (* Atomic increment via CAS retry. *)
+                  let rec bump () =
+                    let v = T.load a in
+                    if not (T.cas a ~expected:v ~desired:(v + 1)) then bump ()
+                  in
+                  bump ()
+                done;
+                incr total);
+          })));
+  Alcotest.(check int) "all ran" 8 !total;
+  Alcotest.(check int) "atomic counter exact" 160 (S.peek_word sys a);
+  match S.check_coherence sys with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let tests =
+  ( "thread",
+    [
+      Alcotest.test_case "single task" `Quick test_single_task;
+      Alcotest.test_case "core_id/now" `Quick test_core_id_and_now;
+      Alcotest.test_case "timestamp ordering" `Quick test_timestamp_ordering;
+      Alcotest.test_case "two tasks, one core" `Quick test_two_tasks_one_core;
+      Alcotest.test_case "flush+fence in task" `Quick test_fence_and_flush_in_thread;
+      Alcotest.test_case "cas race has one winner" `Quick test_cas_in_thread;
+      Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+      Alcotest.test_case "delay advances clock" `Quick test_delay_advances_clock;
+      Alcotest.test_case "8-core atomic counter" `Quick test_many_tasks_progress;
+    ] )
