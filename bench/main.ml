@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Two parts:
+   Three parts:
 
    1. Figure regeneration — runs every evaluation experiment of the paper
       (Figs 9-16 plus the §7.2 scalars) at full fidelity and prints the rows
@@ -10,7 +10,12 @@
    2. A Bechamel suite with one [Test.make] per table/figure (the quick
       variant of each driver, so the regression harness measures the cost of
       regenerating each experiment) plus microbenchmarks of the simulator's
-      hot operations. *)
+      hot operations.
+
+   3. A machine-readable summary: BENCH_results.json with per-workload
+      simulated cycle counts and the full counter report (including the
+      per-port beat/stall counters), for diffing across commits.  Run with
+      --json-only to emit just that. *)
 
 open Bechamel
 open Toolkit
@@ -81,11 +86,121 @@ let run_bechamel () =
        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
        Printf.printf "%-28s %16.0f %10.3f\n" name est r2)
 
+(* == Machine-readable results ========================================== *)
+
+let trace_path name =
+  let candidates =
+    [
+      Printf.sprintf "examples/traces/%s.trace" name;
+      Printf.sprintf "../examples/traces/%s.trace" name;
+      Printf.sprintf "../../../examples/traces/%s.trace" name;
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+(* A workload result: elapsed cycles plus the full stats report. *)
+type workload_result = {
+  w_name : string;
+  cycles : int;
+  checksums : int array;
+  stats : (string * int) list;
+}
+
+let run_trace_workload name ~skip_it =
+  match trace_path name with
+  | None -> None
+  | Some path ->
+    (match Skipit_workload.Trace_program.load_file path with
+     | Error _ -> None
+     | Ok program ->
+       let cores = Skipit_workload.Trace_program.max_core program + 1 in
+       let sys = S.create (C.platform ~cores ~skip_it ()) in
+       let cycles, checksums = Skipit_workload.Trace_program.run sys program in
+       Some
+         {
+           w_name = Printf.sprintf "%s%s" name (if skip_it then "+skipit" else "");
+           cycles;
+           checksums;
+           stats = S.stats_report sys;
+         })
+
+(* The Fig. 9-style scaling point: 8 threads, each store+flush+flush over a
+   private region — the workload whose behaviour Skip It changes most. *)
+let run_scaling_workload ~skip_it =
+  let threads = 8 and lines = 64 in
+  let sys = S.create (C.platform ~cores:threads ~skip_it ()) in
+  let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (lines * 64) in
+  let module T = Skipit_core.Thread in
+  let per = lines / threads in
+  let task core =
+    {
+      T.core;
+      body =
+        (fun () ->
+          for i = core * per to ((core + 1) * per) - 1 do
+            T.store (base + (i * 64)) i;
+            T.flush (base + (i * 64));
+            T.flush (base + (i * 64))
+          done;
+          T.fence ());
+    }
+  in
+  let cycles = T.run sys (List.init threads task) in
+  {
+    w_name = Printf.sprintf "store_double_flush_8t%s" (if skip_it then "+skipit" else "");
+    cycles;
+    checksums = [||];
+    stats = S.stats_report sys;
+  }
+
+let json_of_results results =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\n  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "    {\n      \"name\": \"%s\",\n" r.w_name);
+      Buffer.add_string buf (Printf.sprintf "      \"cycles\": %d,\n" r.cycles);
+      Buffer.add_string buf "      \"checksums\": [";
+      Array.iteri
+        (fun j c ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (string_of_int c))
+        r.checksums;
+      Buffer.add_string buf "],\n      \"stats\": {";
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "\"%s\": %d" k v))
+        r.stats;
+      Buffer.add_string buf "}\n    }")
+    results;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let emit_json path =
+  let traces = [ "producer_consumer"; "redundant_flush"; "fig5_semantics" ] in
+  let results =
+    List.concat_map
+      (fun name ->
+        List.filter_map (fun skip_it -> run_trace_workload name ~skip_it) [ false; true ])
+      traces
+    @ [ run_scaling_workload ~skip_it:false; run_scaling_workload ~skip_it:true ]
+  in
+  let oc = open_out path in
+  output_string oc (json_of_results results);
+  close_out oc;
+  Printf.printf "wrote %s (%d workloads)\n" path (List.length results)
+
 let () =
-  let ppf = Format.std_formatter in
-  Format.pp_open_vbox ppf 0;
-  Figures.all ~quick:false ppf;
-  Ablation.run_all ppf;
-  Format.pp_close_box ppf ();
-  Format.pp_print_newline ppf ();
-  run_bechamel ()
+  if Array.exists (( = ) "--json-only") Sys.argv then emit_json "BENCH_results.json"
+  else begin
+    let ppf = Format.std_formatter in
+    Format.pp_open_vbox ppf 0;
+    Figures.all ~quick:false ppf;
+    Ablation.run_all ppf;
+    Format.pp_close_box ppf ();
+    Format.pp_print_newline ppf ();
+    run_bechamel ();
+    emit_json "BENCH_results.json"
+  end

@@ -42,8 +42,13 @@ let stats_cmd =
     Arg.(value & opt int 64 & info [ "lines" ] ~doc:"Cache lines to store+flush.")
   in
   let skip_it = Arg.(value & flag & info [ "skip-it" ] ~doc:"Enable Skip It.") in
-  let run threads lines skip_it =
-    let sys = S.create (C.platform ~cores:threads ~skip_it ()) in
+  let shared_bus =
+    Arg.(value & flag & info [ "shared-bus" ]
+         ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
+  in
+  let run threads lines skip_it shared_bus =
+    let topology = if shared_bus then `Shared_bus else `Crossbar in
+    let sys = S.create (C.platform ~cores:threads ~skip_it ~topology ()) in
     let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (lines * 64) in
     let module T = Skipit_core.Thread in
     let per = max 1 (lines / threads) in
@@ -66,7 +71,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Run a store+double-flush loop and dump all counters")
-    Term.(const run $ threads $ lines $ skip_it)
+    Term.(const run $ threads $ lines $ skip_it $ shared_bus)
 
 let sweep_cmd =
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Simulated cores.") in
@@ -99,7 +104,11 @@ let run_cmd =
   let cores = Arg.(value & opt (some int) None & info [ "cores" ] ~doc:"Simulated cores (default: enough for the trace).") in
   let skip_it = Arg.(value & flag & info [ "skip-it" ] ~doc:"Enable Skip It.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump all counters after the run.") in
-  let run file cores skip_it stats =
+  let shared_bus =
+    Arg.(value & flag & info [ "shared-bus" ]
+         ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
+  in
+  let run file cores skip_it stats shared_bus =
     match Skipit_workload.Trace_program.load_file file with
     | Error e ->
       prerr_endline ("trace error: " ^ e);
@@ -107,7 +116,13 @@ let run_cmd =
     | Ok program ->
       let needed = Skipit_workload.Trace_program.max_core program + 1 in
       let cores = match cores with Some n -> n | None -> needed in
-      let sys = S.create (C.platform ~cores ~skip_it ()) in
+      if cores < needed then begin
+        Printf.eprintf "trace error: program uses core %d but only %d core%s simulated\n"
+          (needed - 1) cores (if cores = 1 then " is" else "s are");
+        exit 1
+      end;
+      let topology = if shared_bus then `Shared_bus else `Crossbar in
+      let sys = S.create (C.platform ~cores ~skip_it ~topology ()) in
       let cycles, checksums = Skipit_workload.Trace_program.run sys program in
       Printf.printf "elapsed: %d cycles\n" cycles;
       Array.iteri (fun i c -> Printf.printf "core %d load-checksum: %#x\n" i c) checksums;
@@ -116,7 +131,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a text trace program (see examples/traces/)")
-    Term.(const run $ file $ cores $ skip_it $ stats)
+    Term.(const run $ file $ cores $ skip_it $ stats $ shared_bus)
 
 let ablate_cmd =
   let run () = with_ppf Skipit_workload.Ablation.run_all in

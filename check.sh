@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo health check: full build + test suite, plus a guard against ever
+# staging dune build artifacts again (the _build/ tree was removed from
+# version control and is covered by .gitignore).
+set -eu
+cd "$(dirname "$0")"
+
+if git diff --cached --name-only --diff-filter=d 2>/dev/null | grep -q "^_build/"; then
+  echo "check.sh: _build/ files are staged; unstage them (git restore --staged _build)" >&2
+  exit 1
+fi
+
+dune build
+dune runtest
+echo "check.sh: OK"

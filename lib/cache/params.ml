@@ -40,6 +40,7 @@ type t = {
   l1_replacement : [ `Lru | `Random ];
   async_stores : bool;
   stq_entries : int;
+  topology : [ `Crossbar | `Shared_bus ];
 }
 
 let boom_default =
@@ -81,10 +82,12 @@ let boom_default =
     l1_replacement = `Lru;
     async_stores = true;
     stq_entries = 32;
+    topology = `Crossbar;
   }
 
 let with_cores t n = { t with n_cores = n }
 let with_skip_it t b = { t with skip_it = b }
+let with_topology t topology = { t with topology }
 
 let with_l3 t =
   {

@@ -77,6 +77,12 @@ type t = {
           core until the cache completes them (the stricter model, as an
           ablation). *)
   stq_entries : int;  (** Store-queue capacity (32 in SonicBOOM, Fig. 2). *)
+  topology : [ `Crossbar | `Shared_bus ];
+      (** Interconnect shape between the L1 clients and the LLC.
+          [`Crossbar] (the default, and what the SiFive generator elaborates
+          for a BOOM tile) gives every L1↔L2 port private channel wiring;
+          [`Shared_bus] makes all client ports contend for one set of A/C/D
+          channels — an ablation for small SoCs. *)
 }
 
 val boom_default : t
@@ -85,6 +91,9 @@ val boom_default : t
 
 val with_cores : t -> int -> t
 val with_skip_it : t -> bool -> t
+
+val with_topology : t -> [ `Crossbar | `Shared_bus ] -> t
+(** Select the client↔LLC interconnect shape. *)
 
 val with_l3 : t -> t
 (** Add a 4 MiB 16-way memory-side L3 (the deeper-hierarchy experiment). *)

@@ -3,8 +3,8 @@ module Geometry = Skipit_cache.Geometry
 
 let default = Params.boom_default
 
-let platform ?(cores = 2) ?(skip_it = false) () =
-  { Params.boom_default with Params.n_cores = cores; skip_it }
+let platform ?(cores = 2) ?(skip_it = false) ?(topology = `Crossbar) () =
+  { Params.boom_default with Params.n_cores = cores; skip_it; topology }
 
 let tiny ?(cores = 2) () =
   {

@@ -14,6 +14,8 @@ type t = {
   params : Params.t;
   dcaches : Dcache.t array;
   lsus : Lsu.t array;
+  ports : Port.t array;  (* client port per core, L1 side <-> L2 side *)
+  memside_ports : Skipit_l2.Backend.t list;  (* every boundary below the L2 *)
   l2 : L2.t;
   l3 : Memside.t option;
   dram : Dram.t;
@@ -31,26 +33,59 @@ let create params =
       ~write_latency:params.Params.dram_write_latency
       ~occupancy:params.Params.dram_occupancy ~line_bytes:(Params.line_bytes params)
   in
-  let l3 =
-    Option.map
-      (fun cfg ->
-        Memside.create ~geom:cfg.Params.l3_geom ~access_latency:cfg.Params.l3_latency
-          ~banks:cfg.Params.l3_banks ~bank_busy:cfg.Params.l3_bank_busy ~dram)
-      params.Params.l3
-  in
-  let backend =
-    match l3 with
-    | Some m -> Memside.backend m
-    | None -> Skipit_l2.Backend.of_dram dram
+  let beats = Params.data_beats params in
+  (* Memory side of the L2: either DRAM directly behind one counted port, or
+     an L3 whose own downstream port fronts DRAM — every boundary counted. *)
+  let l3, backend, memside_ports =
+    match params.Params.l3 with
+    | Some cfg ->
+      let dram_port = Skipit_l2.Backend.of_dram ~name:"l3.dram" ~beats_per_line:beats dram in
+      let m =
+        Memside.create ~name:"l2.l3" ~geom:cfg.Params.l3_geom
+          ~access_latency:cfg.Params.l3_latency ~banks:cfg.Params.l3_banks
+          ~bank_busy:cfg.Params.l3_bank_busy ~below:dram_port ~beats_per_line:beats ()
+      in
+      let b = Memside.backend m in
+      Some m, b, [ b; dram_port ]
+    | None ->
+      let b = Skipit_l2.Backend.of_dram ~name:"l2.mem" ~beats_per_line:beats dram in
+      None, b, [ b ]
   in
   let l2 = L2.create params ~backend in
-  let dcaches = Array.init params.Params.n_cores (fun core -> Dcache.create params ~core ~l2) in
-  L2.set_probe_handler l2 (fun ~core ~addr ~cap ~now ->
-    Dcache.handle_probe dcaches.(core) ~addr ~cap ~now);
+  (* Client-side topology: a crossbar gives each L1<->L2 port private channel
+     wires; a shared bus threads one wire set through every port. *)
+  let shared_channels =
+    match params.Params.topology with
+    | `Shared_bus -> Some (Port.Channels.create ~name:"bus")
+    | `Crossbar -> None
+  in
+  let ports =
+    Array.init params.Params.n_cores (fun core ->
+      let name = Printf.sprintf "l1.%d" core in
+      match shared_channels with
+      | Some channels -> Port.create ~channels ~name ()
+      | None -> Port.create ~name ())
+  in
+  Array.iteri (fun core port -> L2.connect_client l2 ~core port) ports;
+  let dcaches =
+    Array.init params.Params.n_cores (fun core ->
+      Dcache.create params ~core ~port:ports.(core))
+  in
   let lsus = Array.map Lsu.create dcaches in
   let persist_log = Skipit_mem.Persist_log.create () in
   Dram.attach_log dram persist_log;
-  { params; dcaches; lsus; l2; l3; dram; allocator = Allocator.create (); persist_log }
+  {
+    params;
+    dcaches;
+    lsus;
+    ports;
+    memside_ports;
+    l2;
+    l3;
+    dram;
+    allocator = Allocator.create ();
+    persist_log;
+  }
 
 let params t = t.params
 let n_cores t = t.params.Params.n_cores
@@ -58,6 +93,7 @@ let lsu t core = t.lsus.(core)
 let dcache t core = t.dcaches.(core)
 let l2 t = t.l2
 let l3 t = t.l3
+let client_port t core = t.ports.(core)
 let dram t = t.dram
 let persist_log t = t.persist_log
 let allocator t = t.allocator
@@ -155,5 +191,10 @@ let stats_report t =
     t.dcaches;
   push "l2" (L2.stats t.l2);
   (match t.l3 with Some m -> push "l3" (Memside.stats m) | None -> ());
+  (* Per-port beat/stall/occupancy counters at every hierarchy boundary. *)
+  Array.iter (fun p -> push ("port." ^ Port.name p) (Port.stats p)) t.ports;
+  List.iter
+    (fun b -> push ("port." ^ Skipit_l2.Backend.name b) (Skipit_l2.Backend.stats b))
+    t.memside_ports;
   acc := ("dram.reads", Dram.reads t.dram) :: ("dram.writes", Dram.writes t.dram) :: !acc;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc

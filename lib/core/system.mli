@@ -26,6 +26,11 @@ val l2 : t -> Skipit_l2.Inclusive_cache.t
 val l3 : t -> Skipit_l2.Memside_cache.t option
 (** The memory-side L3, when [Params.l3] is set. *)
 
+val client_port : t -> int -> Skipit_tilelink.Port.t
+(** The typed TileLink port wiring core [i]'s L1 to the L2.  Under
+    [`Crossbar] each port owns private channel wires; under [`Shared_bus]
+    they all contend for one set. *)
+
 val dram : t -> Skipit_mem.Dram.t
 
 val persist_log : t -> Skipit_mem.Persist_log.t
@@ -79,4 +84,7 @@ val check_coherence : t -> (unit, string) result
 
 val stats_report : t -> (string * int) list
 (** Aggregated named counters from all components, prefixed by component
-    (["l1.0.load_hits"], ["l2.dram_writebacks"], ["fu.0.skip_dropped"], ...). *)
+    (["l1.0.load_hits"], ["l2.dram_writebacks"], ["fu.0.skip_dropped"], ...).
+    Every port boundary contributes its beat/stall/occupancy-wait counters
+    under a ["port."] prefix (["port.l1.0.a_beats"], ["port.l2.mem.stalls"],
+    ...). *)

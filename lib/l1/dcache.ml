@@ -1,7 +1,6 @@
 open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
-module L2 = Skipit_l2.Inclusive_cache
 
 type line = {
   mutable perm : Perm.t;
@@ -16,39 +15,19 @@ type t = {
   store_arr : line Store.t;
   mshrs : Resource.t;
   wbu : Resource.t;
-  link : Link.t;
+  port : Port.t;
   flush : Flush_unit.t;
-  l2 : L2.t;
   (* Last cycle each line's state was changed by a store, probe or eviction;
      bounds flush-queue coalescing legality (§5.3). *)
   last_change : (int, int) Hashtbl.t;
   stats : Stats.Registry.t;
 }
 
-let create p ~core ~l2 =
-  {
-    p;
-    core;
-    store_arr =
-      (let policy =
-         match p.Params.l1_replacement with
-         | `Lru -> Store.Lru
-         | `Random -> Store.Random (Skipit_sim.Rng.create ~seed:(0xCAFE + core))
-       in
-       Store.create ~policy p.Params.l1_geom);
-    mshrs = Resource.create ~count:p.Params.l1_mshrs (Printf.sprintf "l1-mshr-%d" core);
-    wbu = Resource.create (Printf.sprintf "l1-wbu-%d" core);
-    link = Link.create ~core;
-    flush = Flush_unit.create p ~core;
-    l2;
-    last_change = Hashtbl.create 256;
-    stats = Stats.Registry.create ();
-  }
-
 let core t = t.core
 let params t = t.p
 let flush_unit t = t.flush
 let stats t = t.stats
+let port t = t.port
 
 let line_base t addr = Geometry.line_base t.p.Params.l1_geom addr
 let word_off t addr = Geometry.offset_word t.p.Params.l1_geom addr
@@ -57,11 +36,8 @@ let beats t = Params.data_beats t.p
 (* Serialize [beats] of an outgoing/incoming message on a shared channel
    whose serialization time is already part of [finish]: contention-free
    sends cost nothing extra, concurrent senders queue. *)
-let channel_c t ~finish ~beats =
-  Link.acquire_c t.link ~now:(finish - beats) ~beats
-
-let channel_d t ~finish ~beats =
-  Link.acquire_d t.link ~now:(finish - beats) ~beats
+let channel_c t ~finish ~beats = Port.send_c t.port ~finish ~beats
+let channel_d t ~finish ~beats = Port.recv_d t.port ~finish ~beats
 
 let note_change t ~addr ~now = Hashtbl.replace t.last_change (line_base t addr) now
 
@@ -86,13 +62,15 @@ let evict_slot t slot ~now =
       let _, t_buf = Resource.acquire t.wbu ~now:t0 ~busy:(beats t) in
       let t_sent = channel_c t ~finish:t_buf ~beats:(beats t) in
       let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
-      ignore (L2.release t.l2 ~core:t.core ~addr:vaddr ~shrink ~data:(Some (Array.copy line.data)) ~now:t_sent);
+      ignore
+        (Port.release t.port ~addr:vaddr ~shrink ~data:(Some (Array.copy line.data))
+           ~now:t_sent);
       t_sent
     end
     else begin
       Stats.Registry.incr t.stats "evictions_clean";
       let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
-      ignore (L2.release t.l2 ~core:t.core ~addr:vaddr ~shrink ~data:None ~now:t0);
+      ignore (Port.release t.port ~addr:vaddr ~shrink ~data:None ~now:t0);
       t0 + 1
     end
   in
@@ -117,24 +95,24 @@ let refill t ~addr ~grow ~now =
           let t_free = if victim.Store.valid then evict_slot t victim ~now:start else start in
           victim, t_free
       in
-      let t_sent = Link.acquire_a t.link ~now:t_slot in
-      let grant = L2.acquire t.l2 ~core:t.core ~addr ~grow ~now:t_sent in
+      let t_sent = Port.send_a t.port ~now:t_slot in
+      let grant = Port.acquire t.port ~addr ~grow ~now:t_sent in
       (* Grant data shares the D channel with every other response into
          this core. *)
       let grant =
-        { grant with L2.done_at = channel_d t ~finish:grant.L2.done_at ~beats:(beats t) }
+        { grant with Port.done_at = channel_d t ~finish:grant.Port.done_at ~beats:(beats t) }
       in
       let line =
         {
-          perm = grant.L2.perm;
+          perm = grant.Port.perm;
           dirty = false;
-          skip = not grant.L2.l2_dirty;
-          data = Array.copy grant.L2.data;
+          skip = not grant.Port.l2_dirty;
+          data = Array.copy grant.Port.data;
         }
       in
-      Store.fill t.store_arr slot ~addr ~payload:line ~now:grant.L2.done_at;
+      Store.fill t.store_arr slot ~addr ~payload:line ~now:grant.Port.done_at;
       installed := Some line;
-      grant.L2.done_at)
+      grant.Port.done_at)
   in
   match !installed with
   | Some line -> line, finish
@@ -153,7 +131,7 @@ let rec load t ~addr ~now =
     | Flush_unit.Load_forward tb ->
       (* §5.3: the FSHR's filled data buffer is forwarded to the load. *)
       Stats.Registry.incr t.stats "load_forwards";
-      L2.peek_word t.l2 addr, tb + t.p.Params.l1_load_to_use
+      Port.peek_word t.port addr, tb + t.p.Params.l1_load_to_use
     | Flush_unit.Load_wait tw ->
       Stats.Registry.incr t.stats "load_nacks";
       load t ~addr ~now:(tw + t.p.Params.nack_retry_delay)
@@ -256,7 +234,7 @@ let cbo t ~addr ~kind ~now =
          the shared C channel before the message travels. *)
       let nbeats = if data = None then 1 else beats t in
       let sent = channel_c t ~finish:now ~beats:nbeats in
-      L2.root_release t.l2 ~core:t.core ~addr:base ~kind ~data ~now:sent
+      Port.root_release t.port ~addr:base ~kind ~data ~now:sent
     in
     let result =
       Flush_unit.submit t.flush ~addr:base ~kind ~hit ~dirty ~line_data
@@ -292,7 +270,7 @@ let cbo_inval t ~addr ~now =
    | Some slot -> Store.invalidate slot
    | None -> ());
   note_change t ~addr:base ~now:t0;
-  L2.root_inval t.l2 ~core:t.core ~addr:base ~now:t0
+  Port.root_inval t.port ~addr:base ~now:t0
 
 let cbo_zero t ~addr ~now =
   let base = line_base t addr in
@@ -312,7 +290,7 @@ let handle_probe t ~addr ~cap ~now =
   let meta = t.p.Params.l1_meta_access in
   match find_line t base with
   | None ->
-    { L2.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
+    { Port.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
   | Some slot ->
     let line = Store.payload_exn slot in
     if Perm.compare line.perm cap > 0 then begin
@@ -332,14 +310,14 @@ let handle_probe t ~addr ~cap ~now =
       note_change t ~addr:base ~now:t0;
       let wire = if dirty_data = None then 1 else beats t in
       let sent = channel_c t ~finish:(t0 + meta + wire) ~beats:wire in
-      { L2.dirty_data; done_at = sent + t.p.Params.link_latency }
+      { Port.dirty_data; done_at = sent + t.p.Params.link_latency }
     end
-    else { L2.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
+    else { Port.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
 
 let peek_word t addr =
   match find_line t addr with
   | Some slot -> (Store.payload_exn slot).data.(word_off t addr)
-  | None -> L2.peek_word t.l2 addr
+  | None -> Port.peek_word t.port addr
 
 let line_state t addr =
   Option.map (fun slot -> Store.payload_exn slot) (find_line t addr)
@@ -351,3 +329,29 @@ let held_lines t =
   !acc
 
 let crash t = Store.invalidate_all t.store_arr
+
+let create p ~core ~port =
+  let t =
+    {
+      p;
+      core;
+      store_arr =
+        (let policy =
+           match p.Params.l1_replacement with
+           | `Lru -> Store.Lru
+           | `Random -> Store.Random (Skipit_sim.Rng.create ~seed:(0xCAFE + core))
+         in
+         Store.create ~policy p.Params.l1_geom);
+      mshrs = Resource.create ~count:p.Params.l1_mshrs (Printf.sprintf "l1-mshr-%d" core);
+      wbu = Resource.create (Printf.sprintf "l1-wbu-%d" core);
+      port;
+      flush = Flush_unit.create p ~core;
+      last_change = Hashtbl.create 256;
+      stats = Stats.Registry.create ();
+    }
+  in
+  (* The cache is the client agent of its port: B-channel probes from the
+     manager arrive here. *)
+  Port.connect_client port
+    { Port.probe = (fun ~addr ~cap ~now -> handle_probe t ~addr ~cap ~now) };
+  t

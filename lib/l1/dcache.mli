@@ -31,7 +31,13 @@ type line = {
 
 type t
 
-val create : Params.t -> core:int -> l2:Skipit_l2.Inclusive_cache.t -> t
+val create : Params.t -> core:int -> port:Port.t -> t
+(** [create p ~core ~port] builds the cache and binds it as the {e client}
+    agent of [port]: all A/C-channel traffic (Acquire, Release, RootRelease,
+    RootInval) leaves through the port, and the port's manager (the L2)
+    reaches back in via B-channel probes.  The manager side is connected
+    separately by the system builder. *)
+
 val core : t -> int
 val params : t -> Params.t
 
@@ -70,9 +76,10 @@ val fence : t -> now:int -> int
 (** FENCE RW,RW extended per §5.3: commits only once the flush counter
     reaches zero; returns completion time. *)
 
-val handle_probe : t -> addr:int -> cap:Perm.t -> now:int -> Skipit_l2.Inclusive_cache.probe_result
+val handle_probe : t -> addr:int -> cap:Perm.t -> now:int -> Port.probe_result
 (** Channel-B probe from the L2: blocks on [flush_rdy] (§5.4.1), downgrades
-    the line, hands back dirty data. *)
+    the line, hands back dirty data.  Reached through the port's client
+    binding in normal operation; exposed for direct-drive tests. *)
 
 val peek_word : t -> int -> int
 (** Functional read through this cache (falls back to L2/DRAM). *)
@@ -84,6 +91,7 @@ val held_lines : t -> (int * Perm.t) list
 (** All (line address, permission) pairs — for inclusion checking. *)
 
 val flush_unit : t -> Flush_unit.t
+val port : t -> Port.t
 val stats : t -> Skipit_sim.Stats.Registry.t
 val crash : t -> unit
 (** Volatile contents vanish. *)

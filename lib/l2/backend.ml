@@ -1,25 +1,37 @@
 module Dram = Skipit_mem.Dram
+open Skipit_tilelink
 
-type t = {
-  read_line : addr:int -> now:int -> int array * int * bool;
-  write_line : addr:int -> data:int array -> now:int -> int;
-  persist_line : addr:int -> data:int array -> now:int -> int;
-  persist_if_dirty : addr:int -> now:int -> int;
-  discard_line : addr:int -> unit;
-  peek_word : int -> int;
-  crash : unit -> unit;
-}
+type t = Port.Memside.t
 
-let of_dram dram =
-  {
-    read_line =
-      (fun ~addr ~now ->
-        let data, t = Dram.read_line dram ~addr ~now in
-        data, t, false);
-    write_line = (fun ~addr ~data ~now -> Dram.write_line dram ~addr ~data ~now);
-    persist_line = (fun ~addr ~data ~now -> Dram.write_line dram ~addr ~data ~now);
-    persist_if_dirty = (fun ~addr:_ ~now -> now);
-    discard_line = (fun ~addr:_ -> ());
-    peek_word = (fun addr -> Dram.peek_word dram addr);
-    crash = (fun () -> ());
-  }
+let create = Port.Memside.create
+let name = Port.Memside.name
+let stats = Port.Memside.stats
+let read_line = Port.Memside.read_line
+let write_line = Port.Memside.write_line
+let persist_line = Port.Memside.persist_line
+let persist_if_dirty = Port.Memside.persist_if_dirty
+let discard_line = Port.Memside.discard_line
+let peek_word = Port.Memside.peek_word
+let crash = Port.Memside.crash
+
+let of_dram ?(name = "dram") ~beats_per_line dram =
+  Port.Memside.create ~name ~beats_per_line (fun stats ->
+    {
+      Port.Memside.read_line =
+        (fun ~addr ~now ->
+          Port.Memside.note_wait stats (Dram.queue_wait dram ~now);
+          let data, t = Dram.read_line dram ~addr ~now in
+          data, t, false);
+      write_line =
+        (fun ~addr ~data ~now ->
+          Port.Memside.note_wait stats (Dram.queue_wait dram ~now);
+          Dram.write_line dram ~addr ~data ~now);
+      persist_line =
+        (fun ~addr ~data ~now ->
+          Port.Memside.note_wait stats (Dram.queue_wait dram ~now);
+          Dram.write_line dram ~addr ~data ~now);
+      persist_if_dirty = (fun ~addr:_ ~now -> now);
+      discard_line = (fun ~addr:_ -> ());
+      peek_word = (fun addr -> Dram.peek_word dram addr);
+      crash = (fun () -> ());
+    })

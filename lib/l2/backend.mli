@@ -1,39 +1,37 @@
-(** The LLC's memory-side interface.
+(** The LLC's memory-side port.
 
     The paper's platform has DRAM directly behind the L2; §7.4 hypothesises
     that a deeper hierarchy (an L3/L4) would increase writeback latencies
     and thus Skip It's savings.  To test that, the inclusive cache talks to
-    an abstract backend that is either DRAM itself or a {!Memside_cache} in
-    front of it.
+    a {!Skipit_tilelink.Port.Memside} agent port that is either DRAM itself
+    ({!of_dram}) or a {!Memside_cache} in front of it
+    ({!Memside_cache.backend}).  The port counts beats, stalls and
+    occupancy-wait cycles at the boundary; the operation semantics the L2
+    relies on are documented in {!Skipit_tilelink.Port.Memside.ops}. *)
 
-    Semantics the L2 relies on:
+type t = Skipit_tilelink.Port.Memside.t
 
-    - {!read_line} returns the freshest copy and whether that copy is
-      {e dirty with respect to the persistence domain} (a dirty memory-side
-      copy means the line is not yet durable — the grant flavour and hence
-      the skip bit must reflect it, §6);
-    - {!write_line} is a cacheable victim writeback: it may lodge in the
-      memory-side cache without reaching DRAM;
-    - {!persist_line} is a durability write (RootRelease path): it must not
-      be acknowledged before the data is in DRAM;
-    - {!persist_if_dirty} pushes the backend's own dirty copy (if any) to
-      DRAM — needed so the L2's "trivial skip" (§5.5) never skips a line
-      whose only dirty copy lives below it;
-    - {!discard_line} drops any cached copy without writing back
-      (CBO.INVAL);
-    - {!crash} loses all volatile state. *)
+val create :
+  name:string ->
+  beats_per_line:int ->
+  (Skipit_sim.Stats.Registry.t -> Skipit_tilelink.Port.Memside.ops) ->
+  t
 
-type t = {
-  read_line : addr:int -> now:int -> int array * int * bool;
-      (** [(data, available_at, dirty_below)]. *)
-  write_line : addr:int -> data:int array -> now:int -> int;
-  persist_line : addr:int -> data:int array -> now:int -> int;
-  persist_if_dirty : addr:int -> now:int -> int;
-  discard_line : addr:int -> unit;
-  peek_word : int -> int;
-  crash : unit -> unit;
-}
+val name : t -> string
+val stats : t -> Skipit_sim.Stats.Registry.t
 
-val of_dram : Skipit_mem.Dram.t -> t
+val read_line : t -> addr:int -> now:int -> int array * int * bool
+(** [(data, available_at, dirty_below)]. *)
+
+val write_line : t -> addr:int -> data:int array -> now:int -> int
+val persist_line : t -> addr:int -> data:int array -> now:int -> int
+val persist_if_dirty : t -> addr:int -> now:int -> int
+val discard_line : t -> addr:int -> unit
+val peek_word : t -> int -> int
+val crash : t -> unit
+
+val of_dram : ?name:string -> beats_per_line:int -> Skipit_mem.Dram.t -> t
 (** DRAM is the persistence domain itself: [write_line] = [persist_line],
-    [persist_if_dirty] and [discard_line] are no-ops, nothing is volatile. *)
+    [persist_if_dirty] and [discard_line] are no-ops, nothing is volatile.
+    Channel-queueing inside the DRAM controller is reported as the port's
+    stall/wait counters. *)

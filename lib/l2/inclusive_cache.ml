@@ -2,10 +2,17 @@ open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
 
-type probe_result = { dirty_data : int array option; done_at : int }
-type probe_handler = core:int -> addr:int -> cap:Perm.t -> now:int -> probe_result
+type probe_result = Port.probe_result = {
+  dirty_data : int array option;
+  done_at : int;
+}
 
-type grant = { perm : Perm.t; data : int array; l2_dirty : bool; done_at : int }
+type grant = Port.grant = {
+  perm : Perm.t;
+  data : int array;
+  l2_dirty : bool;
+  done_at : int;
+}
 
 type t = {
   p : Params.t;
@@ -17,7 +24,9 @@ type t = {
   list_buffer : Admission.t;
   banks : Resource.Banked.t;
   backend : Backend.t;
-  mutable probe : probe_handler option;
+  (* One manager port per client core; B-channel probes route through the
+     port to whatever client agent is connected on the other side. *)
+  ports : Port.t option array;
   stats : Stats.Registry.t;
 }
 
@@ -29,12 +38,13 @@ let create p ~backend =
     list_buffer = Admission.create ~capacity:p.Params.l2_list_buffer;
     banks = Resource.Banked.create ~banks:p.Params.l2_banks "l2-banks";
     backend;
-    probe = None;
+    ports = Array.make p.Params.n_cores None;
     stats = Stats.Registry.create ();
   }
 
-let set_probe_handler t h = t.probe <- Some h
 let stats t = t.stats
+let backend t = t.backend
+let client_port t ~core = t.ports.(core)
 
 let line t addr = Geometry.line_base t.p.Params.l2_geom addr
 let line_bytes t = Params.line_bytes t.p
@@ -47,15 +57,15 @@ let bank_access t ~addr ~now =
   in
   finish
 
-(* Probe one client.  The registered handler accounts for the client-side
+(* Probe one client.  The client agent behind the port accounts for its own
    processing and the C-channel serialization; we add the outgoing B-channel
    travel here and trust [done_at] to be the ProbeAck arrival at the L2. *)
 let probe_one t ~core ~addr ~cap ~now =
-  match t.probe with
-  | Some h ->
+  match t.ports.(core) with
+  | Some port ->
     Stats.Registry.incr t.stats "probes";
-    h ~core ~addr ~cap ~now:(now + t.p.Params.link_latency)
-  | None -> invalid_arg "Inclusive_cache: probe handler not set"
+    Port.probe port ~addr ~cap ~now:(now + t.p.Params.link_latency)
+  | None -> invalid_arg (Printf.sprintf "Inclusive_cache: no client port for core %d" core)
 
 (* Probe [cores] in parallel, capping each to [cap]; merge any dirty data
    into the directory payload.  Returns the time the last ProbeAck lands. *)
@@ -85,7 +95,7 @@ let evict_victim t slot ~now =
   let t_probed = probe_all t ~addr:vaddr ~cap:Perm.Nothing ~cores:owners ~now dir in
   if dir.Directory.dirty then begin
     Stats.Registry.incr t.stats "dram_writebacks";
-    ignore (t.backend.Backend.write_line ~addr:vaddr ~data:dir.Directory.data ~now:t_probed)
+    ignore (Backend.write_line t.backend ~addr:vaddr ~data:dir.Directory.data ~now:t_probed)
   end;
   Store.invalidate slot;
   t_probed
@@ -122,7 +132,7 @@ let acquire t ~core ~addr ~grow ~now =
         Stats.Registry.incr t.stats "misses";
         let victim = Store.victim t.store addr in
         let t_evict = if victim.Store.valid then evict_victim t victim ~now:tm else tm in
-        let data, t_data, dirty_below = t.backend.Backend.read_line ~addr ~now:tm in
+        let data, t_data, dirty_below = Backend.read_line t.backend ~addr ~now:tm in
         (* A dirty memory-side copy means the line is not persisted: the
            L2 copy inherits the dirty bit so grants carry GrantDataDirty
            and a later RootRelease pushes it to DRAM (§6.2 one level
@@ -218,7 +228,7 @@ let root_release t ~core ~addr ~kind ~data ~now =
           if dir.Directory.dirty || not t.p.Params.l2_trivial_skip then begin
             Stats.Registry.incr t.stats "dram_writebacks";
             let tb = bank_access t ~addr ~now:tm in
-            let td = t.backend.Backend.persist_line ~addr ~data:dir.Directory.data ~now:tb in
+            let td = Backend.persist_line t.backend ~addr ~data:dir.Directory.data ~now:tb in
             dir.Directory.dirty <- false;
             td
           end
@@ -227,7 +237,7 @@ let root_release t ~core ~addr ~kind ~data ~now =
             (* The L2 copy is clean, but a dirty copy may sit in a
                memory-side cache below: it must be pushed for the ack to
                mean "persisted". *)
-            t.backend.Backend.persist_if_dirty ~addr ~now:tm
+            Backend.persist_if_dirty t.backend ~addr ~now:tm
           end
         in
         (match kind with
@@ -242,10 +252,10 @@ let root_release t ~core ~addr ~kind ~data ~now =
         match data with
         | Some d ->
           Stats.Registry.incr t.stats "dram_writebacks";
-          t.backend.Backend.persist_line ~addr ~data:d ~now:tm
+          Backend.persist_line t.backend ~addr ~data:d ~now:tm
         | None ->
           Stats.Registry.incr t.stats "trivial_skips";
-          t.backend.Backend.persist_if_dirty ~addr ~now:tm))
+          Backend.persist_if_dirty t.backend ~addr ~now:tm))
   in
   finish + t.p.Params.link_latency
 
@@ -267,10 +277,10 @@ let root_inval t ~core ~addr ~now =
            the line (CBO.INVAL forfeits unwritten data by definition). *)
         let tm = probe_all t ~addr ~cap:Perm.Nothing ~cores:others ~now:tm dir in
         Store.invalidate slot;
-        t.backend.Backend.discard_line ~addr;
+        Backend.discard_line t.backend ~addr;
         tm
       | None ->
-        t.backend.Backend.discard_line ~addr;
+        Backend.discard_line t.backend ~addr;
         tm)
   in
   finish + t.p.Params.link_latency
@@ -293,7 +303,7 @@ let peek_word t addr =
   | Some slot ->
     let dir = Store.payload_exn slot in
     dir.Directory.data.(Geometry.offset_word t.p.Params.l2_geom addr)
-  | None -> t.backend.Backend.peek_word addr
+  | None -> Backend.peek_word t.backend addr
 
 let check_inclusion t ~l1_lines =
   let violation = ref None in
@@ -320,4 +330,23 @@ let check_inclusion t ~l1_lines =
 
 let crash t =
   Store.invalidate_all t.store;
-  t.backend.Backend.crash ()
+  Backend.crash t.backend
+
+(* Bind this cache as the manager agent of [port] for client [core]: the
+   client's A/C-channel requests arrive here, and our B-channel probes for
+   that core leave through the same port. *)
+let connect_client t ~core port =
+  if core < 0 || core >= Array.length t.ports then
+    invalid_arg (Printf.sprintf "Inclusive_cache.connect_client: core %d out of range" core);
+  (match t.ports.(core) with
+   | Some _ -> invalid_arg (Printf.sprintf "Inclusive_cache.connect_client: core %d already connected" core)
+   | None -> ());
+  t.ports.(core) <- Some port;
+  Port.connect_manager port
+    {
+      Port.acquire = (fun ~addr ~grow ~now -> acquire t ~core ~addr ~grow ~now);
+      release = (fun ~addr ~shrink ~data ~now -> release t ~core ~addr ~shrink ~data ~now);
+      root_release = (fun ~addr ~kind ~data ~now -> root_release t ~core ~addr ~kind ~data ~now);
+      root_inval = (fun ~addr ~now -> root_inval t ~core ~addr ~now);
+      peek_word = (fun addr -> peek_word t addr);
+    }

@@ -16,8 +16,12 @@
     - {b GrantDataDirty} (§6.1): Acquire responses report whether the L2
       block is dirty so the L1 can maintain its skip bit.
 
-    Probes of L1s are performed through a handler registered by the system
-    builder, keeping this library independent of the L1 implementation.
+    Each L1 client is attached through a typed {!Skipit_tilelink.Port}: the
+    system builder calls {!connect_client} once per core, which binds this
+    cache as the port's manager agent and records the port so B-channel
+    probes for that core travel back through it.  This keeps the library
+    independent of the L1 implementation while every message crosses a
+    counted boundary.
 
     Timing: all entry points take [now] = the cycle the message leaves the
     client, and return completion times that include link traversal, beat
@@ -27,16 +31,15 @@
 open Skipit_tilelink
 open Skipit_cache
 
-type probe_result = {
+type probe_result = Port.probe_result = {
   dirty_data : int array option;
       (** Data handed back on channel C iff the client held the line dirty. *)
   done_at : int;  (** Cycle the ProbeAck arrives back at the L2. *)
 }
+(** Re-export of {!Skipit_tilelink.Port.probe_result} so existing users can
+    keep referring to the fields through this module. *)
 
-type probe_handler = core:int -> addr:int -> cap:Perm.t -> now:int -> probe_result
-(** Downgrade client [core]'s copy of [addr] to at most [cap]. *)
-
-type grant = {
+type grant = Port.grant = {
   perm : Perm.t;  (** Permission granted (always the requested level). *)
   data : int array;  (** Line contents. *)
   l2_dirty : bool;
@@ -44,6 +47,7 @@ type grant = {
           persisted and the L1 must clear its skip bit (§6.1). *)
   done_at : int;  (** Cycle the Grant(Data) finishes arriving at the L1. *)
 }
+(** Re-export of {!Skipit_tilelink.Port.grant}. *)
 
 type t
 
@@ -51,8 +55,17 @@ val create : Params.t -> backend:Backend.t -> t
 (** [backend] is DRAM itself ({!Backend.of_dram}) or a memory-side L3
     ({!Memside_cache.backend}). *)
 
-val set_probe_handler : t -> probe_handler -> unit
-(** Must be called by the system builder before any traffic. *)
+val connect_client : t -> core:int -> Port.t -> unit
+(** Bind this cache as the manager agent of the port and remember it as the
+    probe path for [core].  Must be called exactly once per core by the
+    system builder before any traffic; raises [Invalid_argument] on a
+    duplicate or out-of-range core. *)
+
+val client_port : t -> core:int -> Port.t option
+(** The port registered by {!connect_client}, if any. *)
+
+val backend : t -> Backend.t
+(** The memory-side port this cache was created over. *)
 
 val acquire : t -> core:int -> addr:int -> grow:Perm.grow -> now:int -> grant
 (** Channel-A AcquireBlock.  May recursively probe other owners and/or evict

@@ -1,6 +1,5 @@
 open Skipit_sim
 open Skipit_cache
-module Dram = Skipit_mem.Dram
 
 type line = { mutable dirty : bool; data : int array }
 
@@ -9,23 +8,12 @@ type t = {
   access_latency : int;
   banks : Resource.Banked.t;
   bank_busy : int;
-  dram : Dram.t;
+  below : Backend.t;
   store : line Store.t;
   stats : Stats.Registry.t;
   mutable clock_hint : int;  (* monotone hint for LRU ordering *)
+  mutable port : Backend.t option;  (* upstream (LLC-facing) memside port *)
 }
-
-let create ~geom ~access_latency ~banks ~bank_busy ~dram =
-  {
-    geom;
-    access_latency;
-    banks = Resource.Banked.create ~banks "l3-banks";
-    bank_busy;
-    dram;
-    store = Store.create geom;
-    stats = Stats.Registry.create ();
-    clock_hint = 0;
-  }
 
 let stats t = t.stats
 let line_base t addr = Geometry.line_base t.geom addr
@@ -39,6 +27,14 @@ let bank t ~addr ~now =
   in
   finish
 
+(* Queueing a request arriving at [now] would suffer on its bank —
+   lookahead for the upstream port's stall accounting. *)
+let bank_wait t ~addr ~now =
+  let b =
+    Resource.Banked.bank_of t.banks ~addr ~line_bytes:t.geom.Geometry.line_bytes
+  in
+  max 0 (Resource.earliest_free b - (now + t.access_latency))
+
 (* Make room for [addr]: evict the victim (dirty → DRAM, off the critical
    path) and return the free slot. *)
 let free_slot t ~addr ~now =
@@ -48,7 +44,9 @@ let free_slot t ~addr ~now =
     let vline = Store.payload_exn victim in
     if vline.dirty then begin
       Stats.Registry.incr t.stats "dram_writebacks";
-      ignore (Dram.write_line t.dram ~addr:(Store.slot_addr t.store victim) ~data:vline.data ~now)
+      ignore
+        (Backend.write_line t.below ~addr:(Store.slot_addr t.store victim) ~data:vline.data
+           ~now)
     end;
     Store.invalidate victim
   end;
@@ -66,7 +64,7 @@ let read_line t ~addr ~now =
     Array.copy line.data, t0, line.dirty
   | None ->
     Stats.Registry.incr t.stats "misses";
-    let data, t_dram = Dram.read_line t.dram ~addr ~now:t0 in
+    let data, t_dram, _ = Backend.read_line t.below ~addr ~now:t0 in
     let slot = free_slot t ~addr ~now:t0 in
     Store.fill t.store slot ~addr ~payload:{ dirty = false; data = Array.copy data } ~now;
     Array.copy data, t_dram, false
@@ -99,7 +97,7 @@ let persist_line t ~addr ~data ~now =
      Array.blit data 0 line.data 0 (Array.length data);
      line.dirty <- false
    | None -> ());
-  Dram.write_line t.dram ~addr ~data ~now:t0
+  Backend.persist_line t.below ~addr ~data ~now:t0
 
 let persist_if_dirty t ~addr ~now =
   let addr = line_base t addr in
@@ -116,7 +114,7 @@ let discard_line t ~addr =
 let peek_word t addr =
   match Store.find t.store (line_base t addr) with
   | Some slot -> (Store.payload_exn slot).data.(Geometry.offset_word t.geom addr)
-  | None -> Dram.peek_word t.dram addr
+  | None -> Backend.peek_word t.below addr
 
 let present t addr = Store.find t.store (line_base t addr) <> None
 
@@ -127,13 +125,44 @@ let dirty t addr =
 
 let crash t = Store.invalidate_all t.store
 
-let backend t =
-  {
-    Backend.read_line = (fun ~addr ~now -> read_line t ~addr ~now);
-    write_line = (fun ~addr ~data ~now -> write_line t ~addr ~data ~now);
-    persist_line = (fun ~addr ~data ~now -> persist_line t ~addr ~data ~now);
-    persist_if_dirty = (fun ~addr ~now -> persist_if_dirty t ~addr ~now);
-    discard_line = (fun ~addr -> discard_line t ~addr);
-    peek_word = (fun addr -> peek_word t addr);
-    crash = (fun () -> crash t);
-  }
+let create ?(name = "l3") ~geom ~access_latency ~banks ~bank_busy ~below ~beats_per_line () =
+  let t =
+    {
+      geom;
+      access_latency;
+      banks = Resource.Banked.create ~banks (name ^ "-banks");
+      bank_busy;
+      below;
+      store = Store.create geom;
+      stats = Stats.Registry.create ();
+      clock_hint = 0;
+      port = None;
+    }
+  in
+  (* The cache is the agent on its upstream memside port: the LLC above
+     reaches it only through the port, which counts beats and the bank
+     queueing we report. *)
+  t.port <-
+    Some
+      (Backend.create ~name ~beats_per_line (fun stats ->
+         {
+           Skipit_tilelink.Port.Memside.read_line =
+             (fun ~addr ~now ->
+               Skipit_tilelink.Port.Memside.note_wait stats (bank_wait t ~addr ~now);
+               read_line t ~addr ~now);
+           write_line =
+             (fun ~addr ~data ~now ->
+               Skipit_tilelink.Port.Memside.note_wait stats (bank_wait t ~addr ~now);
+               write_line t ~addr ~data ~now);
+           persist_line =
+             (fun ~addr ~data ~now ->
+               Skipit_tilelink.Port.Memside.note_wait stats (bank_wait t ~addr ~now);
+               persist_line t ~addr ~data ~now);
+           persist_if_dirty = (fun ~addr ~now -> persist_if_dirty t ~addr ~now);
+           discard_line = (fun ~addr -> discard_line t ~addr);
+           peek_word = (fun addr -> peek_word t addr);
+           crash = (fun () -> crash t);
+         }));
+  t
+
+let backend t = Option.get t.port

@@ -18,15 +18,24 @@ open Skipit_cache
 type t
 
 val create :
+  ?name:string ->
   geom:Geometry.t ->
   access_latency:int ->
   banks:int ->
   bank_busy:int ->
-  dram:Skipit_mem.Dram.t ->
+  below:Backend.t ->
+  beats_per_line:int ->
+  unit ->
   t
+(** [below] is the next agent towards the persistence domain — usually
+    {!Backend.of_dram} — reached through its own counted port, so the
+    L3↔DRAM boundary is observable like every other.  [beats_per_line]
+    sizes the beat counters of the upstream port this cache exposes via
+    {!backend}. *)
 
 val backend : t -> Backend.t
-(** The interface handed to the L2. *)
+(** The upstream memside port handed to the L2 (one per cache, stable
+    across calls). *)
 
 val present : t -> int -> bool
 val dirty : t -> int -> bool

@@ -25,6 +25,12 @@ let create ~channels ~read_latency ~write_latency ~occupancy ~line_bytes =
     log = None;
   }
 
+let line_bytes t = t.line_bytes
+
+(* How long a request arriving at [now] would queue for a free channel —
+   deterministic lookahead for the memside port's stall accounting. *)
+let queue_wait t ~now = max 0 (Resource.earliest_free t.channels - now)
+
 let read_line t ~addr ~now =
   t.reads <- t.reads + 1;
   let start, _ = Resource.acquire t.channels ~now ~busy:t.occupancy in

@@ -16,6 +16,13 @@ val create :
   line_bytes:int ->
   t
 
+val line_bytes : t -> int
+
+val queue_wait : t -> now:int -> int
+(** How long a request arriving at [now] would wait for a free channel (0
+    when one is idle) — lookahead for port-level stall accounting; does not
+    acquire anything. *)
+
 val read_line : t -> addr:int -> now:int -> int array * int
 (** [read_line t ~addr ~now] returns the line and the cycle at which the data
     is available to the requester-side of the memory controller. *)

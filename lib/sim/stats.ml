@@ -1,7 +1,14 @@
 module Sample = struct
-  type t = { mutable data : float array; mutable len : int }
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    (* Sorted view shared by percentile/median; rebuilt lazily after adds.
+       Order-statistic sweeps (p50/p90/p99 over the same sample) would
+       otherwise re-sort per query. *)
+    mutable sorted_cache : float array option;
+  }
 
-  let create () = { data = Array.make 16 0.; len = 0 }
+  let create () = { data = Array.make 16 0.; len = 0; sorted_cache = None }
 
   let add t x =
     if t.len = Array.length t.data then begin
@@ -10,7 +17,8 @@ module Sample = struct
       t.data <- bigger
     end;
     t.data.(t.len) <- x;
-    t.len <- t.len + 1
+    t.len <- t.len + 1;
+    t.sorted_cache <- None
 
   let add_int t x = add t (float_of_int x)
   let count t = t.len
@@ -38,9 +46,13 @@ module Sample = struct
     fold Float.max Float.neg_infinity t
 
   let sorted t =
-    let arr = Array.sub t.data 0 t.len in
-    Array.sort Float.compare arr;
-    arr
+    match t.sorted_cache with
+    | Some arr -> arr
+    | None ->
+      let arr = Array.sub t.data 0 t.len in
+      Array.sort Float.compare arr;
+      t.sorted_cache <- Some arr;
+      arr
 
   let percentile t p =
     if t.len = 0 then invalid_arg "Sample.percentile: empty";

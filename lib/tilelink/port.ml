@@ -1,0 +1,155 @@
+open Skipit_sim
+
+type grant = { perm : Perm.t; data : int array; l2_dirty : bool; done_at : int }
+type probe_result = { dirty_data : int array option; done_at : int }
+
+type manager = {
+  acquire : addr:int -> grow:Perm.grow -> now:int -> grant;
+  release : addr:int -> shrink:Perm.shrink -> data:int array option -> now:int -> int;
+  root_release : addr:int -> kind:Message.wb_kind -> data:int array option -> now:int -> int;
+  root_inval : addr:int -> now:int -> int;
+  peek_word : int -> int;
+}
+
+type client = { probe : addr:int -> cap:Perm.t -> now:int -> probe_result }
+
+module Channels = struct
+  type t = { a : Resource.t; c : Resource.t; d : Resource.t }
+
+  let create ~name =
+    {
+      a = Resource.create (name ^ "-a");
+      c = Resource.create (name ^ "-c");
+      d = Resource.create (name ^ "-d");
+    }
+end
+
+type t = {
+  name : string;
+  channels : Channels.t;
+  stats : Stats.Registry.t;
+  mutable manager : manager option;
+  mutable client : client option;
+}
+
+let create ?channels ~name () =
+  let channels =
+    match channels with Some c -> c | None -> Channels.create ~name
+  in
+  { name; channels; stats = Stats.Registry.create (); manager = None; client = None }
+
+let name t = t.name
+let stats t = t.stats
+let channels t = t.channels
+
+let connect_manager t m =
+  if t.manager <> None then invalid_arg ("Port." ^ t.name ^ ": manager already connected");
+  t.manager <- Some m
+
+let connect_client t c =
+  if t.client <> None then invalid_arg ("Port." ^ t.name ^ ": client already connected");
+  t.client <- Some c
+
+let manager_exn t =
+  match t.manager with
+  | Some m -> m
+  | None -> invalid_arg ("Port." ^ t.name ^ ": no manager connected")
+
+let client_exn t =
+  match t.client with
+  | Some c -> c
+  | None -> invalid_arg ("Port." ^ t.name ^ ": no client connected")
+
+(* Occupy one channel's wires for [beats] cycles starting no earlier than
+   [now]; a sender that finds the channel busy queues (stall), exactly how
+   structural hazards surface in hardware. *)
+let occupy t res chan ~now ~beats =
+  let start, finish = Resource.acquire res ~now ~busy:beats in
+  Stats.Registry.add t.stats (chan ^ "_beats") beats;
+  if start > now then begin
+    Stats.Registry.incr t.stats (chan ^ "_stalls");
+    Stats.Registry.add t.stats (chan ^ "_wait_cycles") (start - now)
+  end;
+  finish
+
+let send_a t ~now = occupy t t.channels.Channels.a "a" ~now ~beats:1
+let send_c t ~finish ~beats = occupy t t.channels.Channels.c "c" ~now:(finish - beats) ~beats
+let recv_d t ~finish ~beats = occupy t t.channels.Channels.d "d" ~now:(finish - beats) ~beats
+
+let acquire t ~addr ~grow ~now =
+  Stats.Registry.incr t.stats "acquires";
+  (manager_exn t).acquire ~addr ~grow ~now
+
+let release t ~addr ~shrink ~data ~now =
+  Stats.Registry.incr t.stats "releases";
+  (manager_exn t).release ~addr ~shrink ~data ~now
+
+let root_release t ~addr ~kind ~data ~now =
+  Stats.Registry.incr t.stats "root_releases";
+  (manager_exn t).root_release ~addr ~kind ~data ~now
+
+let root_inval t ~addr ~now =
+  Stats.Registry.incr t.stats "root_invals";
+  (manager_exn t).root_inval ~addr ~now
+
+let peek_word t addr = (manager_exn t).peek_word addr
+
+let probe t ~addr ~cap ~now =
+  Stats.Registry.incr t.stats "b_probes";
+  Stats.Registry.add t.stats "b_beats" 1;
+  (client_exn t).probe ~addr ~cap ~now
+
+module Memside = struct
+  type ops = {
+    read_line : addr:int -> now:int -> int array * int * bool;
+    write_line : addr:int -> data:int array -> now:int -> int;
+    persist_line : addr:int -> data:int array -> now:int -> int;
+    persist_if_dirty : addr:int -> now:int -> int;
+    discard_line : addr:int -> unit;
+    peek_word : int -> int;
+    crash : unit -> unit;
+  }
+
+  type t = {
+    name : string;
+    beats_per_line : int;
+    stats : Stats.Registry.t;
+    ops : ops;
+  }
+
+  let create ~name ~beats_per_line mk =
+    let stats = Stats.Registry.create () in
+    { name; beats_per_line; stats; ops = mk stats }
+
+  let name t = t.name
+  let stats t = t.stats
+
+  let note_wait stats cycles =
+    if cycles > 0 then begin
+      Stats.Registry.incr stats "stalls";
+      Stats.Registry.add stats "wait_cycles" cycles
+    end
+
+  let read_line t ~addr ~now =
+    Stats.Registry.incr t.stats "reads";
+    Stats.Registry.add t.stats "read_beats" t.beats_per_line;
+    t.ops.read_line ~addr ~now
+
+  let write_line t ~addr ~data ~now =
+    Stats.Registry.incr t.stats "writes";
+    Stats.Registry.add t.stats "write_beats" t.beats_per_line;
+    t.ops.write_line ~addr ~data ~now
+
+  let persist_line t ~addr ~data ~now =
+    Stats.Registry.incr t.stats "persists";
+    Stats.Registry.add t.stats "write_beats" t.beats_per_line;
+    t.ops.persist_line ~addr ~data ~now
+
+  let persist_if_dirty t ~addr ~now =
+    Stats.Registry.incr t.stats "persist_checks";
+    t.ops.persist_if_dirty ~addr ~now
+
+  let discard_line t ~addr = t.ops.discard_line ~addr
+  let peek_word t addr = t.ops.peek_word addr
+  let crash t = t.ops.crash ()
+end

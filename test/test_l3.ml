@@ -13,17 +13,19 @@ let make_l3 ?(geom = Geometry.v ~size_bytes:4096 ~ways:4 ~line_bytes:64) () =
   let dram =
     Dram.create ~channels:2 ~read_latency:8 ~write_latency:6 ~occupancy:2 ~line_bytes:64
   in
-  Memside.create ~geom ~access_latency:10 ~banks:2 ~bank_busy:2 ~dram, dram
+  let below = Skipit_l2.Backend.of_dram ~name:"l3.dram" ~beats_per_line:4 dram in
+  ( Memside.create ~geom ~access_latency:10 ~banks:2 ~bank_busy:2 ~below ~beats_per_line:4 (),
+    dram )
 
 let test_read_caches () =
   let l3, dram = make_l3 () in
   let b = Memside.backend l3 in
   Dram.poke_word dram 0x40 9;
-  let data, t1, dirty = b.Skipit_l2.Backend.read_line ~addr:0x40 ~now:0 in
+  let data, t1, dirty = Skipit_l2.Backend.read_line b ~addr:0x40 ~now:0 in
   Alcotest.(check int) "value from DRAM" 9 data.(0);
   Alcotest.(check bool) "clean" false dirty;
   Alcotest.(check bool) "first read slow" true (t1 > 10);
-  let _, t2, _ = b.Skipit_l2.Backend.read_line ~addr:0x40 ~now:1000 in
+  let _, t2, _ = Skipit_l2.Backend.read_line b ~addr:0x40 ~now:1000 in
   Alcotest.(check bool) "second read hits L3" true (t2 - 1000 < t1);
   Alcotest.(check int) "hit counted" 1 (Skipit_sim.Stats.Registry.get (Memside.stats l3) "hits")
 
@@ -31,30 +33,30 @@ let test_writeback_lodges_dirty () =
   let l3, dram = make_l3 () in
   let b = Memside.backend l3 in
   let data = Array.make 8 5 in
-  ignore (b.Skipit_l2.Backend.write_line ~addr:0x40 ~data ~now:0);
+  ignore (Skipit_l2.Backend.write_line b ~addr:0x40 ~data ~now:0);
   Alcotest.(check bool) "dirty in L3" true (Memside.dirty l3 0x40);
   Alcotest.(check int) "not yet in DRAM" 0 (Dram.peek_word dram 0x40);
   (* A read now reports dirty-below. *)
-  let v, _, dirty = b.Skipit_l2.Backend.read_line ~addr:0x40 ~now:10 in
+  let v, _, dirty = Skipit_l2.Backend.read_line b ~addr:0x40 ~now:10 in
   Alcotest.(check bool) "dirty reported" true dirty;
   Alcotest.(check int) "freshest data" 5 v.(0)
 
 let test_persist_writes_through () =
   let l3, dram = make_l3 () in
   let b = Memside.backend l3 in
-  ignore (b.Skipit_l2.Backend.write_line ~addr:0x40 ~data:(Array.make 8 5) ~now:0);
-  ignore (b.Skipit_l2.Backend.persist_line ~addr:0x40 ~data:(Array.make 8 6) ~now:10);
+  ignore (Skipit_l2.Backend.write_line b ~addr:0x40 ~data:(Array.make 8 5) ~now:0);
+  ignore (Skipit_l2.Backend.persist_line b ~addr:0x40 ~data:(Array.make 8 6) ~now:10);
   Alcotest.(check int) "durable" 6 (Dram.peek_word dram 0x40);
   Alcotest.(check bool) "L3 copy clean after" false (Memside.dirty l3 0x40)
 
 let test_persist_if_dirty () =
   let l3, dram = make_l3 () in
   let b = Memside.backend l3 in
-  ignore (b.Skipit_l2.Backend.write_line ~addr:0x40 ~data:(Array.make 8 7) ~now:0);
-  ignore (b.Skipit_l2.Backend.persist_if_dirty ~addr:0x40 ~now:5);
+  ignore (Skipit_l2.Backend.write_line b ~addr:0x40 ~data:(Array.make 8 7) ~now:0);
+  ignore (Skipit_l2.Backend.persist_if_dirty b ~addr:0x40 ~now:5);
   Alcotest.(check int) "pushed" 7 (Dram.peek_word dram 0x40);
   (* Clean or absent lines are no-ops. *)
-  let t = b.Skipit_l2.Backend.persist_if_dirty ~addr:0x80 ~now:5 in
+  let t = Skipit_l2.Backend.persist_if_dirty b ~addr:0x80 ~now:5 in
   Alcotest.(check int) "absent = free" 5 t
 
 let test_eviction_writes_back () =
@@ -64,13 +66,13 @@ let test_eviction_writes_back () =
   let b = Memside.backend l3 in
   let stride = geom.Geometry.sets * 64 in
   for i = 0 to 5 do
-    ignore (b.Skipit_l2.Backend.write_line ~addr:(i * stride) ~data:(Array.make 8 (i + 1)) ~now:(i * 10))
+    ignore (Skipit_l2.Backend.write_line b ~addr:(i * stride) ~data:(Array.make 8 (i + 1)) ~now:(i * 10))
   done;
   Alcotest.(check bool) "evictions happened" true
     (Skipit_sim.Stats.Registry.get (Memside.stats l3) "evictions" >= 2);
   (* Every value must be recoverable (from L3 or DRAM). *)
   for i = 0 to 5 do
-    let v, _, _ = b.Skipit_l2.Backend.read_line ~addr:(i * stride) ~now:1000 in
+    let v, _, _ = Skipit_l2.Backend.read_line b ~addr:(i * stride) ~now:1000 in
     Alcotest.(check int) "value survives eviction" (i + 1) v.(0)
   done;
   Alcotest.(check bool) "dirty evictions reached DRAM" true (Dram.writes dram >= 2)

@@ -43,25 +43,10 @@ let test_pp_encodings () =
   in
   Alcotest.(check string) "RootReleaseAck" "RootReleaseAck(0x80)" s
 
-module Link = Skipit_tilelink.Link
-
-let test_link_channels () =
-  let l = Link.create ~core:0 in
-  (* Contention-free: a send whose serialization is already accounted costs
-     nothing extra. *)
-  Alcotest.(check int) "free channel" 10 (Link.acquire_c l ~now:6 ~beats:4);
-  (* A second sender wanting the same window queues behind it. *)
-  Alcotest.(check int) "contended send queues" 14 (Link.acquire_c l ~now:6 ~beats:4);
-  (* Channels are independent. *)
-  Alcotest.(check int) "A channel free" 8 (Link.acquire_a l ~now:7);
-  Alcotest.(check int) "D channel free" 11 (Link.acquire_d l ~now:7 ~beats:4);
-  Alcotest.(check int) "C utilisation" 8 (Link.c_busy_cycles l)
-
 let tests =
   ( "message",
     [
       Alcotest.test_case "beat counts" `Quick test_beats;
       Alcotest.test_case "channel C accessors" `Quick test_chan_c_accessors;
       Alcotest.test_case "paper encodings printable" `Quick test_pp_encodings;
-      Alcotest.test_case "link channel occupancy" `Quick test_link_channels;
     ] )

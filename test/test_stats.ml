@@ -30,6 +30,18 @@ let test_empty_raises () =
     (fun () -> ignore (Sample.median (Sample.create ())));
   ignore (Alcotest.(check bool) "empty" true (Sample.is_empty (Sample.create ())))
 
+let test_sorted_cache_invalidated () =
+  (* percentile/median share a lazily built sorted view; an add must
+     invalidate it or later queries see stale order statistics. *)
+  let s = of_list [ 10.; 20.; 30. ] in
+  Alcotest.(check (float 1e-9)) "median before add" 20. (Sample.median s);
+  Sample.add s 1.;
+  Sample.add s 2.;
+  Alcotest.(check (float 1e-9)) "median sees new elements" 10. (Sample.median s);
+  Alcotest.(check (float 1e-9)) "p0 sees new minimum" 1. (Sample.percentile s 0.);
+  (* Repeated queries without adds stay consistent (served from the cache). *)
+  Alcotest.(check (float 1e-9)) "repeat query stable" 10. (Sample.median s)
+
 let test_growth () =
   let s = Sample.create () in
   for i = 1 to 1000 do
@@ -88,6 +100,7 @@ let tests =
       Alcotest.test_case "percentiles" `Quick test_percentiles;
       Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
       Alcotest.test_case "empty raises" `Quick test_empty_raises;
+      Alcotest.test_case "sorted cache invalidated" `Quick test_sorted_cache_invalidated;
       Alcotest.test_case "growth to 1000" `Quick test_growth;
       Alcotest.test_case "counter" `Quick test_counter;
       Alcotest.test_case "registry" `Quick test_registry;
