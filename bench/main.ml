@@ -24,6 +24,8 @@ module Figures = Skipit_workload.Figures
 module Ablation = Skipit_workload.Ablation
 module S = Skipit_core.System
 module C = Skipit_core.Config
+module Trace = Skipit_obs.Trace
+module Latency = Skipit_obs.Latency
 
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
@@ -98,13 +100,28 @@ let trace_path name =
   in
   List.find_opt Sys.file_exists candidates
 
-(* A workload result: elapsed cycles plus the full stats report. *)
+(* A workload result: elapsed cycles, per-class latency percentiles, and the
+   full stats report. *)
 type workload_result = {
   w_name : string;
   cycles : int;
   checksums : int array;
+  latency : (string * Latency.summary) list;
   stats : (string * int) list;
 }
+
+(* Run [f] with tracing on and distill the per-class latency summaries
+   (plus "overall") from the recorded request spans.  Tracing never changes
+   simulated timing, so the cycle counts are those of an untraced run. *)
+let with_latency f =
+  let tr = Trace.start ~capacity:(1 lsl 20) () in
+  let r = Fun.protect ~finally:(fun () -> ignore (Trace.stop ())) f in
+  let overall =
+    match Latency.summarize (Latency.overall (Latency.of_trace tr)) with
+    | Some s -> [ "overall", s ]
+    | None -> []
+  in
+  r, overall @ Latency.summaries (Latency.of_trace tr)
 
 let run_trace_workload name ~skip_it =
   match trace_path name with
@@ -115,12 +132,15 @@ let run_trace_workload name ~skip_it =
      | Ok program ->
        let cores = Skipit_workload.Trace_program.max_core program + 1 in
        let sys = S.create (C.platform ~cores ~skip_it ()) in
-       let cycles, checksums = Skipit_workload.Trace_program.run sys program in
+       let (cycles, checksums), latency =
+         with_latency (fun () -> Skipit_workload.Trace_program.run sys program)
+       in
        Some
          {
            w_name = Printf.sprintf "%s%s" name (if skip_it then "+skipit" else "");
            cycles;
            checksums;
+           latency;
            stats = S.stats_report sys;
          })
 
@@ -145,11 +165,12 @@ let run_scaling_workload ~skip_it =
           T.fence ());
     }
   in
-  let cycles = T.run sys (List.init threads task) in
+  let cycles, latency = with_latency (fun () -> T.run sys (List.init threads task)) in
   {
     w_name = Printf.sprintf "store_double_flush_8t%s" (if skip_it then "+skipit" else "");
     cycles;
     checksums = [||];
+    latency;
     stats = S.stats_report sys;
   }
 
@@ -167,7 +188,18 @@ let json_of_results results =
           if j > 0 then Buffer.add_string buf ", ";
           Buffer.add_string buf (string_of_int c))
         r.checksums;
-      Buffer.add_string buf "],\n      \"stats\": {";
+      Buffer.add_string buf "],\n      \"latency\": {";
+      List.iteri
+        (fun j (cls, s) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\"%s\": {\"count\": %d, \"mean\": %.2f, \"p50\": %.1f, \"p95\": %.1f, \
+                \"p99\": %.1f, \"max\": %.1f}"
+               cls s.Latency.count s.Latency.mean s.Latency.p50 s.Latency.p95
+               s.Latency.p99 s.Latency.max))
+        r.latency;
+      Buffer.add_string buf "},\n      \"stats\": {";
       List.iteri
         (fun j (k, v) ->
           if j > 0 then Buffer.add_string buf ", ";

@@ -5,6 +5,9 @@ module Figures = Skipit_workload.Figures
 module Micro = Skipit_workload.Micro
 module S = Skipit_core.System
 module C = Skipit_core.Config
+module Trace = Skipit_obs.Trace
+module Latency = Skipit_obs.Latency
+module Perfetto = Skipit_obs.Perfetto
 open Cmdliner
 
 let with_ppf f =
@@ -13,6 +16,68 @@ let with_ppf f =
   f ppf;
   Format.pp_close_box ppf ();
   Format.pp_print_newline ppf ()
+
+(* ------------------------------------------------------------------ *)
+(* Tracing plumbing shared by the stats/run/trace commands.           *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record a cycle-stamped event trace of the run and write it as \
+               Chrome trace-event JSON (open in ui.perfetto.dev).")
+
+let trace_filter_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-filter" ] ~docv:"COMPONENTS"
+         ~doc:"Comma-separated component-track prefixes to record, e.g. \
+               'l1,fu.0,port'.  Default: every component.")
+
+let parse_filter = function
+  | None -> None
+  | Some s -> (
+    let parts =
+      String.split_on_char ',' s
+      |> List.filter_map (fun p ->
+           match String.trim p with "" -> None | p -> Some p)
+    in
+    match parts with [] -> None | l -> Some l)
+
+(* Trace [f], then export the Perfetto JSON and print the latency table. *)
+let run_traced ?capacity ~out ~filter f =
+  let tr = Trace.start ?capacity ?filter:(parse_filter filter) () in
+  Fun.protect ~finally:(fun () -> ignore (Trace.stop ())) f;
+  Perfetto.write_file out tr;
+  with_ppf (fun ppf -> Latency.pp ppf (Latency.of_trace tr));
+  if Trace.dropped tr > 0 then
+    Printf.printf
+      "trace: %d event(s) dropped after the ring filled; narrow --trace-filter\n"
+      (Trace.dropped tr);
+  Printf.printf "trace: wrote %s (%d events, %d tracks)\n" out (Trace.length tr)
+    (List.length (Perfetto.tracks tr))
+
+let maybe_traced ~out ~filter f =
+  match out with None -> f () | Some out -> run_traced ~out ~filter f
+
+(* Print a stats report grouped by component ("l1.0.load_hits" sits in the
+   "l1.0" block as "load_hits").  The report is sorted by name, so members
+   of one component are already contiguous. *)
+let print_grouped_stats report =
+  let split name =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1)
+    | None -> "", name
+  in
+  let last = ref None in
+  List.iter
+    (fun (k, v) ->
+      let g, leaf = split k in
+      if !last <> Some g then begin
+        if !last <> None then print_newline ();
+        Printf.printf "[%s]\n" (if g = "" then "system" else g);
+        last := Some g
+      end;
+      Printf.printf "  %-26s %d\n" leaf v)
+    report
 
 let figure_cmd =
   let figure =
@@ -46,32 +111,35 @@ let stats_cmd =
     Arg.(value & flag & info [ "shared-bus" ]
          ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
   in
-  let run threads lines skip_it shared_bus =
-    let topology = if shared_bus then `Shared_bus else `Crossbar in
-    let sys = S.create (C.platform ~cores:threads ~skip_it ~topology ()) in
-    let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (lines * 64) in
-    let module T = Skipit_core.Thread in
-    let per = max 1 (lines / threads) in
-    let task core =
-      {
-        T.core;
-        body =
-          (fun () ->
-            for i = core * per to min lines ((core + 1) * per) - 1 do
-              T.store (base + (i * 64)) i;
-              T.flush (base + (i * 64));
-              T.flush (base + (i * 64))
-            done;
-            T.fence ());
-      }
-    in
-    let cycles = T.run sys (List.init threads task) in
-    Printf.printf "elapsed: %d cycles\n" cycles;
-    List.iter (fun (k, v) -> Printf.printf "%-28s %d\n" k v) (S.stats_report sys)
+  let run threads lines skip_it shared_bus trace_out trace_filter =
+    maybe_traced ~out:trace_out ~filter:trace_filter (fun () ->
+      let topology = if shared_bus then `Shared_bus else `Crossbar in
+      let sys = S.create (C.platform ~cores:threads ~skip_it ~topology ()) in
+      S.emit_trace_meta sys;
+      let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (lines * 64) in
+      let module T = Skipit_core.Thread in
+      let per = max 1 (lines / threads) in
+      let task core =
+        {
+          T.core;
+          body =
+            (fun () ->
+              for i = core * per to min lines ((core + 1) * per) - 1 do
+                T.store (base + (i * 64)) i;
+                T.flush (base + (i * 64));
+                T.flush (base + (i * 64))
+              done;
+              T.fence ());
+        }
+      in
+      let cycles = T.run sys (List.init threads task) in
+      Printf.printf "elapsed: %d cycles\n" cycles;
+      print_grouped_stats (S.stats_report sys))
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Run a store+double-flush loop and dump all counters")
-    Term.(const run $ threads $ lines $ skip_it $ shared_bus)
+    Term.(const run $ threads $ lines $ skip_it $ shared_bus $ trace_out_arg
+          $ trace_filter_arg)
 
 let sweep_cmd =
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Simulated cores.") in
@@ -97,41 +165,78 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Writeback-size latency sweep (Fig. 9 style)")
     Term.(const run $ threads $ clean $ csv $ contended)
 
-let run_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace program file.")
-  in
-  let cores = Arg.(value & opt (some int) None & info [ "cores" ] ~doc:"Simulated cores (default: enough for the trace).") in
-  let skip_it = Arg.(value & flag & info [ "skip-it" ] ~doc:"Enable Skip It.") in
-  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump all counters after the run.") in
-  let shared_bus =
-    Arg.(value & flag & info [ "shared-bus" ]
-         ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
-  in
-  let run file cores skip_it stats shared_bus =
-    match Skipit_workload.Trace_program.load_file file with
-    | Error e ->
-      prerr_endline ("trace error: " ^ e);
+(* Shared by the run/trace commands: load a trace program and settle the
+   core count. *)
+let load_program file cores =
+  match Skipit_workload.Trace_program.load_file file with
+  | Error e ->
+    prerr_endline ("trace error: " ^ e);
+    exit 1
+  | Ok program ->
+    let needed = Skipit_workload.Trace_program.max_core program + 1 in
+    let cores = match cores with Some n -> n | None -> needed in
+    if cores < needed then begin
+      Printf.eprintf "trace error: program uses core %d but only %d core%s simulated\n"
+        (needed - 1) cores (if cores = 1 then " is" else "s are");
       exit 1
-    | Ok program ->
-      let needed = Skipit_workload.Trace_program.max_core program + 1 in
-      let cores = match cores with Some n -> n | None -> needed in
-      if cores < needed then begin
-        Printf.eprintf "trace error: program uses core %d but only %d core%s simulated\n"
-          (needed - 1) cores (if cores = 1 then " is" else "s are");
-        exit 1
-      end;
-      let topology = if shared_bus then `Shared_bus else `Crossbar in
-      let sys = S.create (C.platform ~cores ~skip_it ~topology ()) in
-      let cycles, checksums = Skipit_workload.Trace_program.run sys program in
-      Printf.printf "elapsed: %d cycles\n" cycles;
-      Array.iteri (fun i c -> Printf.printf "core %d load-checksum: %#x\n" i c) checksums;
-      if stats then
-        List.iter (fun (k, v) -> Printf.printf "%-28s %d\n" k v) (S.stats_report sys)
+    end;
+    program, cores
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace program file.")
+
+let cores_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cores" ] ~doc:"Simulated cores (default: enough for the trace).")
+
+let skip_it_arg = Arg.(value & flag & info [ "skip-it" ] ~doc:"Enable Skip It.")
+
+let shared_bus_arg =
+  Arg.(value & flag & info [ "shared-bus" ]
+       ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
+
+let run_program ~file ~cores ~skip_it ~shared_bus ~stats =
+  let program, cores = load_program file cores in
+  let topology = if shared_bus then `Shared_bus else `Crossbar in
+  let sys = S.create (C.platform ~cores ~skip_it ~topology ()) in
+  S.emit_trace_meta sys;
+  let cycles, checksums = Skipit_workload.Trace_program.run sys program in
+  Printf.printf "elapsed: %d cycles\n" cycles;
+  Array.iteri (fun i c -> Printf.printf "core %d load-checksum: %#x\n" i c) checksums;
+  if stats then print_grouped_stats (S.stats_report sys)
+
+let run_cmd =
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump all counters after the run.") in
+  let run file cores skip_it stats shared_bus trace_out trace_filter =
+    maybe_traced ~out:trace_out ~filter:trace_filter (fun () ->
+      run_program ~file ~cores ~skip_it ~shared_bus ~stats)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a text trace program (see examples/traces/)")
-    Term.(const run $ file $ cores $ skip_it $ stats $ shared_bus)
+    Term.(const run $ program_arg $ cores_arg $ skip_it_arg $ stats $ shared_bus_arg
+          $ trace_out_arg $ trace_filter_arg)
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Output file for the Chrome trace-event JSON (open in ui.perfetto.dev).")
+  in
+  let capacity =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "trace-capacity" ] ~docv:"N"
+           ~doc:"Ring-buffer capacity in events; the oldest events are dropped beyond it.")
+  in
+  let run file cores skip_it shared_bus out filter capacity =
+    run_traced ~capacity ~out ~filter (fun () ->
+      run_program ~file ~cores ~skip_it ~shared_bus ~stats:false)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a trace program with event tracing on: write a Perfetto \
+             timeline and print per-class latency percentiles")
+    Term.(const run $ program_arg $ cores_arg $ skip_it_arg $ shared_bus_arg $ out
+          $ trace_filter_arg $ capacity)
 
 let ablate_cmd =
   let run () = with_ppf Skipit_workload.Ablation.run_all in
@@ -145,4 +250,7 @@ let () =
     Cmd.info "skipit_sim" ~version:"1.0.0"
       ~doc:"Simulator for 'Skip It: Take Control of Your Cache!' (ASPLOS 2024)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd; trace_cmd ]))

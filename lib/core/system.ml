@@ -178,6 +178,28 @@ let check_coherence t =
       t.dcaches;
     (match !error with Some msg -> Error msg | None -> Ok ())
 
+(* Declare every component's trace track up front so the exported timeline
+   shows the full topology even for components that stay silent. *)
+let emit_trace_meta t =
+  let module Trace = Skipit_obs.Trace in
+  if Trace.enabled () then begin
+    let meta track note = Trace.emit ~at:0 (Trace.Meta { track; note }) in
+    Array.iteri
+      (fun i _ ->
+        meta (Printf.sprintf "l1.%d" i) "L1 data cache";
+        meta (Printf.sprintf "l1.%d.mshr" i) "L1 MSHRs";
+        meta (Printf.sprintf "fu.%d.q" i) "flush queue")
+      t.dcaches;
+    Array.iter (fun p -> meta ("port." ^ Port.name p) "TileLink client port") t.ports;
+    List.iter
+      (fun b -> meta ("port." ^ Skipit_l2.Backend.name b) "memside port")
+      t.memside_ports;
+    meta "l2" "shared inclusive L2";
+    meta "l2.mshr" "L2 MSHRs";
+    (match t.l3 with Some _ -> meta "l2.l3" "memory-side L3" | None -> ());
+    meta "dram" "DRAM (persistence domain)"
+  end
+
 let stats_report t =
   let acc = ref [] in
   let push prefix reg =

@@ -82,6 +82,12 @@ val check_coherence : t -> (unit, string) result
       skip bit {e set} implies the L2 copy is not dirty (skipping its
       writeback cannot lose data). *)
 
+val emit_trace_meta : t -> unit
+(** When tracing is active, emit one [Meta] event per component track
+    (L1s, MSHRs, flush queues, ports, L2, L3, DRAM) so the exported
+    timeline declares the full topology even for components that emit no
+    events during the run.  No-op when tracing is off. *)
+
 val stats_report : t -> (string * int) list
 (** Aggregated named counters from all components, prefixed by component
     (["l1.0.load_hits"], ["l2.dram_writebacks"], ["fu.0.skip_dropped"], ...).

@@ -1,6 +1,7 @@
 open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
+module Trace = Skipit_obs.Trace
 
 type line = {
   mutable perm : Perm.t;
@@ -39,6 +40,9 @@ let beats t = Params.data_beats t.p
 let channel_c t ~finish ~beats = Port.send_c t.port ~finish ~beats
 let channel_d t ~finish ~beats = Port.recv_d t.port ~finish ~beats
 
+let l1_ev t ~at ~addr op =
+  if Trace.enabled () then Trace.emit ~at (Trace.L1 { core = t.core; op; addr })
+
 let note_change t ~addr ~now = Hashtbl.replace t.last_change (line_base t addr) now
 
 let last_change t ~addr =
@@ -59,16 +63,20 @@ let evict_slot t slot ~now =
   let t_free =
     if line.dirty then begin
       Stats.Registry.incr t.stats "evictions_dirty";
+      l1_ev t ~at:t0 ~addr:vaddr Trace.Evict_dirty;
+      let rid = Trace.req_start ~at:t0 ~cls:Trace.Cls_writeback ~core:t.core ~addr:vaddr in
       let _, t_buf = Resource.acquire t.wbu ~now:t0 ~busy:(beats t) in
       let t_sent = channel_c t ~finish:t_buf ~beats:(beats t) in
       let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
       ignore
         (Port.release t.port ~addr:vaddr ~shrink ~data:(Some (Array.copy line.data))
            ~now:t_sent);
+      Trace.req_end ~at:t_sent rid;
       t_sent
     end
     else begin
       Stats.Registry.incr t.stats "evictions_clean";
+      l1_ev t ~at:t0 ~addr:vaddr Trace.Evict_clean;
       let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
       ignore (Port.release t.port ~addr:vaddr ~shrink ~data:None ~now:t0);
       t0 + 1
@@ -83,8 +91,12 @@ let evict_slot t slot ~now =
 let refill t ~addr ~grow ~now =
   let addr = line_base t addr in
   let installed = ref None in
-  let _, finish =
-    Resource.acquire_dyn t.mshrs ~now (fun start ->
+  let mshr_comp = lazy (Printf.sprintf "l1.%d.mshr" t.core) in
+  let _, _, finish =
+    Resource.acquire_dyn_idx t.mshrs ~now (fun ~idx start ->
+      if Trace.enabled () then
+        Trace.emit ~at:start
+          (Trace.Resource { comp = Lazy.force mshr_comp; idx; op = Trace.Res_alloc });
       let slot, t_slot =
         match find_line t addr with
         | Some slot ->
@@ -112,6 +124,9 @@ let refill t ~addr ~grow ~now =
       in
       Store.fill t.store_arr slot ~addr ~payload:line ~now:grant.Port.done_at;
       installed := Some line;
+      if Trace.enabled () then
+        Trace.emit ~at:grant.Port.done_at
+          (Trace.Resource { comp = Lazy.force mshr_comp; idx; op = Trace.Res_free });
       grant.Port.done_at)
   in
   match !installed with
@@ -123,6 +138,7 @@ let rec load t ~addr ~now =
   | Some slot ->
     let line = Store.payload_exn slot in
     Stats.Registry.incr t.stats "load_hits";
+    l1_ev t ~at:now ~addr Trace.Load_hit;
     Store.touch t.store_arr slot ~now;
     line.data.(word_off t addr), now + t.p.Params.l1_load_to_use
   | None -> (
@@ -131,13 +147,18 @@ let rec load t ~addr ~now =
     | Flush_unit.Load_forward tb ->
       (* §5.3: the FSHR's filled data buffer is forwarded to the load. *)
       Stats.Registry.incr t.stats "load_forwards";
+      l1_ev t ~at:now ~addr Trace.Load_forward;
       Port.peek_word t.port addr, tb + t.p.Params.l1_load_to_use
     | Flush_unit.Load_wait tw ->
       Stats.Registry.incr t.stats "load_nacks";
+      l1_ev t ~at:now ~addr Trace.Load_nack;
       load t ~addr ~now:(tw + t.p.Params.nack_retry_delay)
     | Flush_unit.Load_no_conflict ->
       Stats.Registry.incr t.stats "load_misses";
+      l1_ev t ~at:now ~addr Trace.Load_miss;
+      let rid = Trace.req_start ~at:now ~cls:Trace.Cls_load_miss ~core:t.core ~addr in
       let line, t_done = refill t ~addr ~grow:Perm.N_to_B ~now in
+      Trace.req_end ~at:t_done rid;
       line.data.(word_off t addr), t_done + t.p.Params.l1_load_to_use)
 
 (* Obtain a Trunk copy for a write-type access, honouring the §5.3 pending-
@@ -149,23 +170,31 @@ let writable_line t ~addr ~now =
     match Flush_unit.store_proceed_at t.flush ~addr:base ~now with
     | Some tw when tw > now ->
       Stats.Registry.incr t.stats "store_nacks";
+      l1_ev t ~at:now ~addr Trace.Store_nack;
       tw
     | Some _ | None -> now
   in
   match find_line t addr with
   | Some slot when Perm.includes (Store.payload_exn slot).perm Perm.Trunk ->
     Stats.Registry.incr t.stats "store_hits";
+    l1_ev t ~at:now ~addr Trace.Store_hit;
     Store.touch t.store_arr slot ~now;
     Store.payload_exn slot, now + t.p.Params.l1_store_commit
   | Some slot ->
     (* Branch → Trunk upgrade; data is re-granted (no AcquirePerm, §3.3). *)
     Stats.Registry.incr t.stats "store_upgrades";
+    l1_ev t ~at:now ~addr Trace.Store_upgrade;
     ignore slot;
+    let rid = Trace.req_start ~at:now ~cls:Trace.Cls_store_miss ~core:t.core ~addr in
     let line, t_done = refill t ~addr ~grow:Perm.B_to_T ~now in
+    Trace.req_end ~at:t_done rid;
     line, t_done + t.p.Params.l1_store_commit
   | None ->
     Stats.Registry.incr t.stats "store_misses";
+    l1_ev t ~at:now ~addr Trace.Store_miss;
+    let rid = Trace.req_start ~at:now ~cls:Trace.Cls_store_miss ~core:t.core ~addr in
     let line, t_done = refill t ~addr ~grow:Perm.N_to_T ~now in
+    Trace.req_end ~at:t_done rid;
     line, t_done + t.p.Params.l1_store_commit
 
 let store t ~addr ~value ~now =
@@ -198,6 +227,12 @@ type cbo_result = {
 
 let cbo t ~addr ~kind ~now =
   let base = line_base t addr in
+  let cls =
+    match kind with
+    | Message.Wb_clean -> Trace.Cls_cbo_clean
+    | Message.Wb_flush -> Trace.Cls_cbo_flush
+  in
+  let rid = Trace.req_start ~at:now ~cls ~core:t.core ~addr:base in
   (* The CBO.X travels the STQ like a store (§5.1) and reads the metadata
      array on arrival; the snapshot is carried in the flush request. *)
   let t_access = now + t.p.Params.cbo_issue_cost in
@@ -212,6 +247,8 @@ let cbo t ~addr ~kind ~now =
   if t.p.Params.skip_it && hit && (not dirty) && skip then begin
     (* §6.1 fast drop: the line is persisted; signal success to the LSU. *)
     Flush_unit.note_skip_drop t.flush;
+    l1_ev t ~at:t_access ~addr:base Trace.Skip_drop;
+    Trace.req_end ~at:t_access rid;
     { commit_at = t_access; ack_at = t_access; dropped = `Skip_bit }
   end
   else begin
@@ -249,8 +286,12 @@ let cbo t ~addr ~kind ~now =
        if Perm.compare line.perm Perm.Nothing > 0 then line.skip <- true
      | (Flush_unit.Accepted _ | Flush_unit.Coalesced _), _, _ -> ());
     match result with
-    | Flush_unit.Coalesced { commit_at; ack_at } -> { commit_at; ack_at; dropped = `Coalesced }
+    | Flush_unit.Coalesced { commit_at; ack_at } ->
+      l1_ev t ~at:commit_at ~addr:base Trace.Cbo_coalesced;
+      Trace.req_end ~at:ack_at rid;
+      { commit_at; ack_at; dropped = `Coalesced }
     | Flush_unit.Accepted p ->
+      Trace.req_end ~at:p.Flush_unit.ack_at rid;
       { commit_at = p.Flush_unit.commit_at; ack_at = p.Flush_unit.ack_at; dropped = `Executed }
   end
 
@@ -286,6 +327,7 @@ let fence t ~now = Flush_unit.fence_ready_at t.flush ~now + t.p.Params.fence_bas
 let handle_probe t ~addr ~cap ~now =
   let base = line_base t addr in
   Stats.Registry.incr t.stats "probes_handled";
+  l1_ev t ~at:now ~addr:base Trace.Probe_handled;
   let t0 = Flush_unit.probe_block_until t.flush ~addr:base ~cap ~now in
   let meta = t.p.Params.l1_meta_access in
   match find_line t base with

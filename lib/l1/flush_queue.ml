@@ -1,4 +1,5 @@
 open Skipit_tilelink
+module Trace = Skipit_obs.Trace
 
 type entry = {
   addr : int;
@@ -9,21 +10,30 @@ type entry = {
   mutable coalesced : int;
 }
 
-type t = { depth : int; q : entry Queue.t }
+type t = { name : string; depth : int; q : entry Queue.t }
 
-let create ~depth =
+let create ?(name = "flushq") ~depth () =
   if depth < 0 then invalid_arg "Flush_queue.create: negative depth";
-  { depth; q = Queue.create () }
+  { name; depth; q = Queue.create () }
 
+let name t = t.name
 let depth t = t.depth
 let length t = Queue.length t.q
 let is_empty t = Queue.is_empty t.q
 let is_full t = Queue.length t.q >= t.depth
 
+let trace_kind = function
+  | Message.Wb_clean -> Trace.Clean
+  | Message.Wb_flush -> Trace.Flush
+
 let enqueue t entry =
   if is_full t then false
   else begin
     Queue.add entry t.q;
+    if Trace.enabled () then
+      Trace.emit ~at:entry.enq_at
+        (Trace.Flushq
+           { name = t.name; op = Trace.Q_enqueue; addr = entry.addr; kind = trace_kind entry.kind });
     true
   end
 

@@ -23,8 +23,15 @@ type entry = {
 
 type t
 
-val create : depth:int -> t
+val create : ?name:string -> depth:int -> unit -> t
+(** [name] labels the queue's observability track (default ["flushq"];
+    the flush unit uses ["fu.<core>.q"]). *)
+
+val name : t -> string
 val depth : t -> int
+
+(** Map a TileLink writeback kind onto its trace-event encoding. *)
+val trace_kind : Skipit_tilelink.Message.wb_kind -> Skipit_obs.Trace.wb
 val length : t -> int
 val is_empty : t -> bool
 val is_full : t -> bool

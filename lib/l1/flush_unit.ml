@@ -1,6 +1,7 @@
 open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
+module Trace = Skipit_obs.Trace
 
 type pending = {
   entry : Flush_queue.entry;
@@ -40,7 +41,10 @@ let create p ~core =
          Some (Admission.create ~capacity:p.Params.flush_queue_depth)
        else None);
     pendings = [];
-    book = Flush_queue.create ~depth:(max 1 p.Params.flush_queue_depth);
+    book =
+      Flush_queue.create
+        ~name:(Printf.sprintf "fu.%d.q" core)
+        ~depth:(max 1 p.Params.flush_queue_depth) ();
     stats = Stats.Registry.create ();
   }
 
@@ -81,6 +85,15 @@ let find_coalescible t ~addr ~kind ~last_line_change ~now =
       && p.entry.Flush_queue.enq_at >= last_line_change)
     t.pendings
 
+(* Fig. 7 FSM states as trace events ([Invalid] is not a resident state). *)
+let trace_state = function
+  | Fshr_fsm.Meta_write -> Some Trace.Fs_meta_write
+  | Fshr_fsm.Fill_buffer -> Some Trace.Fs_fill_buffer
+  | Fshr_fsm.Root_release_data -> Some Trace.Fs_release_data
+  | Fshr_fsm.Root_release -> Some Trace.Fs_release
+  | Fshr_fsm.Root_release_ack -> Some Trace.Fs_release_ack
+  | Fshr_fsm.Invalid -> None
+
 let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
   assert (Option.is_some line_data = (hit && dirty));
   let depth = t.p.Params.flush_queue_depth in
@@ -95,14 +108,24 @@ let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
   in
   ignore (Flush_queue.enqueue t.book entry);
   Stats.Registry.incr t.stats "fshr_allocs";
+  let tkind = Flush_queue.trace_kind kind in
+  let fshr_ev ~at ~idx op =
+    Trace.emit ~at (Trace.Fshr { core = t.core; idx; op; addr; kind = tkind })
+  in
   (* FSHR allocation and the Fig. 7 walk.  The FSHR is occupied from
      dequeue until the RootReleaseAck returns (root_release_ack state). *)
   let buffer_ready = ref None in
   let meta_write = ref None in
   let release_time = ref 0 in
   let ack_time = ref 0 in
-  let fshr_alloc_at, _ =
-    Resource.acquire_dyn t.fshrs ~now:enq_at (fun alloc_at ->
+  let _, fshr_alloc_at, _ =
+    Resource.acquire_dyn_idx t.fshrs ~now:enq_at (fun ~idx alloc_at ->
+      if Trace.enabled () then begin
+        Trace.emit ~at:alloc_at
+          (Trace.Flushq
+             { name = Flush_queue.name t.book; op = Trace.Q_dequeue; addr; kind = tkind });
+        fshr_ev ~at:alloc_at ~idx Trace.Fshr_alloc
+      end;
       let meta_cycles = t.p.Params.l1_meta_access in
       let fill_cycles = Params.fill_buffer_cycles t.p in
       let data_beats = Params.data_beats t.p in
@@ -116,12 +139,17 @@ let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
            | Fshr_fsm.Fill_buffer -> buffer_ready := Some (!tm + fill_cycles)
            | Fshr_fsm.Invalid | Fshr_fsm.Root_release_data | Fshr_fsm.Root_release
            | Fshr_fsm.Root_release_ack -> ());
+          (if Trace.enabled () then
+             match trace_state state with
+             | Some s -> fshr_ev ~at:!tm ~idx (Trace.Fshr_step s)
+             | None -> ());
           tm := !tm + Fshr_fsm.state_cycles state ~meta_cycles ~fill_cycles ~data_beats)
         (Fshr_fsm.path plan);
       release_time := !tm;
       let data = if Fshr_fsm.sends_data plan then line_data else None in
       Stats.Registry.incr t.stats (if data = None then "wb_without_data" else "wb_with_data");
       ack_time := send ~data ~now:!tm;
+      if Trace.enabled () then fshr_ev ~at:!ack_time ~idx Trace.Fshr_free;
       !ack_time)
   in
   let pending =
@@ -149,6 +177,15 @@ let submit t ~addr ~kind ~hit ~dirty ~line_data ~last_line_change ~now ~apply_me
     | Some partner ->
       Stats.Registry.incr t.stats "coalesced";
       Flush_queue.record_coalesce partner.entry;
+      if Trace.enabled () then
+        Trace.emit ~at:now
+          (Trace.Flushq
+             {
+               name = Flush_queue.name t.book;
+               op = Trace.Q_coalesce;
+               addr;
+               kind = Flush_queue.trace_kind kind;
+             });
       Coalesced { commit_at = now; ack_at = partner.ack_at }
     | None -> submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send
   end

@@ -1,6 +1,7 @@
 open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
+module Trace = Skipit_obs.Trace
 
 type probe_result = Port.probe_result = {
   dirty_data : int array option;
@@ -50,6 +51,8 @@ let line t addr = Geometry.line_base t.p.Params.l2_geom addr
 let line_bytes t = Params.line_bytes t.p
 let beats t = Params.data_beats t.p
 
+let l2_ev ~at ~addr op = if Trace.enabled () then Trace.emit ~at (Trace.L2 { op; addr })
+
 let bank_access t ~addr ~now =
   let _, finish =
     Resource.Banked.acquire t.banks ~addr ~line_bytes:(line_bytes t) ~now
@@ -64,6 +67,7 @@ let probe_one t ~core ~addr ~cap ~now =
   match t.ports.(core) with
   | Some port ->
     Stats.Registry.incr t.stats "probes";
+    l2_ev ~at:now ~addr L2_probe;
     Port.probe port ~addr ~cap ~now:(now + t.p.Params.link_latency)
   | None -> invalid_arg (Printf.sprintf "Inclusive_cache: no client port for core %d" core)
 
@@ -91,10 +95,12 @@ let evict_victim t slot ~now =
   let vaddr = Store.slot_addr t.store slot in
   let dir = Store.payload_exn slot in
   Stats.Registry.incr t.stats "evictions";
+  l2_ev ~at:now ~addr:vaddr L2_evict;
   let owners = Directory.owners_above dir Perm.Nothing in
   let t_probed = probe_all t ~addr:vaddr ~cap:Perm.Nothing ~cores:owners ~now dir in
   if dir.Directory.dirty then begin
     Stats.Registry.incr t.stats "dram_writebacks";
+    l2_ev ~at:t_probed ~addr:vaddr L2_writeback;
     ignore (Backend.write_line t.backend ~addr:vaddr ~data:dir.Directory.data ~now:t_probed)
   end;
   Store.invalidate slot;
@@ -105,12 +111,20 @@ let acquire t ~core ~addr ~grow ~now =
   let arrive = now + t.p.Params.link_latency in
   let target = Perm.grow_to grow in
   let result = ref (false, [||]) in
-  let _, finish =
-    Resource.acquire_dyn t.mshrs ~now:arrive (fun start ->
+  let _, _, finish =
+    Resource.acquire_dyn_idx t.mshrs ~now:arrive (fun ~idx start ->
+      if Trace.enabled () then
+        Trace.emit ~at:start (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_alloc });
+      let mshr_free ~at =
+        if Trace.enabled () then
+          Trace.emit ~at (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_free });
+        at
+      in
       let tm = start + t.p.Params.l2_tag_access in
       match Store.find t.store addr with
       | Some slot ->
         Stats.Registry.incr t.stats "hits";
+        l2_ev ~at:start ~addr L2_hit;
         let dir = Store.payload_exn slot in
         let to_probe =
           match target with
@@ -127,9 +141,10 @@ let acquire t ~core ~addr ~grow ~now =
         Directory.set_owner dir core target;
         Store.touch t.store slot ~now:tm;
         result := (dir.Directory.dirty, Array.copy dir.Directory.data);
-        tm
+        mshr_free ~at:tm
       | None ->
         Stats.Registry.incr t.stats "misses";
+        l2_ev ~at:start ~addr L2_miss;
         let victim = Store.victim t.store addr in
         let t_evict = if victim.Store.valid then evict_victim t victim ~now:tm else tm in
         let data, t_data, dirty_below = Backend.read_line t.backend ~addr ~now:tm in
@@ -145,7 +160,7 @@ let acquire t ~core ~addr ~grow ~now =
         let t_fill = max t_evict t_data in
         Store.fill t.store victim ~addr ~payload:dir ~now:t_fill;
         result := (dirty_below, Array.copy data);
-        t_fill)
+        mshr_free ~at:t_fill)
   in
   let l2_dirty, data = !result in
   Stats.Registry.incr t.stats (if l2_dirty then "grants_dirty" else "grants_clean");
@@ -156,13 +171,22 @@ let acquire t ~core ~addr ~grow ~now =
    buffer's admission stall models SinkC back-pressure (§3.4). *)
 let sink_c t ~arrive f =
   let admitted = Admission.admit t.list_buffer ~now:arrive in
-  let start, finish = Resource.acquire_dyn t.mshrs ~now:admitted f in
+  let _, start, finish =
+    Resource.acquire_dyn_idx t.mshrs ~now:admitted (fun ~idx start ->
+      if Trace.enabled () then
+        Trace.emit ~at:start (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_alloc });
+      let fin = f start in
+      if Trace.enabled () then
+        Trace.emit ~at:fin (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_free });
+      fin)
+  in
   Admission.release t.list_buffer ~at:start;
   finish
 
 let release t ~core ~addr ~shrink ~data ~now =
   let addr = line t addr in
   let arrive = now + t.p.Params.link_latency in
+  l2_ev ~at:arrive ~addr L2_release;
   let finish =
     sink_c t ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
@@ -192,6 +216,7 @@ let root_release t ~core ~addr ~kind ~data ~now =
   let addr = line t addr in
   Stats.Registry.incr t.stats "root_releases";
   let arrive = now + t.p.Params.link_latency in
+  l2_ev ~at:arrive ~addr L2_root_release;
   let finish =
     sink_c t ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
@@ -227,6 +252,7 @@ let root_release t ~core ~addr ~kind ~data ~now =
         let tm =
           if dir.Directory.dirty || not t.p.Params.l2_trivial_skip then begin
             Stats.Registry.incr t.stats "dram_writebacks";
+            l2_ev ~at:tm ~addr L2_writeback;
             let tb = bank_access t ~addr ~now:tm in
             let td = Backend.persist_line t.backend ~addr ~data:dir.Directory.data ~now:tb in
             dir.Directory.dirty <- false;
@@ -234,6 +260,7 @@ let root_release t ~core ~addr ~kind ~data ~now =
           end
           else begin
             Stats.Registry.incr t.stats "trivial_skips";
+            l2_ev ~at:tm ~addr L2_trivial_skip;
             (* The L2 copy is clean, but a dirty copy may sit in a
                memory-side cache below: it must be pushed for the ack to
                mean "persisted". *)
@@ -252,9 +279,11 @@ let root_release t ~core ~addr ~kind ~data ~now =
         match data with
         | Some d ->
           Stats.Registry.incr t.stats "dram_writebacks";
+          l2_ev ~at:tm ~addr L2_writeback;
           Backend.persist_line t.backend ~addr ~data:d ~now:tm
         | None ->
           Stats.Registry.incr t.stats "trivial_skips";
+          l2_ev ~at:tm ~addr L2_trivial_skip;
           Backend.persist_if_dirty t.backend ~addr ~now:tm))
   in
   finish + t.p.Params.link_latency
@@ -263,6 +292,7 @@ let root_inval t ~core ~addr ~now =
   let addr = line t addr in
   Stats.Registry.incr t.stats "root_invals";
   let arrive = now + t.p.Params.link_latency in
+  l2_ev ~at:arrive ~addr L2_root_inval;
   let finish =
     sink_c t ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in

@@ -1,9 +1,11 @@
 open Skipit_sim
 open Skipit_cache
+module Trace = Skipit_obs.Trace
 
 type line = { mutable dirty : bool; data : int array }
 
 type t = {
+  name : string;
   geom : Geometry.t;
   access_latency : int;
   banks : Resource.Banked.t;
@@ -17,6 +19,9 @@ type t = {
 
 let stats t = t.stats
 let line_base t addr = Geometry.line_base t.geom addr
+
+let mem_ev t ~at ~addr op =
+  if Trace.enabled () then Trace.emit ~at (Trace.Mem { name = t.name; op; addr })
 
 let touch_clock t now = if now > t.clock_hint then t.clock_hint <- now
 
@@ -41,6 +46,7 @@ let free_slot t ~addr ~now =
   let victim = Store.victim t.store addr in
   if victim.Store.valid then begin
     Stats.Registry.incr t.stats "evictions";
+    mem_ev t ~at:now ~addr:(Store.slot_addr t.store victim) Trace.Mem_evict;
     let vline = Store.payload_exn victim in
     if vline.dirty then begin
       Stats.Registry.incr t.stats "dram_writebacks";
@@ -59,11 +65,13 @@ let read_line t ~addr ~now =
   match Store.find t.store addr with
   | Some slot ->
     Stats.Registry.incr t.stats "hits";
+    mem_ev t ~at:t0 ~addr Trace.Mem_hit;
     Store.touch t.store slot ~now;
     let line = Store.payload_exn slot in
     Array.copy line.data, t0, line.dirty
   | None ->
     Stats.Registry.incr t.stats "misses";
+    mem_ev t ~at:t0 ~addr Trace.Mem_miss;
     let data, t_dram, _ = Backend.read_line t.below ~addr ~now:t0 in
     let slot = free_slot t ~addr ~now:t0 in
     Store.fill t.store slot ~addr ~payload:{ dirty = false; data = Array.copy data } ~now;
@@ -128,6 +136,7 @@ let crash t = Store.invalidate_all t.store
 let create ?(name = "l3") ~geom ~access_latency ~banks ~bank_busy ~below ~beats_per_line () =
   let t =
     {
+      name;
       geom;
       access_latency;
       banks = Resource.Banked.create ~banks (name ^ "-banks");

@@ -1,0 +1,113 @@
+(* End-to-end latency aggregation over a recorded trace.
+
+   Matches [Req_start]/[Req_end] pairs by id into per-class duration
+   samples, and rebuilds occupancy-over-time step series for MSHR/FSHR-style
+   resources from their alloc/free events.  Ring-buffer wraparound (or a
+   track filter that removed one side of a pair) surfaces as unmatched
+   counts rather than silently skewing the histograms. *)
+
+module Sample = Skipit_sim.Stats.Sample
+
+type t = {
+  by_class : (Trace.cls * Sample.t) list;
+  all : Sample.t;
+  unmatched_starts : int;
+  unmatched_ends : int;
+}
+
+let sample t cls = List.assq cls t.by_class
+let overall t = t.all
+let unmatched_starts t = t.unmatched_starts
+let unmatched_ends t = t.unmatched_ends
+
+let of_trace trace =
+  let by_class = List.map (fun c -> c, Sample.create ()) Trace.all_classes in
+  let all = Sample.create () in
+  let open_reqs : (int, Trace.cls * int) Hashtbl.t = Hashtbl.create 64 in
+  let unmatched_ends = ref 0 in
+  Trace.iter trace (fun { Trace.at; ev } ->
+    match ev with
+    | Trace.Req_start { id; cls; _ } -> Hashtbl.replace open_reqs id (cls, at)
+    | Trace.Req_end { id } -> (
+      match Hashtbl.find_opt open_reqs id with
+      | Some (cls, t0) ->
+        Hashtbl.remove open_reqs id;
+        let d = float_of_int (at - t0) in
+        Sample.add (List.assq cls by_class) d;
+        Sample.add all d
+      | None -> incr unmatched_ends)
+    | _ -> ());
+  {
+    by_class;
+    all;
+    unmatched_starts = Hashtbl.length open_reqs;
+    unmatched_ends = !unmatched_ends;
+  }
+
+(* == Percentile summaries =============================================== *)
+
+type summary = { count : int; mean : float; p50 : float; p95 : float; p99 : float; max : float }
+
+let summarize s =
+  if Sample.is_empty s then None
+  else
+    Some
+      {
+        count = Sample.count s;
+        mean = Sample.mean s;
+        p50 = Sample.percentile s 50.;
+        p95 = Sample.percentile s 95.;
+        p99 = Sample.percentile s 99.;
+        max = Sample.max s;
+      }
+
+let summaries t =
+  List.filter_map
+    (fun (cls, s) -> Option.map (fun sum -> Trace.cls_name cls, sum) (summarize s))
+    t.by_class
+
+let pp ppf t =
+  let row name { count; mean; p50; p95; p99; max } =
+    Format.fprintf ppf "%-12s %8d %10.1f %8.0f %8.0f %8.0f %8.0f@," name count mean p50 p95
+      p99 max
+  in
+  Format.fprintf ppf "@[<v>%-12s %8s %10s %8s %8s %8s %8s@," "class" "count" "mean" "p50"
+    "p95" "p99" "max";
+  List.iter (fun (name, s) -> row name s) (summaries t);
+  (match summarize t.all with Some s -> row "overall" s | None -> ());
+  if t.unmatched_starts > 0 || t.unmatched_ends > 0 then
+    Format.fprintf ppf "unmatched: %d starts, %d ends (ring wraparound or filtered)@,"
+      t.unmatched_starts t.unmatched_ends;
+  Format.fprintf ppf "@]"
+
+(* == Occupancy-over-time =============================================== *)
+
+(* FSHR events live on per-unit tracks ("fu.0.fshr3"); fold them into their
+   component ("fu.0") alongside Resource alloc/free events whose [comp]
+   matches exactly. *)
+let occupancy_series trace ~comp =
+  let deltas =
+    Trace.fold trace [] (fun acc { Trace.at; ev } ->
+      match ev with
+      | Trace.Resource { comp = c; op; _ } when c = comp ->
+        (at, (match op with Trace.Res_alloc -> 1 | Trace.Res_free -> -1)) :: acc
+      | Trace.Fshr { core; op = Trace.Fshr_alloc; _ }
+        when Printf.sprintf "fu.%d" core = comp -> (at, 1) :: acc
+      | Trace.Fshr { core; op = Trace.Fshr_free; _ }
+        when Printf.sprintf "fu.%d" core = comp -> (at, -1) :: acc
+      | _ -> acc)
+  in
+  (* Emission order is not time order (the transaction-level model stamps
+     future cycles); sort by stamp, keeping emission order for ties so an
+     alloc precedes its own free. *)
+  let deltas = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev deltas) in
+  let _, rev =
+    List.fold_left
+      (fun (occ, acc) (at, d) ->
+        let occ = occ + d in
+        match acc with
+        | (t0, _) :: rest when t0 = at -> occ, (at, occ) :: rest
+        | _ -> occ, (at, occ) :: acc)
+      (0, []) deltas
+  in
+  List.rev rev

@@ -1,0 +1,126 @@
+(* Chrome trace-event JSON exporter (the legacy JSON flavour Perfetto's
+   ui.perfetto.dev opens directly).
+
+   Every component track becomes a named thread of one "skipit_sim" process;
+   events render as thread-scoped instants, and matched request spans render
+   as complete ("X") slices on one track per request class.  Output is
+   deterministic: tracks are numbered in sorted-name order and entries are
+   emitted in non-decreasing timestamp order (stable, so same-cycle events
+   keep emission order). *)
+
+type entry = {
+  ts : int;
+  dur : int option;  (* Some d => complete slice, None => instant *)
+  track : string;
+  name : string;
+  args : (string * string) list;
+}
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Flatten a trace into renderable entries: instants for plain events,
+   slices for matched request pairs. *)
+let entries trace =
+  let open_reqs : (int, Trace.cls * int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  let acc =
+    Trace.fold trace [] (fun acc { Trace.at; ev } ->
+      match ev with
+      | Trace.Req_start { id; cls; core; addr } ->
+        Hashtbl.replace open_reqs id (cls, core, addr, at);
+        acc
+      | Trace.Req_end { id } -> (
+        match Hashtbl.find_opt open_reqs id with
+        | Some (cls, core, addr, t0) ->
+          Hashtbl.remove open_reqs id;
+          {
+            ts = t0;
+            dur = Some (max 0 (at - t0));
+            track = "req." ^ Trace.cls_name cls;
+            name = Trace.cls_name cls;
+            args =
+              [
+                "id", string_of_int id;
+                "core", string_of_int core;
+                "addr", Printf.sprintf "%#x" addr;
+              ];
+          }
+          :: acc
+        | None -> acc)
+      | Trace.Meta _ ->
+        (* Declares its track; nothing to render. *)
+        { ts = at; dur = None; track = Trace.track ev; name = ""; args = [] } :: acc
+      | _ ->
+        {
+          ts = at;
+          dur = None;
+          track = Trace.track ev;
+          name = Trace.event_name ev;
+          args = Trace.event_args ev;
+        }
+        :: acc)
+  in
+  List.stable_sort (fun a b -> compare a.ts b.ts) (List.rev acc)
+
+let tracks trace =
+  List.sort_uniq String.compare (List.map (fun e -> e.track) (entries trace))
+
+let to_buffer buf trace =
+  let entries = entries trace in
+  let tracks = List.sort_uniq String.compare (List.map (fun e -> e.track) entries) in
+  let tid_of = Hashtbl.create 16 in
+  List.iteri (fun i tr -> Hashtbl.replace tid_of tr (i + 1)) tracks;
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"skipit_sim\"}}";
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (Hashtbl.find tid_of tr) (escape tr)))
+    tracks;
+  List.iter
+    (fun e ->
+      if e.name <> "" then begin
+        let tid = Hashtbl.find tid_of e.track in
+        let args =
+          String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) e.args)
+        in
+        match e.dur with
+        | Some d ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d,\"args\":{%s}}"
+               (escape e.name) e.ts d tid args)
+        | None ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\n{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{%s}}"
+               (escape e.name) e.ts tid args)
+      end)
+    entries;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n"
+
+let to_string trace =
+  let buf = Buffer.create 65536 in
+  to_buffer buf trace;
+  Buffer.contents buf
+
+let write_channel oc trace = output_string oc (to_string trace)
+
+let write_file path trace =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc trace)

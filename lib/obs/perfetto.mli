@@ -1,0 +1,16 @@
+(** Chrome trace-event JSON export (loadable in [ui.perfetto.dev]).
+
+    One named thread per component track, thread-scoped instant events for
+    plain trace records, and complete ("X") slices for matched request
+    start/end pairs on one [req.<class>] track per class.  Entries are
+    written in non-decreasing timestamp order and track numbering is
+    deterministic (sorted by name), so identical traces export identical
+    bytes. *)
+
+val tracks : Trace.t -> string list
+(** Distinct track names the trace would render, sorted. *)
+
+val to_string : Trace.t -> string
+val to_buffer : Buffer.t -> Trace.t -> unit
+val write_channel : out_channel -> Trace.t -> unit
+val write_file : string -> Trace.t -> unit

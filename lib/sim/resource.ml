@@ -27,13 +27,17 @@ let acquire t ~now ~busy =
   t.busy_cycles <- t.busy_cycles + busy;
   finish - busy, finish
 
-let acquire_dyn t ~now f =
+let acquire_dyn_idx t ~now f =
   let i = min_index t.free_at in
   let start = max now t.free_at.(i) in
-  let finish = f start in
+  let finish = f ~idx:i start in
   if finish < start then invalid_arg "Resource.acquire_dyn: finish < start";
   t.free_at.(i) <- finish;
   t.busy_cycles <- t.busy_cycles + (finish - start);
+  i, start, finish
+
+let acquire_dyn t ~now f =
+  let _, start, finish = acquire_dyn_idx t ~now (fun ~idx:_ start -> f start) in
   start, finish
 
 let earliest_free t = t.free_at.(min_index t.free_at)

@@ -29,6 +29,12 @@ val acquire_dyn : t -> now:int -> (int -> int) -> int * int
     transaction whose duration depends on downstream contention (MSHRs).
     [f start] must be [>= start]. *)
 
+val acquire_dyn_idx : t -> now:int -> (idx:int -> int -> int) -> int * int * int
+(** Like {!acquire_dyn} but also exposes which unit was picked: the callback
+    receives [~idx] (0-based unit index) and the result is
+    [(idx, start, finish)].  Lets observability layers attribute occupancy to
+    individual MSHRs/FSHRs. *)
+
 val earliest_free : t -> int
 (** Next time at which at least one unit is free (without acquiring). *)
 

@@ -56,15 +56,22 @@ module Sample = struct
 
   let percentile t p =
     if t.len = 0 then invalid_arg "Sample.percentile: empty";
-    if p < 0. || p > 100. then invalid_arg "Sample.percentile: p out of range";
+    if Float.is_nan p || p < 0. || p > 100. then
+      invalid_arg "Sample.percentile: p out of range";
     let arr = sorted t in
     let n = Array.length arr in
-    if n = 1 then arr.(0)
+    (* The boundary cases are answered exactly rather than through the
+       interpolation arithmetic, so p=0/p=100 return the true min/max even
+       when [p /. 100. *. (n-1)] would round across an index boundary. *)
+    if n = 1 || p <= 0. then arr.(0)
+    else if p >= 100. then arr.(n - 1)
     else begin
       let rank = p /. 100. *. float_of_int (n - 1) in
       let lo = int_of_float (Float.floor rank) in
+      let lo = if lo < 0 then 0 else Stdlib.min lo (n - 1) in
       let hi = Stdlib.min (lo + 1) (n - 1) in
       let frac = rank -. float_of_int lo in
+      let frac = if frac < 0. then 0. else Stdlib.min frac 1. in
       (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
     end
 

@@ -27,7 +27,14 @@ module Sample : sig
 
   val percentile : t -> float -> float
   (** [percentile t p] for [p] in [\[0,100\]], nearest-rank with linear
-      interpolation. *)
+      interpolation between adjacent order statistics.
+
+      Documented edge behaviour:
+      - empty sample: raises [Invalid_argument];
+      - [p] NaN or outside [\[0,100\]]: raises [Invalid_argument];
+      - single element: that element, for every valid [p];
+      - [p = 0.] / [p = 100.]: exactly the minimum / maximum (no
+        interpolation rounding). *)
 
   val stddev : t -> float
   (** Population standard deviation, [0.] for fewer than two samples. *)

@@ -1,4 +1,5 @@
 open Skipit_sim
+module Trace = Skipit_obs.Trace
 
 type grant = { perm : Perm.t; data : int array; l2_dirty : bool; done_at : int }
 type probe_result = { dirty_data : int array option; done_at : int }
@@ -63,33 +64,47 @@ let client_exn t =
 (* Occupy one channel's wires for [beats] cycles starting no earlier than
    [now]; a sender that finds the channel busy queues (stall), exactly how
    structural hazards surface in hardware. *)
-let occupy t res chan ~now ~beats =
+let occupy t res chan tchan ~now ~beats =
   let start, finish = Resource.acquire res ~now ~busy:beats in
   Stats.Registry.add t.stats (chan ^ "_beats") beats;
+  if Trace.enabled () then
+    Trace.emit ~at:start (Trace.Channel { port = t.name; chan = tchan; op = Trace.Beats beats });
   if start > now then begin
     Stats.Registry.incr t.stats (chan ^ "_stalls");
-    Stats.Registry.add t.stats (chan ^ "_wait_cycles") (start - now)
+    Stats.Registry.add t.stats (chan ^ "_wait_cycles") (start - now);
+    if Trace.enabled () then
+      Trace.emit ~at:now
+        (Trace.Channel { port = t.name; chan = tchan; op = Trace.Stall (start - now) })
   end;
   finish
 
-let send_a t ~now = occupy t t.channels.Channels.a "a" ~now ~beats:1
-let send_c t ~finish ~beats = occupy t t.channels.Channels.c "c" ~now:(finish - beats) ~beats
-let recv_d t ~finish ~beats = occupy t t.channels.Channels.d "d" ~now:(finish - beats) ~beats
+let send_a t ~now = occupy t t.channels.Channels.a "a" Trace.Ch_a ~now ~beats:1
+let send_c t ~finish ~beats =
+  occupy t t.channels.Channels.c "c" Trace.Ch_c ~now:(finish - beats) ~beats
+let recv_d t ~finish ~beats =
+  occupy t t.channels.Channels.d "d" Trace.Ch_d ~now:(finish - beats) ~beats
+
+let trace_msg t ~op ~addr ~now =
+  if Trace.enabled () then Trace.emit ~at:now (Trace.Message { port = t.name; op; addr })
 
 let acquire t ~addr ~grow ~now =
   Stats.Registry.incr t.stats "acquires";
+  trace_msg t ~op:Trace.Msg_acquire ~addr ~now;
   (manager_exn t).acquire ~addr ~grow ~now
 
 let release t ~addr ~shrink ~data ~now =
   Stats.Registry.incr t.stats "releases";
+  trace_msg t ~op:Trace.Msg_release ~addr ~now;
   (manager_exn t).release ~addr ~shrink ~data ~now
 
 let root_release t ~addr ~kind ~data ~now =
   Stats.Registry.incr t.stats "root_releases";
+  trace_msg t ~op:Trace.Msg_root_release ~addr ~now;
   (manager_exn t).root_release ~addr ~kind ~data ~now
 
 let root_inval t ~addr ~now =
   Stats.Registry.incr t.stats "root_invals";
+  trace_msg t ~op:Trace.Msg_root_inval ~addr ~now;
   (manager_exn t).root_inval ~addr ~now
 
 let peek_word t addr = (manager_exn t).peek_word addr
@@ -97,6 +112,10 @@ let peek_word t addr = (manager_exn t).peek_word addr
 let probe t ~addr ~cap ~now =
   Stats.Registry.incr t.stats "b_probes";
   Stats.Registry.add t.stats "b_beats" 1;
+  if Trace.enabled () then begin
+    Trace.emit ~at:now (Trace.Message { port = t.name; op = Trace.Msg_probe; addr });
+    Trace.emit ~at:now (Trace.Channel { port = t.name; chan = Trace.Ch_b; op = Trace.Beats 1 })
+  end;
   (client_exn t).probe ~addr ~cap ~now
 
 module Memside = struct
@@ -130,19 +149,25 @@ module Memside = struct
       Stats.Registry.add stats "wait_cycles" cycles
     end
 
+  let trace_op t ~op ~addr ~now =
+    if Trace.enabled () then Trace.emit ~at:now (Trace.Mem { name = t.name; op; addr })
+
   let read_line t ~addr ~now =
     Stats.Registry.incr t.stats "reads";
     Stats.Registry.add t.stats "read_beats" t.beats_per_line;
+    trace_op t ~op:Trace.Mem_read ~addr ~now;
     t.ops.read_line ~addr ~now
 
   let write_line t ~addr ~data ~now =
     Stats.Registry.incr t.stats "writes";
     Stats.Registry.add t.stats "write_beats" t.beats_per_line;
+    trace_op t ~op:Trace.Mem_write ~addr ~now;
     t.ops.write_line ~addr ~data ~now
 
   let persist_line t ~addr ~data ~now =
     Stats.Registry.incr t.stats "persists";
     Stats.Registry.add t.stats "write_beats" t.beats_per_line;
+    trace_op t ~op:Trace.Mem_persist ~addr ~now;
     t.ops.persist_line ~addr ~data ~now
 
   let persist_if_dirty t ~addr ~now =

@@ -5,7 +5,7 @@ let entry ?(kind = Message.Wb_flush) ?(hit = true) ?(dirty = true) addr =
   { Q.addr; kind; hit; dirty; enq_at = 0; coalesced = 0 }
 
 let test_fifo () =
-  let q = Q.create ~depth:4 in
+  let q = Q.create ~depth:4 () in
   Alcotest.(check bool) "enq a" true (Q.enqueue q (entry 0x40));
   Alcotest.(check bool) "enq b" true (Q.enqueue q (entry 0x80));
   Alcotest.(check int) "length" 2 (Q.length q);
@@ -15,7 +15,7 @@ let test_fifo () =
   Alcotest.(check int) "length after" 1 (Q.length q)
 
 let test_capacity () =
-  let q = Q.create ~depth:2 in
+  let q = Q.create ~depth:2 () in
   Alcotest.(check bool) "1" true (Q.enqueue q (entry 0x40));
   Alcotest.(check bool) "2" true (Q.enqueue q (entry 0x80));
   Alcotest.(check bool) "full nacks" false (Q.enqueue q (entry 0xc0));
@@ -26,7 +26,7 @@ let test_capacity () =
 let test_probe_invalidate_to_nothing () =
   (* §5.4.1: probe to Nothing clears hit and dirty of pending entries for
      the line — and only that line. *)
-  let q = Q.create ~depth:4 in
+  let q = Q.create ~depth:4 () in
   ignore (Q.enqueue q (entry 0x40));
   ignore (Q.enqueue q (entry 0x80));
   Q.probe_invalidate q ~addr:0x40 ~cap:Perm.Nothing;
@@ -39,7 +39,7 @@ let test_probe_invalidate_to_nothing () =
 
 let test_probe_invalidate_to_branch () =
   (* Downgrade to Branch hands the dirty data over but keeps the line. *)
-  let q = Q.create ~depth:4 in
+  let q = Q.create ~depth:4 () in
   ignore (Q.enqueue q (entry 0x40));
   Q.probe_invalidate q ~addr:0x40 ~cap:Perm.Branch;
   (match Q.to_list q with
@@ -49,7 +49,7 @@ let test_probe_invalidate_to_branch () =
    | _ -> Alcotest.fail "expected 1 entry")
 
 let test_evict_invalidate () =
-  let q = Q.create ~depth:4 in
+  let q = Q.create ~depth:4 () in
   ignore (Q.enqueue q (entry 0x40));
   Q.evict_invalidate q ~addr:0x40;
   (match Q.to_list q with
@@ -59,7 +59,7 @@ let test_evict_invalidate () =
 let test_coalescible_same_kind_only () =
   (* §5.3: clean may coalesce with pending clean, flush with flush, never
      across kinds. *)
-  let q = Q.create ~depth:4 in
+  let q = Q.create ~depth:4 () in
   ignore (Q.enqueue q (entry ~kind:Message.Wb_clean 0x40));
   Alcotest.(check bool) "clean+clean" true
     (Q.find_coalescible q ~addr:0x40 ~kind:Message.Wb_clean <> None);
@@ -78,7 +78,7 @@ let prop_enqueue_respects_depth =
   QCheck.Test.make ~name:"never exceeds depth" ~count:200
     QCheck.(pair (int_range 0 8) (list_of_size (QCheck.Gen.int_range 0 20) (int_range 0 7)))
   @@ fun (depth, lines) ->
-  let q = Q.create ~depth in
+  let q = Q.create ~depth () in
   List.iter (fun line -> ignore (Q.enqueue q (entry (line * 64)))) lines;
   Q.length q <= depth
 

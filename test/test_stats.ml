@@ -52,6 +52,57 @@ let test_growth () =
   Alcotest.(check (float 1e-9)) "max" 1000. (Sample.max s);
   Alcotest.(check (float 1e-9)) "total" 500500. (Sample.total s)
 
+let test_percentile_edges () =
+  (* Documented boundary behaviour: a single element answers every p; p=0 and
+     p=100 are the exact min/max (no interpolation rounding); out-of-range or
+     NaN p raises. *)
+  let one = of_list [ 42. ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "singleton p%g" p)
+        42. (Sample.percentile one p))
+    [ 0.; 37.2; 50.; 99.; 100. ];
+  let s = of_list [ 3.; 1.; 2.; 2.; 5. ] in
+  Alcotest.(check (float 1e-9)) "p0 is min" 1. (Sample.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100 is max" 5. (Sample.percentile s 100.);
+  Alcotest.check_raises "p < 0" (Invalid_argument "Sample.percentile: p out of range")
+    (fun () -> ignore (Sample.percentile s (-1.)));
+  Alcotest.check_raises "p > 100" (Invalid_argument "Sample.percentile: p out of range")
+    (fun () -> ignore (Sample.percentile s 100.5));
+  Alcotest.check_raises "p nan" (Invalid_argument "Sample.percentile: p out of range")
+    (fun () -> ignore (Sample.percentile s Float.nan));
+  Alcotest.check_raises "empty" (Invalid_argument "Sample.percentile: empty")
+    (fun () -> ignore (Sample.percentile (Sample.create ()) 50.))
+
+(* Independent reference: sort a copy and linearly interpolate at rank
+   p/100 * (n-1).  The production implementation must agree on every input. *)
+let naive_percentile xs p =
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if p <= 0. then arr.(0)
+  else if p >= 100. then arr.(n - 1)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let prop_percentile_matches_reference =
+  QCheck.Test.make ~name:"percentile agrees with naive sorted-array reference"
+    ~count:500
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 80) (float_range (-1e6) 1e6))
+        (float_range 0. 100.))
+  @@ fun (xs, p) ->
+  let got = Sample.percentile (of_list xs) p in
+  let want = naive_percentile xs p in
+  Float.abs (got -. want) <= 1e-6 *. Float.max 1. (Float.abs want)
+
 let prop_median_bounded =
   QCheck.Test.make ~name:"median within [min,max]" ~count:300
     QCheck.(list_of_size (QCheck.Gen.int_range 1 60) (float_range (-1e6) 1e6))
@@ -99,11 +150,13 @@ let tests =
       Alcotest.test_case "median even" `Quick test_median_even;
       Alcotest.test_case "percentiles" `Quick test_percentiles;
       Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+      Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
       Alcotest.test_case "empty raises" `Quick test_empty_raises;
       Alcotest.test_case "sorted cache invalidated" `Quick test_sorted_cache_invalidated;
       Alcotest.test_case "growth to 1000" `Quick test_growth;
       Alcotest.test_case "counter" `Quick test_counter;
       Alcotest.test_case "registry" `Quick test_registry;
+      QCheck_alcotest.to_alcotest prop_percentile_matches_reference;
       QCheck_alcotest.to_alcotest prop_median_bounded;
       QCheck_alcotest.to_alcotest prop_percentile_monotone;
     ] )
