@@ -22,10 +22,24 @@ open Toolkit
 
 module Figures = Skipit_workload.Figures
 module Ablation = Skipit_workload.Ablation
+module Pool = Skipit_par.Pool
 module S = Skipit_core.System
 module C = Skipit_core.Config
 module Trace = Skipit_obs.Trace
 module Latency = Skipit_obs.Latency
+
+(* --jobs N (or --jobs=N): worker domains for the figure/ablation drivers
+   and the JSON workload set.  Default: one per core, capped at 8. *)
+let jobs =
+  let jobs = ref (Pool.default_jobs ()) in
+  Array.iteri
+    (fun i a ->
+      let set v = match int_of_string_opt v with Some n when n > 0 -> jobs := n | _ -> () in
+      if a = "--jobs" && i + 1 < Array.length Sys.argv then set Sys.argv.(i + 1)
+      else if String.starts_with ~prefix:"--jobs=" a then
+        set (String.sub a 7 (String.length a - 7)))
+    Sys.argv;
+  !jobs
 
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
@@ -63,6 +77,22 @@ let sim_tests =
         S.clean sys ~core:0 addr
       done;
       S.fence sys ~core:0);
+    (* The tuned primitives themselves: the cached-argmin resource and the
+       open-addressed per-line table. *)
+    Test.make ~name:"sim/resource-acquire-x1000"
+      (Staged.stage (fun () ->
+         let r = Skipit_sim.Resource.create ~count:8 "bench" in
+         for i = 0 to 999 do
+           ignore (Skipit_sim.Resource.acquire_finish r ~now:i ~busy:3)
+         done));
+    Test.make ~name:"sim/int_tbl-mixed-x1000"
+      (Staged.stage (fun () ->
+         let t = Skipit_sim.Int_tbl.create ~size_hint:256 () in
+         for i = 0 to 999 do
+           let key = i land 255 * 64 in
+           Skipit_sim.Int_tbl.replace t key i;
+           ignore (Skipit_sim.Int_tbl.find_default t key ~default:0)
+         done));
   ]
 
 let all_tests =
@@ -100,14 +130,15 @@ let trace_path name =
   in
   List.find_opt Sys.file_exists candidates
 
-(* A workload result: elapsed cycles, per-class latency percentiles, and the
-   full stats report. *)
+(* A workload result: elapsed cycles, per-class latency percentiles, the
+   full stats report, and the host wall-clock cost of simulating it. *)
 type workload_result = {
   w_name : string;
   cycles : int;
   checksums : int array;
   latency : (string * Latency.summary) list;
   stats : (string * int) list;
+  mutable wall_ms : float;
 }
 
 (* Run [f] with tracing on and distill the per-class latency summaries
@@ -142,6 +173,7 @@ let run_trace_workload name ~skip_it =
            checksums;
            latency;
            stats = S.stats_report sys;
+           wall_ms = 0.;
          })
 
 (* The Fig. 9-style scaling point: 8 threads, each store+flush+flush over a
@@ -172,16 +204,44 @@ let run_scaling_workload ~skip_it =
     checksums = [||];
     latency;
     stats = S.stats_report sys;
+    wall_ms = 0.;
   }
 
-let json_of_results results =
+(* Host wall-clock timing of the JSON workload set: each workload is timed
+   individually in the serial pass; the parallel pass times the whole set
+   under the pool.  Simulated results are taken from the serial pass, so
+   the cycle counts / checksums / stats in the file never depend on the
+   pool width. *)
+type timing = {
+  t_jobs : int;
+  wall_ms_serial : float;
+  wall_ms_parallel : float;  (* = serial when jobs <= 1 *)
+}
+
+let json_of_results ~timing results =
+  let total_workload_ms =
+    List.fold_left (fun acc r -> acc +. r.wall_ms) 0. results
+  in
   let buf = Buffer.create 8192 in
-  Buffer.add_string buf "{\n  \"workloads\": [\n";
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" timing.t_jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"wall_ms\": %.2f,\n" timing.wall_ms_parallel);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"wall_ms_serial\": %.2f,\n" timing.wall_ms_serial);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_vs_serial\": %.2f,\n"
+       (if timing.wall_ms_parallel > 0. then
+          timing.wall_ms_serial /. timing.wall_ms_parallel
+        else 1.));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"wall_ms_workloads\": %.2f,\n" total_workload_ms);
+  Buffer.add_string buf "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf (Printf.sprintf "    {\n      \"name\": \"%s\",\n" r.w_name);
       Buffer.add_string buf (Printf.sprintf "      \"cycles\": %d,\n" r.cycles);
+      Buffer.add_string buf (Printf.sprintf "      \"wall_ms\": %.2f,\n" r.wall_ms);
       Buffer.add_string buf "      \"checksums\": [";
       Array.iteri
         (fun j c ->
@@ -210,29 +270,64 @@ let json_of_results results =
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
-let emit_json path =
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let emit_json ~jobs path =
   let traces = [ "producer_consumer"; "redundant_flush"; "fig5_semantics" ] in
-  let results =
+  let thunks =
     List.concat_map
       (fun name ->
-        List.filter_map (fun skip_it -> run_trace_workload name ~skip_it) [ false; true ])
+        List.map (fun skip_it () -> run_trace_workload name ~skip_it) [ false; true ])
       traces
-    @ [ run_scaling_workload ~skip_it:false; run_scaling_workload ~skip_it:true ]
+    @ [
+        (fun () -> Some (run_scaling_workload ~skip_it:false));
+        (fun () -> Some (run_scaling_workload ~skip_it:true));
+      ]
   in
+  (* Serial pass: the source of truth for every simulated quantity, with
+     each workload timed individually. *)
+  let t0 = now_ms () in
+  let results =
+    List.filter_map
+      (fun thunk ->
+        let t = now_ms () in
+        let r = thunk () in
+        Option.iter (fun r -> r.wall_ms <- now_ms () -. t) r;
+        r)
+      thunks
+  in
+  let wall_ms_serial = now_ms () -. t0 in
+  (* Parallel pass: same jobs on the pool, timed as a set — only the
+     wall-clock numbers come from it. *)
+  let wall_ms_parallel =
+    if jobs <= 1 then wall_ms_serial
+    else
+      Pool.with_pool ~jobs (fun pool ->
+        let t0 = now_ms () in
+        ignore (Pool.map pool (fun thunk -> thunk ()) thunks);
+        now_ms () -. t0)
+  in
+  let timing = { t_jobs = jobs; wall_ms_serial; wall_ms_parallel } in
   let oc = open_out path in
-  output_string oc (json_of_results results);
+  output_string oc (json_of_results ~timing results);
   close_out oc;
-  Printf.printf "wrote %s (%d workloads)\n" path (List.length results)
+  Printf.printf "wrote %s (%d workloads, jobs=%d, %.0f ms serial / %.0f ms parallel)\n"
+    path (List.length results) jobs wall_ms_serial wall_ms_parallel
 
 let () =
-  if Array.exists (( = ) "--json-only") Sys.argv then emit_json "BENCH_results.json"
+  if Array.exists (( = ) "--json-only") Sys.argv then
+    emit_json ~jobs "BENCH_results.json"
   else begin
     let ppf = Format.std_formatter in
     Format.pp_open_vbox ppf 0;
-    Figures.all ~quick:false ppf;
-    Ablation.run_all ppf;
+    let run_figures pool =
+      Figures.all ~quick:false ?pool ppf;
+      Ablation.run_all ?pool ppf
+    in
+    if jobs <= 1 then run_figures None
+    else Pool.with_pool ~jobs (fun pool -> run_figures (Some pool));
     Format.pp_close_box ppf ();
     Format.pp_print_newline ppf ();
     run_bechamel ();
-    emit_json "BENCH_results.json"
+    emit_json ~jobs "BENCH_results.json"
   end

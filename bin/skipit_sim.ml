@@ -3,6 +3,7 @@
 
 module Figures = Skipit_workload.Figures
 module Micro = Skipit_workload.Micro
+module Pool = Skipit_par.Pool
 module S = Skipit_core.System
 module C = Skipit_core.Config
 module Trace = Skipit_obs.Trace
@@ -16,6 +17,23 @@ let with_ppf f =
   f ppf;
   Format.pp_close_box ppf ();
   Format.pp_print_newline ppf ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel experiment engine plumbing.                               *)
+
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for independent simulation jobs (0 = auto: \
+               one per core, capped at 8, or \\$SKIPIT_JOBS).  Results are \
+               reduced in submission order, so the output is byte-identical \
+               at any width.")
+
+(* Resolve a --jobs value and hand [f] a pool (or [None] for width 1 —
+   everything then runs inline on the calling domain). *)
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  if jobs <= 1 then f None else Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 (* ------------------------------------------------------------------ *)
 (* Tracing plumbing shared by the stats/run/trace commands.           *)
@@ -90,14 +108,14 @@ let figure_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Fewer repetitions and sweep points.")
   in
-  let run name quick =
+  let run name quick jobs =
     match Figures.by_name name with
-    | Some f -> with_ppf (fun ppf -> f ~quick ppf)
+    | Some f -> with_jobs jobs (fun pool -> with_ppf (fun ppf -> f ~quick ?pool ppf))
     | None -> prerr_endline ("unknown figure " ^ name)
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's evaluation figures")
-    Term.(const run $ figure $ quick)
+    Term.(const run $ figure $ quick $ jobs_arg)
 
 let stats_cmd =
   let threads =
@@ -111,7 +129,9 @@ let stats_cmd =
     Arg.(value & flag & info [ "shared-bus" ]
          ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
   in
-  let run threads lines skip_it shared_bus trace_out trace_filter =
+  let run threads lines skip_it shared_bus trace_out trace_filter _jobs =
+    (* --jobs is accepted for CLI uniformity; this command runs a single
+       simulation, which is one job. *)
     maybe_traced ~out:trace_out ~filter:trace_filter (fun () ->
       let topology = if shared_bus then `Shared_bus else `Crossbar in
       let sys = S.create (C.platform ~cores:threads ~skip_it ~topology ()) in
@@ -139,7 +159,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Run a store+double-flush loop and dump all counters")
     Term.(const run $ threads $ lines $ skip_it $ shared_bus $ trace_out_arg
-          $ trace_filter_arg)
+          $ trace_filter_arg $ jobs_arg)
 
 let sweep_cmd =
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Simulated cores.") in
@@ -150,12 +170,16 @@ let sweep_cmd =
   let contended =
     Arg.(value & flag & info [ "contended" ] ~doc:"All threads write back the same region.")
   in
-  let run threads clean csv contended =
+  let run threads clean csv contended jobs =
     let kind = if clean then Skipit_tilelink.Message.Wb_clean else Skipit_tilelink.Message.Wb_flush in
-    let series =
+    let prep =
       if contended then
-        Micro.contended_sweep ~kind ~threads ~sizes:Micro.sizes_default ~repeats:3 ()
-      else Micro.writeback_sweep ~kind ~threads ~sizes:Micro.sizes_default ~repeats:3 ()
+        Micro.prep_contended_sweep ~kind ~threads ~sizes:Micro.sizes_default ~repeats:3 ()
+      else Micro.prep_writeback_sweep ~kind ~threads ~sizes:Micro.sizes_default ~repeats:3 ()
+    in
+    let series =
+      with_jobs jobs (fun pool ->
+        match Micro.run_prepared ?pool [ prep ] with [ s ] -> s | _ -> assert false)
     in
     with_ppf (fun ppf ->
       if csv then Skipit_workload.Series.pp_csv ppf [ series ]
@@ -163,7 +187,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Writeback-size latency sweep (Fig. 9 style)")
-    Term.(const run $ threads $ clean $ csv $ contended)
+    Term.(const run $ threads $ clean $ csv $ contended $ jobs_arg)
 
 (* Shared by the run/trace commands: load a trace program and settle the
    core count. *)
@@ -207,14 +231,15 @@ let run_program ~file ~cores ~skip_it ~shared_bus ~stats =
 
 let run_cmd =
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump all counters after the run.") in
-  let run file cores skip_it stats shared_bus trace_out trace_filter =
+  let run file cores skip_it stats shared_bus trace_out trace_filter _jobs =
+    (* --jobs accepted for uniformity; a trace program is a single job. *)
     maybe_traced ~out:trace_out ~filter:trace_filter (fun () ->
       run_program ~file ~cores ~skip_it ~shared_bus ~stats)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a text trace program (see examples/traces/)")
     Term.(const run $ program_arg $ cores_arg $ skip_it_arg $ stats $ shared_bus_arg
-          $ trace_out_arg $ trace_filter_arg)
+          $ trace_out_arg $ trace_filter_arg $ jobs_arg)
 
 let trace_cmd =
   let out =
@@ -227,7 +252,8 @@ let trace_cmd =
          & info [ "trace-capacity" ] ~docv:"N"
            ~doc:"Ring-buffer capacity in events; the oldest events are dropped beyond it.")
   in
-  let run file cores skip_it shared_bus out filter capacity =
+  let run file cores skip_it shared_bus out filter capacity _jobs =
+    (* --jobs accepted for uniformity; a traced run is a single job. *)
     run_traced ~capacity ~out ~filter (fun () ->
       run_program ~file ~cores ~skip_it ~shared_bus ~stats:false)
   in
@@ -236,13 +262,16 @@ let trace_cmd =
        ~doc:"Run a trace program with event tracing on: write a Perfetto \
              timeline and print per-class latency percentiles")
     Term.(const run $ program_arg $ cores_arg $ skip_it_arg $ shared_bus_arg $ out
-          $ trace_filter_arg $ capacity)
+          $ trace_filter_arg $ capacity $ jobs_arg)
 
 let ablate_cmd =
-  let run () = with_ppf Skipit_workload.Ablation.run_all in
+  let run jobs =
+    with_jobs jobs (fun pool ->
+      with_ppf (fun ppf -> Skipit_workload.Ablation.run_all ?pool ppf))
+  in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Run the design-choice ablations (FSHR count, queue depth, skip decomposition, array width, coalescing)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -19,9 +19,16 @@ type t = {
   port : Port.t;
   flush : Flush_unit.t;
   (* Last cycle each line's state was changed by a store, probe or eviction;
-     bounds flush-queue coalescing legality (§5.3). *)
-  last_change : (int, int) Hashtbl.t;
+     bounds flush-queue coalescing legality (§5.3).  Int-keyed and pre-sized
+     to the cache's line count: this is touched on every store and probe. *)
+  last_change : Int_tbl.t;
   stats : Stats.Registry.t;
+  (* Per-access counters resolved once at construction; the registry's
+     string lookup is off the load/store path. *)
+  c_load_hits : Stats.Counter.t;
+  c_store_hits : Stats.Counter.t;
+  c_load_misses : Stats.Counter.t;
+  c_store_misses : Stats.Counter.t;
 }
 
 let core t = t.core
@@ -43,10 +50,10 @@ let channel_d t ~finish ~beats = Port.recv_d t.port ~finish ~beats
 let l1_ev t ~at ~addr op =
   if Trace.enabled () then Trace.emit ~at (Trace.L1 { core = t.core; op; addr })
 
-let note_change t ~addr ~now = Hashtbl.replace t.last_change (line_base t addr) now
+let note_change t ~addr ~now = Int_tbl.replace t.last_change (line_base t addr) now
 
 let last_change t ~addr =
-  match Hashtbl.find_opt t.last_change (line_base t addr) with Some c -> c | None -> min_int
+  Int_tbl.find_default t.last_change (line_base t addr) ~default:min_int
 
 let find_line t addr = Store.find t.store_arr (line_base t addr)
 
@@ -65,7 +72,7 @@ let evict_slot t slot ~now =
       Stats.Registry.incr t.stats "evictions_dirty";
       l1_ev t ~at:t0 ~addr:vaddr Trace.Evict_dirty;
       let rid = Trace.req_start ~at:t0 ~cls:Trace.Cls_writeback ~core:t.core ~addr:vaddr in
-      let _, t_buf = Resource.acquire t.wbu ~now:t0 ~busy:(beats t) in
+      let t_buf = Resource.acquire_finish t.wbu ~now:t0 ~busy:(beats t) in
       let t_sent = channel_c t ~finish:t_buf ~beats:(beats t) in
       let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
       ignore
@@ -137,7 +144,7 @@ let rec load t ~addr ~now =
   match find_line t addr with
   | Some slot ->
     let line = Store.payload_exn slot in
-    Stats.Registry.incr t.stats "load_hits";
+    Stats.Counter.incr t.c_load_hits;
     l1_ev t ~at:now ~addr Trace.Load_hit;
     Store.touch t.store_arr slot ~now;
     line.data.(word_off t addr), now + t.p.Params.l1_load_to_use
@@ -154,7 +161,7 @@ let rec load t ~addr ~now =
       l1_ev t ~at:now ~addr Trace.Load_nack;
       load t ~addr ~now:(tw + t.p.Params.nack_retry_delay)
     | Flush_unit.Load_no_conflict ->
-      Stats.Registry.incr t.stats "load_misses";
+      Stats.Counter.incr t.c_load_misses;
       l1_ev t ~at:now ~addr Trace.Load_miss;
       let rid = Trace.req_start ~at:now ~cls:Trace.Cls_load_miss ~core:t.core ~addr in
       let line, t_done = refill t ~addr ~grow:Perm.N_to_B ~now in
@@ -176,7 +183,7 @@ let writable_line t ~addr ~now =
   in
   match find_line t addr with
   | Some slot when Perm.includes (Store.payload_exn slot).perm Perm.Trunk ->
-    Stats.Registry.incr t.stats "store_hits";
+    Stats.Counter.incr t.c_store_hits;
     l1_ev t ~at:now ~addr Trace.Store_hit;
     Store.touch t.store_arr slot ~now;
     Store.payload_exn slot, now + t.p.Params.l1_store_commit
@@ -190,7 +197,7 @@ let writable_line t ~addr ~now =
     Trace.req_end ~at:t_done rid;
     line, t_done + t.p.Params.l1_store_commit
   | None ->
-    Stats.Registry.incr t.stats "store_misses";
+    Stats.Counter.incr t.c_store_misses;
     l1_ev t ~at:now ~addr Trace.Store_miss;
     let rid = Trace.req_start ~at:now ~cls:Trace.Cls_store_miss ~core:t.core ~addr in
     let line, t_done = refill t ~addr ~grow:Perm.N_to_T ~now in
@@ -373,6 +380,7 @@ let held_lines t =
 let crash t = Store.invalidate_all t.store_arr
 
 let create p ~core ~port =
+  let stats = Stats.Registry.create () in
   let t =
     {
       p;
@@ -388,8 +396,13 @@ let create p ~core ~port =
       wbu = Resource.create (Printf.sprintf "l1-wbu-%d" core);
       port;
       flush = Flush_unit.create p ~core;
-      last_change = Hashtbl.create 256;
-      stats = Stats.Registry.create ();
+      last_change =
+        Int_tbl.create ~size_hint:(Geometry.lines p.Params.l1_geom) ();
+      stats;
+      c_load_hits = Stats.Registry.counter stats "load_hits";
+      c_store_hits = Stats.Registry.counter stats "store_hits";
+      c_load_misses = Stats.Registry.counter stats "load_misses";
+      c_store_misses = Stats.Registry.counter stats "store_misses";
     }
   in
   (* The cache is the client agent of its port: B-channel probes from the

@@ -34,14 +34,14 @@ let queue_wait t ~now = max 0 (Resource.earliest_free t.channels - now)
 
 let read_line t ~addr ~now =
   t.reads <- t.reads + 1;
-  let start, _ = Resource.acquire t.channels ~now ~busy:t.occupancy in
+  let start = Resource.acquire_start t.channels ~now ~busy:t.occupancy in
   if Trace.enabled () then Trace.emit ~at:start (Trace.Dram { op = Trace.Dram_read; addr });
   let data = Backing.read_line t.backing ~line_bytes:t.line_bytes addr in
   data, start + t.read_latency
 
 let write_line t ~addr ~data ~now =
   t.writes <- t.writes + 1;
-  let start, _ = Resource.acquire t.channels ~now ~busy:t.occupancy in
+  let start = Resource.acquire_start t.channels ~now ~busy:t.occupancy in
   if Trace.enabled () then Trace.emit ~at:start (Trace.Dram { op = Trace.Dram_write; addr });
   Backing.write_line t.backing ~line_bytes:t.line_bytes addr data;
   let durable_at = start + t.write_latency in

@@ -261,26 +261,31 @@ let fold t init f = List.fold_left f init (records t)
 
 (* == The installed sink ================================================= *)
 
-let current : t option ref = ref None
+(* The sink is *domain-local*: each domain of the parallel experiment
+   engine installs and drains its own trace independently, so jobs running
+   concurrently on pool domains never share a ring buffer.  On the main
+   domain this behaves exactly like the previous single global sink. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let enabled () = match !current with Some _ -> true | None -> false
+let enabled () = match Domain.DLS.get current with Some _ -> true | None -> false
 
 let start ?capacity ?filter () =
   let t = create ?capacity ?filter () in
-  current := Some t;
+  Domain.DLS.set current (Some t);
   t
 
 let stop () =
-  let t = !current in
-  current := None;
+  let t = Domain.DLS.get current in
+  Domain.DLS.set current None;
   t
 
-let emit ~at ev = match !current with None -> () | Some t -> add t ~at ev
+let emit ~at ev =
+  match Domain.DLS.get current with None -> () | Some t -> add t ~at ev
 
 (* Request spans: [req_start] hands out the matching id (or [-1] with no
    sink installed, in which case [req_end] is a no-op too). *)
 let req_start ~at ~cls ~core ~addr =
-  match !current with
+  match Domain.DLS.get current with
   | None -> -1
   | Some t ->
     let id = t.next_id in
@@ -293,7 +298,9 @@ let req_end ~at id = if id >= 0 then emit ~at (Req_end { id })
 let with_trace ?capacity ?filter f =
   let t = start ?capacity ?filter () in
   let finally () =
-    match !current with Some x when x == t -> ignore (stop ()) | Some _ | None -> ()
+    match Domain.DLS.get current with
+    | Some x when x == t -> ignore (stop ())
+    | Some _ | None -> ()
   in
   Fun.protect ~finally (fun () ->
     let r = f () in

@@ -1,0 +1,154 @@
+(* Fixed-size domain pool for independent simulation jobs.
+
+   The experiment drivers (figures, ablations, data-structure benches) are
+   large grids of *independent* simulations: every job builds its own
+   [System.create], its own [Rng] and its own stats, so no simulator state
+   ever crosses a domain boundary.  The pool therefore needs no
+   synchronisation beyond the work queue itself: workers pull thunks off a
+   mutex-protected queue and write each result into a dedicated slot of the
+   caller's result array, and [map] returns results in submission order —
+   which is what makes every table, CSV and JSON artifact byte-identical to
+   a sequential run regardless of the pool width.
+
+   Determinism contract for jobs:
+   - a job must not read or write any state shared with another job (the
+     tracing sink is domain-local, so [Trace.with_trace] inside a job is
+     fine);
+   - a job's result must depend only on its inputs (own seed, own system);
+   - host-time measurements are allowed (they are reported, not reduced
+     into simulated results).
+
+   A pool of width 1 spawns no domains at all and runs jobs inline, so
+   [--jobs 1] is exactly the sequential driver it replaced. *)
+
+type job = unit -> unit
+
+type t = {
+  width : int;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Cap the default so a many-core host doesn't spawn dozens of domains for
+   a handful of jobs; explicit [~jobs] overrides the cap. *)
+let default_cap = 8
+
+let default_jobs () =
+  match Sys.getenv_opt "SKIPIT_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> 1)
+  | None -> min default_cap (Domain.recommended_domain_count ())
+
+(* A worker must never block on a nested [map] of its own pool: the inner
+   jobs would sit behind the very worker waiting for them.  Jobs submitted
+   from inside a worker run inline instead. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.work_available pool.lock
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.lock
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.lock;
+    (* The job's own wrapper captures exceptions; a raise here would mean a
+       bug in the pool, not in the job. *)
+    job ();
+    worker_loop pool
+  end
+
+let create ?jobs () =
+  let width = match jobs with Some n -> n | None -> default_jobs () in
+  if width < 1 then invalid_arg "Pool.create: jobs < 1";
+  let pool =
+    {
+      width;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  if width > 1 then
+    pool.domains <-
+      List.init width (fun _ ->
+        Domain.spawn (fun () ->
+          Domain.DLS.set in_worker true;
+          worker_loop pool));
+  pool
+
+let width t = t.width
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+type 'b slot = Empty | Ok_r of 'b | Exn_r of exn * Printexc.raw_backtrace
+
+let run_inline f xs = List.map f xs
+
+(* Map [f] over [xs] on the pool; results come back in list order.  The
+   first failing job (by submission order) re-raises in the caller. *)
+let map pool f xs =
+  if pool.width = 1 || Domain.DLS.get in_worker then run_inline f xs
+  else begin
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    if n = 0 then []
+    else begin
+      let results = Array.make n Empty in
+      let remaining = ref n in
+      let all_done = Condition.create () in
+      let thunk i () =
+        let r =
+          try Ok_r (f items.(i))
+          with e -> Exn_r (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock pool.lock;
+        results.(i) <- r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock pool.lock
+      in
+      Mutex.lock pool.lock;
+      for i = 0 to n - 1 do
+        Queue.push (thunk i) pool.queue
+      done;
+      Condition.broadcast pool.work_available;
+      while !remaining > 0 do
+        Condition.wait all_done pool.lock
+      done;
+      Mutex.unlock pool.lock;
+      (* The mutex hand-off above orders every worker's result write before
+         this read back on the submitting domain. *)
+      Array.to_list
+        (Array.map
+           (function
+             | Ok_r r -> r
+             | Exn_r (e, bt) -> Printexc.raise_with_backtrace e bt
+             | Empty -> assert false)
+           results)
+    end
+  end
+
+(* Run a list of ready-made jobs, results in submission order. *)
+let run_jobs pool jobs = map pool (fun job -> job ()) jobs
+
+(* [map] with an optional pool: [None] is the sequential engine. *)
+let map_opt pool f xs =
+  match pool with None -> run_inline f xs | Some p -> map p f xs

@@ -22,6 +22,13 @@ val acquire : t -> now:int -> busy:int -> int * int
     earliest time a unit is free and [finish = start + busy].  The unit is
     marked busy until [finish]. *)
 
+val acquire_finish : t -> now:int -> busy:int -> int
+(** {!acquire} returning only [finish] — no pair allocation on the
+    per-access path. *)
+
+val acquire_start : t -> now:int -> busy:int -> int
+(** {!acquire} returning only [start]. *)
+
 val acquire_dyn : t -> now:int -> (int -> int) -> int * int
 (** [acquire_dyn t ~now f] picks the earliest-free unit; the occupancy is
     computed from the actual start time: [start = max now unit_free],

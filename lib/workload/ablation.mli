@@ -11,33 +11,38 @@
        original word-per-cycle array;
     5. {b coalescing} — §5.3 merging of back-to-back CBO.X to one line. *)
 
-val fshr_count : ?counts:int list -> unit -> Series.t
+(** Each ablation is a grid of independent per-config simulations; [pool]
+    runs one job per config on the parallel experiment engine, with results
+    reduced in submission order so the tables are byte-identical at any
+    pool width. *)
+
+val fshr_count : ?counts:int list -> ?pool:Skipit_par.Pool.t -> unit -> Series.t
 (** x = FSHR count, y = cycles to flush the full 32 KiB L1 (1 thread). *)
 
-val queue_depth : ?depths:int list -> unit -> Series.t
+val queue_depth : ?depths:int list -> ?pool:Skipit_par.Pool.t -> unit -> Series.t
 (** x = queue depth, y = cycles for a 64-line store+flush burst ending in
     one fence. *)
 
-val skip_decomposition : unit -> Series.t list
+val skip_decomposition : ?pool:Skipit_par.Pool.t -> unit -> Series.t list
 (** Redundant-writeback latency (Fig. 13 workload, 4 KiB) for the three
     configurations. *)
 
-val data_array_width : unit -> Series.t list
+val data_array_width : ?pool:Skipit_par.Pool.t -> unit -> Series.t list
 (** Flush sweep with the widened vs narrow L1 data array. *)
 
-val coalescing : unit -> Series.t list
+val coalescing : ?pool:Skipit_par.Pool.t -> unit -> Series.t list
 (** The Fig. 13 naive workload with flush-queue coalescing on vs off — with
     it on, the backed-up queue merges most redundant requests itself. *)
 
-val hierarchy_depth : unit -> Series.t list
+val hierarchy_depth : ?pool:Skipit_par.Pool.t -> unit -> Series.t list
 (** §7.4's closing hypothesis: single-flush latency and the Fig. 13
     redundant-writeback workload with and without a memory-side L3. *)
 
-val contention : unit -> Series.t list
+val contention : ?pool:Skipit_par.Pool.t -> unit -> Series.t list
 (** Contended (same region) vs disjoint per-thread writebacks at 4 KiB. *)
 
-val skew : unit -> Series.t list
+val skew : ?pool:Skipit_par.Pool.t -> unit -> Series.t list
 (** Uniform vs Zipf-skewed keys on the hash table: skew concentrates
     redundant writebacks on hot lines, the regime Skip It targets. *)
 
-val run_all : Format.formatter -> unit
+val run_all : ?pool:Skipit_par.Pool.t -> Format.formatter -> unit

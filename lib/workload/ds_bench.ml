@@ -5,6 +5,7 @@ module Strategy = Skipit_persist.Strategy
 module Pctx = Skipit_persist.Pctx
 module Ops = Skipit_pds.Set_ops
 module Rng = Skipit_sim.Rng
+module Pool = Skipit_par.Pool
 
 type strategy_spec =
   | Plain
@@ -153,18 +154,33 @@ let fig14 ?params ~kind w =
        in
        Pctx.mode_name mode, label_series)
 
-let update_sweep ?params ~kind ~mode ~updates w =
+(* Fig. 15's grid is specs × update percentages: flatten it into one job
+   list (one trial per cell, each with its own system and seed), then
+   regroup the in-order results into per-spec series. *)
+let update_sweep ?params ?pool ~kind ~mode ~updates w =
+  let cells =
+    List.concat_map
+      (fun spec -> List.map (fun pct -> spec, pct) updates)
+      default_specs
+  in
+  let ys =
+    Pool.map_opt pool
+      (fun (spec, pct) ->
+        throughput ?params ~kind ~mode ~spec { w with update_pct = pct })
+      cells
+  in
+  let tbl = List.combine cells ys in
   default_specs
   |> List.map (fun spec ->
        Series.v (spec_name spec)
          (List.map
-            (fun pct ->
-              ( float_of_int pct,
-                throughput ?params ~kind ~mode ~spec { w with update_pct = pct } ))
+            (fun pct -> float_of_int pct, List.assoc (spec, pct) tbl)
             updates))
 
-let flit_table_sweep ?params ~kind ~mode ~slots w =
-  Series.v "flit-hash"
-    (List.map
-       (fun n -> float_of_int n, throughput ?params ~kind ~mode ~spec:(Flit_hash n) w)
-       slots)
+let flit_table_sweep ?params ?pool ~kind ~mode ~slots w =
+  let ys =
+    Pool.map_opt pool
+      (fun n -> throughput ?params ~kind ~mode ~spec:(Flit_hash n) w)
+      slots
+  in
+  Series.v "flit-hash" (List.map2 (fun n y -> float_of_int n, y) slots ys)

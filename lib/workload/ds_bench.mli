@@ -66,18 +66,23 @@ val fig14 :
 
 val update_sweep :
   ?params:Skipit_cache.Params.t ->
+  ?pool:Skipit_par.Pool.t ->
   kind:Skipit_pds.Set_ops.kind ->
   mode:Skipit_persist.Pctx.mode ->
   updates:int list ->
   workload ->
   Series.t list
-(** Fig. 15: throughput vs update percentage, one series per strategy. *)
+(** Fig. 15: throughput vs update percentage, one series per strategy.  The
+    specs × updates grid runs as one trial per cell on [pool] when given;
+    results are identical at any pool width. *)
 
 val flit_table_sweep :
   ?params:Skipit_cache.Params.t ->
+  ?pool:Skipit_par.Pool.t ->
   kind:Skipit_pds.Set_ops.kind ->
   mode:Skipit_persist.Pctx.mode ->
   slots:int list ->
   workload ->
   Series.t
-(** Fig. 16: FliT hash-table size sensitivity (x = slots). *)
+(** Fig. 16: FliT hash-table size sensitivity (x = slots), one trial per
+    slot count on [pool] when given. *)

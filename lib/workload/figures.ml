@@ -2,6 +2,7 @@ module Params = Skipit_cache.Params
 module Pctx = Skipit_persist.Pctx
 module Ops = Skipit_pds.Set_ops
 module Model = Skipit_xarch.Model
+module Pool = Skipit_par.Pool
 open Skipit_tilelink
 
 let header ppf title =
@@ -12,52 +13,81 @@ let table ?(x_name = "bytes") ppf series = Series.pp_table ~x_name ppf series
 let repeats quick = if quick then 1 else 5
 let sizes quick = if quick then [ 64; 512; 4096; 32768 ] else Micro.sizes_default
 
-let scalar_7_2 ?(quick = false) ppf =
+(* Every figure below splits into two phases: produce the job grid and run
+   it (on [pool] when given — results come back in submission order, so the
+   printed tables are byte-identical at any pool width), then print. *)
+
+let scalar_7_2 ?(quick = false) ?pool ppf =
   header ppf "§7.2 scalars";
-  let med_c, sd_c = Micro.single_line ~kind:Message.Wb_clean ~repeats:(if quick then 3 else 50) () in
-  let med_f, sd_f = Micro.single_line ~kind:Message.Wb_flush ~repeats:(if quick then 3 else 50) () in
-  Format.fprintf ppf "single-line CBO.CLEAN + fence: median %.0f cycles (sigma %.1f)@," med_c sd_c;
-  Format.fprintf ppf "single-line CBO.FLUSH + fence: median %.0f cycles (sigma %.1f)@," med_f sd_f;
+  let reps = if quick then 3 else 50 in
+  let scalars =
+    Micro.run_prepared ?pool
+      [
+        Micro.prep_single_line ~kind:Message.Wb_clean ~repeats:reps ();
+        Micro.prep_single_line ~kind:Message.Wb_flush ~repeats:reps ();
+      ]
+  in
+  (match scalars with
+   | [ (med_c, sd_c); (med_f, sd_f) ] ->
+     Format.fprintf ppf "single-line CBO.CLEAN + fence: median %.0f cycles (sigma %.1f)@," med_c sd_c;
+     Format.fprintf ppf "single-line CBO.FLUSH + fence: median %.0f cycles (sigma %.1f)@," med_f sd_f
+   | _ -> ());
   let full =
-    Micro.writeback_sweep ~kind:Message.Wb_flush ~threads:1 ~sizes:[ 32 * 1024 ]
-      ~repeats:(repeats quick) ()
+    match
+      Micro.run_prepared ?pool
+        [
+          Micro.prep_writeback_sweep ~kind:Message.Wb_flush ~threads:1
+            ~sizes:[ 32 * 1024 ] ~repeats:(repeats quick) ();
+        ]
+    with
+    | [ s ] -> s
+    | _ -> assert false
   in
   (match full.Series.points with
    | [ p ] -> Format.fprintf ppf "flush of full 32 KiB L1, 1 thread: %.0f cycles@," p.Series.y
    | _ -> ());
   Format.fprintf ppf "(paper: ~100 cycles sigma 13.2; ~7460 cycles)@,"
 
-let fig9 ?(quick = false) ppf =
+let fig9 ?(quick = false) ?pool ppf =
   header ppf "Figure 9: CBO.X latency vs size, 1/2/4/8 threads";
   let series =
-    List.map
-      (fun threads ->
-        Micro.writeback_sweep ~kind:Message.Wb_flush ~threads ~sizes:(sizes quick)
-          ~repeats:(repeats quick) ())
-      [ 1; 2; 4; 8 ]
+    Micro.run_prepared ?pool
+      (List.map
+         (fun threads ->
+           Micro.prep_writeback_sweep ~kind:Message.Wb_flush ~threads
+             ~sizes:(sizes quick) ~repeats:(repeats quick) ())
+         [ 1; 2; 4; 8 ])
   in
   table ppf series
 
-let fig10 ?(quick = false) ppf =
+let fig10 ?(quick = false) ?pool ppf =
   header ppf "Figure 10: write - writeback x10 - fence - read (latency, log-scale in paper)";
   let series =
-    List.concat_map
-      (fun threads ->
-        [
-          Micro.write_wb_read ~kind:Message.Wb_clean ~threads ~sizes:(sizes quick)
-            ~repeats:(repeats quick) ();
-          Micro.write_wb_read ~kind:Message.Wb_flush ~threads ~sizes:(sizes quick)
-            ~repeats:(repeats quick) ();
-        ])
-      [ 1; 8 ]
+    Micro.run_prepared ?pool
+      (List.concat_map
+         (fun threads ->
+           [
+             Micro.prep_write_wb_read ~kind:Message.Wb_clean ~threads
+               ~sizes:(sizes quick) ~repeats:(repeats quick) ();
+             Micro.prep_write_wb_read ~kind:Message.Wb_flush ~threads
+               ~sizes:(sizes quick) ~repeats:(repeats quick) ();
+           ])
+         [ 1; 8 ])
   in
   table ppf series
 
-let comparative ~threads ~quick ppf =
+let comparative ~threads ~quick ?pool ppf =
   let szs = sizes quick in
   let boom =
-    Micro.writeback_sweep ~kind:Message.Wb_flush ~threads ~sizes:szs
-      ~repeats:(repeats quick) ()
+    match
+      Micro.run_prepared ?pool
+        [
+          Micro.prep_writeback_sweep ~kind:Message.Wb_flush ~threads ~sizes:szs
+            ~repeats:(repeats quick) ();
+        ]
+    with
+    | [ s ] -> s
+    | _ -> assert false
   in
   let boom = { boom with Series.label = "boom-cbo.flush" } in
   let models =
@@ -71,25 +101,26 @@ let comparative ~threads ~quick ppf =
   in
   table ppf (boom :: models)
 
-let fig11 ?(quick = false) ppf =
+let fig11 ?(quick = false) ?pool ppf =
   header ppf "Figure 11: cross-architecture writeback latency, 1 thread";
-  comparative ~threads:1 ~quick ppf
+  comparative ~threads:1 ~quick ?pool ppf
 
-let fig12 ?(quick = false) ppf =
+let fig12 ?(quick = false) ?pool ppf =
   header ppf "Figure 12: cross-architecture writeback latency, 8 threads";
-  comparative ~threads:8 ~quick ppf
+  comparative ~threads:8 ~quick ?pool ppf
 
-let fig13 ?(quick = false) ppf =
+let fig13 ?(quick = false) ?pool ppf =
   header ppf "Figure 13: naive vs Skip It, 10 redundant writebacks (CBO.CLEAN semantics)";
   let series =
-    List.concat_map
-      (fun threads ->
-        List.map
-          (fun skip_it ->
-            Micro.redundant ~kind:Message.Wb_clean ~skip_it ~threads ~redundant:10
-              ~sizes:(sizes quick) ~repeats:(repeats quick) ())
-          [ false; true ])
-      [ 1; 8 ]
+    Micro.run_prepared ?pool
+      (List.concat_map
+         (fun threads ->
+           List.map
+             (fun skip_it ->
+               Micro.prep_redundant ~kind:Message.Wb_clean ~skip_it ~threads
+                 ~redundant:10 ~sizes:(sizes quick) ~repeats:(repeats quick) ())
+             [ false; true ])
+         [ 1; 8 ])
   in
   table ppf series;
   (* Also report the speedup at the largest size. *)
@@ -117,20 +148,43 @@ let workload_for kind w =
   | Ops.List_set -> { w with Ds_bench.key_range = 512; prefill = 256 }
   | Ops.Hash_set | Ops.Bst_set | Ops.Skiplist_set -> w
 
-let fig14 ?(quick = false) ppf =
+let fig14 ?(quick = false) ?pool ppf =
   header ppf "Figure 14: throughput (ops/1000 cycles), 5% updates, 2 threads";
   let w0 = ds_workload quick in
   let kinds = if quick then [ Ops.List_set; Ops.Bst_set ] else Ops.all_kinds in
+  (* One trial per (structure, mode, strategy) cell, flattened to a job
+     list; the printing below walks the cells in the same order. *)
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun mode -> List.map (fun spec -> kind, mode, spec) Ds_bench.default_specs)
+          Pctx.all_modes)
+      kinds
+  in
+  let values =
+    Pool.map_opt pool
+      (fun (kind, mode, spec) ->
+        Ds_bench.throughput ~kind ~mode ~spec (workload_for kind w0))
+      cells
+  in
+  let next = ref values in
+  let pop () =
+    match !next with
+    | v :: tl ->
+      next := tl;
+      v
+    | [] -> assert false
+  in
   List.iter
     (fun kind ->
-      let w = workload_for kind w0 in
       Format.fprintf ppf "@,-- %s --@," (Ops.kind_name kind);
       List.iter
         (fun mode ->
           Format.fprintf ppf "%-12s" (Pctx.mode_name mode);
           List.iter
-            (fun spec ->
-              let v = Ds_bench.throughput ~kind ~mode ~spec w in
+            (fun _spec ->
+              let v = pop () in
               if Float.is_nan v then Format.fprintf ppf "%18s" "n/a"
               else Format.fprintf ppf "%18.2f" v)
             Ds_bench.default_specs;
@@ -143,7 +197,7 @@ let fig14 ?(quick = false) ppf =
       Format.fprintf ppf "@,")
     kinds
 
-let fig15 ?(quick = false) ppf =
+let fig15 ?(quick = false) ?pool ppf =
   header ppf "Figure 15: throughput vs update percentage (automatic persistence, 2 threads)";
   let w = ds_workload quick in
   let updates = if quick then [ 0; 50 ] else [ 0; 5; 20; 50; 100 ] in
@@ -151,11 +205,11 @@ let fig15 ?(quick = false) ppf =
   List.iter
     (fun kind ->
       Format.fprintf ppf "@,-- %s --@," (Ops.kind_name kind);
-      let series = Ds_bench.update_sweep ~kind ~mode:Pctx.Automatic ~updates w in
+      let series = Ds_bench.update_sweep ?pool ~kind ~mode:Pctx.Automatic ~updates w in
       Series.pp_table ~x_name:"update%" ppf series)
     kinds
 
-let fig16 ?(quick = false) ppf =
+let fig16 ?(quick = false) ?pool ppf =
   header ppf "Figure 16: BST throughput vs FliT hash-table slots (automatic, 2 threads)";
   let w =
     let base = ds_workload quick in
@@ -163,19 +217,19 @@ let fig16 ?(quick = false) ppf =
     else { base with Ds_bench.key_range = 10_000; prefill = 5_000; window = 600_000 }
   in
   let slots = if quick then [ 64; 4096 ] else [ 64; 256; 1024; 4096; 16384; 65536 ] in
-  let series = Ds_bench.flit_table_sweep ~kind:Ops.Bst_set ~mode:Pctx.Automatic ~slots w in
+  let series = Ds_bench.flit_table_sweep ?pool ~kind:Ops.Bst_set ~mode:Pctx.Automatic ~slots w in
   Series.pp_table ~x_name:"slots" ppf [ series ]
 
-let all ?quick ppf =
-  scalar_7_2 ?quick ppf;
-  fig9 ?quick ppf;
-  fig10 ?quick ppf;
-  fig11 ?quick ppf;
-  fig12 ?quick ppf;
-  fig13 ?quick ppf;
-  fig14 ?quick ppf;
-  fig15 ?quick ppf;
-  fig16 ?quick ppf
+let all ?quick ?pool ppf =
+  scalar_7_2 ?quick ?pool ppf;
+  fig9 ?quick ?pool ppf;
+  fig10 ?quick ?pool ppf;
+  fig11 ?quick ?pool ppf;
+  fig12 ?quick ?pool ppf;
+  fig13 ?quick ?pool ppf;
+  fig14 ?quick ?pool ppf;
+  fig15 ?quick ?pool ppf;
+  fig16 ?quick ?pool ppf
 
 let registry =
   [

@@ -11,6 +11,48 @@ open Skipit_tilelink
 val sizes_default : int list
 (** 64 B … 32 KiB in powers of two (Fig. 9's x axis). *)
 
+(** {1 Job-list form}
+
+    Every driver is a grid of independent simulations.  A [prepared]
+    experiment exposes the grid as self-contained jobs (each builds its own
+    system and RNG — nothing crosses a domain boundary) plus a pure reducer
+    over the results in submission order, so running the jobs on a
+    {!Skipit_par.Pool} of any width produces byte-identical tables. *)
+
+type 'r prepared = {
+  jobs : (unit -> float) list;
+  reduce : float list -> 'r;
+}
+
+val run_prepared : ?pool:Skipit_par.Pool.t -> 'r prepared list -> 'r list
+(** Run the concatenated job lists of a batch of experiments — on the pool
+    when given, inline otherwise — and reduce each experiment's slice. *)
+
+val prep_single_line :
+  ?params:Skipit_cache.Params.t -> kind:Message.wb_kind -> repeats:int -> unit ->
+  (float * float) prepared
+(** One job per repetition. *)
+
+val prep_writeback_sweep :
+  ?params:Skipit_cache.Params.t -> kind:Message.wb_kind -> threads:int ->
+  sizes:int list -> repeats:int -> unit -> Series.t prepared
+(** One job per sweep point (size); repetitions run inside the job. *)
+
+val prep_write_wb_read :
+  ?params:Skipit_cache.Params.t -> kind:Message.wb_kind -> threads:int ->
+  sizes:int list -> repeats:int -> unit -> Series.t prepared
+
+val prep_contended_sweep :
+  ?params:Skipit_cache.Params.t -> kind:Message.wb_kind -> threads:int ->
+  sizes:int list -> repeats:int -> unit -> Series.t prepared
+
+val prep_redundant :
+  ?params:Skipit_cache.Params.t -> kind:Message.wb_kind -> skip_it:bool ->
+  threads:int -> redundant:int -> sizes:int list -> repeats:int -> unit ->
+  Series.t prepared
+
+(** {1 Sequential wrappers} *)
+
 val single_line : ?params:Skipit_cache.Params.t -> kind:Message.wb_kind -> repeats:int -> unit -> float * float
 (** [(median, stddev)] cycles for one CBO.X of a dirty line plus the fence —
     the §7.2 "≈100 cycles (σ: 13.2)" scalar. *)

@@ -1,0 +1,163 @@
+(* The parallel experiment engine: pool mechanics, domain isolation of the
+   trace sink, and the determinism contract — experiment output at any pool
+   width is byte-identical to the sequential run. *)
+
+module Pool = Skipit_par.Pool
+module Figures = Skipit_workload.Figures
+module Ablation = Skipit_workload.Ablation
+module Micro = Skipit_workload.Micro
+module Series = Skipit_workload.Series
+module Trace = Skipit_obs.Trace
+module S = Skipit_core.System
+module C = Skipit_core.Config
+module TP = Skipit_workload.Trace_program
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_open_vbox ppf 0;
+  f ppf;
+  Format.pp_close_box ppf ();
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* == Pool mechanics ===================================================== *)
+
+let test_map_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+    let xs = List.init 100 Fun.id in
+    Alcotest.(check (list int))
+      "results in submission order"
+      (List.map (fun x -> x * x) xs)
+      (Pool.map pool (fun x -> x * x) xs))
+
+let test_map_empty_and_width () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+    Alcotest.(check int) "width" 3 (Pool.width pool);
+    Alcotest.(check (list int)) "empty" [] (Pool.map pool Fun.id []));
+  Pool.with_pool ~jobs:1 (fun pool ->
+    Alcotest.(check (list int)) "width 1 runs inline" [ 1; 2 ] (Pool.map pool Fun.id [ 1; 2 ]))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+    Alcotest.check_raises "job exception re-raised" (Boom 3) (fun () ->
+      ignore (Pool.map pool (fun x -> if x = 3 then raise (Boom 3) else x) [ 1; 2; 3; 4 ])))
+
+let test_nested_map_runs_inline () =
+  (* A job that maps on its own pool must not deadlock waiting for a worker
+     slot it occupies itself. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+    let r =
+      Pool.map pool
+        (fun x -> List.fold_left ( + ) 0 (Pool.map pool (fun y -> x * y) [ 1; 2; 3 ]))
+        [ 1; 2 ]
+    in
+    Alcotest.(check (list int)) "nested map" [ 6; 12 ] r)
+
+let test_pool_reuse () =
+  (* The same pool serves several batches (the CLI reuses one pool across
+     every figure of a run). *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+    for i = 1 to 5 do
+      Alcotest.(check (list int))
+        (Printf.sprintf "batch %d" i)
+        (List.init 10 (fun x -> x + i))
+        (Pool.map pool (fun x -> x + i) (List.init 10 Fun.id))
+    done)
+
+(* == Domain isolation of the trace sink ================================= *)
+
+let test_trace_sink_is_domain_local () =
+  (* Jobs tracing on pool domains never touch the caller's sink. *)
+  Alcotest.(check bool) "main sink off" false (Trace.enabled ());
+  Pool.with_pool ~jobs:2 (fun pool ->
+    let lengths =
+      Pool.map pool
+        (fun i ->
+          let (), tr =
+            Trace.with_trace (fun () ->
+              for at = 0 to i do
+                Trace.emit ~at (Trace.Meta { track = "t"; note = "n" })
+              done)
+          in
+          Trace.length tr)
+        [ 4; 9 ]
+    in
+    Alcotest.(check (list int)) "each job saw only its own events" [ 5; 10 ] lengths);
+  Alcotest.(check bool) "main sink still off" false (Trace.enabled ())
+
+(* == Determinism of the experiment drivers ============================== *)
+
+let figure_output name ~jobs =
+  match Figures.by_name name with
+  | None -> Alcotest.failf "unknown figure %s" name
+  | Some f ->
+    if jobs = 1 then render (fun ppf -> f ~quick:true ppf)
+    else Pool.with_pool ~jobs (fun pool -> render (fun ppf -> f ~quick:true ~pool ppf))
+
+let test_figures_deterministic () =
+  List.iter
+    (fun name ->
+      let seq = figure_output name ~jobs:1 in
+      let par = figure_output name ~jobs:4 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s --jobs 1 vs --jobs 4 byte-identical" name)
+        true
+        (String.equal seq par);
+      Alcotest.(check bool) (name ^ " non-empty") true (String.length seq > 0))
+    [ "scalar"; "fig9"; "fig13"; "fig15" ]
+
+let test_ablation_deterministic () =
+  let section pool = render (fun ppf ->
+    Series.pp_table ~x_name:"bytes" ppf (Ablation.skip_decomposition ?pool ()))
+  in
+  let seq = section None in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> section (Some pool)) in
+  Alcotest.(check bool) "skip decomposition identical under pool" true (String.equal seq par)
+
+let test_prepared_split () =
+  (* run_prepared must route each experiment's slice of the flat result
+     list back to its own reducer. *)
+  let prep label xs = { Micro.jobs = List.map (fun x () -> x) xs; reduce = (fun ys -> label, ys) } in
+  let r =
+    Pool.with_pool ~jobs:3 (fun pool ->
+      Micro.run_prepared ~pool [ prep "a" [ 1.; 2. ]; prep "b" [ 3. ]; prep "c" [] ])
+  in
+  Alcotest.(check (list (pair string (list (float 0.)))))
+    "slices" [ "a", [ 1.; 2. ]; "b", [ 3. ]; "c", [] ] r
+
+(* == Golden cycle counts re-pinned under the pool ======================= *)
+
+let test_golden_cycles_under_pool () =
+  let run name =
+    match TP.load_file (Printf.sprintf "../../../examples/traces/%s.trace" name) with
+    | Error e -> Alcotest.failf "trace %s: %s" name e
+    | Ok program ->
+      let cores = TP.max_core program + 1 in
+      let sys = S.create (C.platform ~cores ~skip_it:false ()) in
+      let cycles, _ = TP.run sys program in
+      cycles
+  in
+  let cycles =
+    Pool.with_pool ~jobs:3 (fun pool ->
+      Pool.map pool run [ "producer_consumer"; "redundant_flush"; "fig5_semantics" ])
+  in
+  Alcotest.(check (list int)) "golden cycles 915/1120/127 under the pool"
+    [ 915; 1120; 127 ] cycles
+
+let tests =
+  ( "par",
+    [
+      Alcotest.test_case "map preserves submission order" `Quick test_map_order;
+      Alcotest.test_case "width / empty input" `Quick test_map_empty_and_width;
+      Alcotest.test_case "job exception propagates" `Quick test_exception_propagates;
+      Alcotest.test_case "nested map runs inline" `Quick test_nested_map_runs_inline;
+      Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+      Alcotest.test_case "trace sink is domain-local" `Quick test_trace_sink_is_domain_local;
+      Alcotest.test_case "figures byte-identical at any width" `Slow test_figures_deterministic;
+      Alcotest.test_case "ablation byte-identical under pool" `Slow test_ablation_deterministic;
+      Alcotest.test_case "run_prepared slices results" `Quick test_prepared_split;
+      Alcotest.test_case "golden cycles under the pool" `Quick test_golden_cycles_under_pool;
+    ] )

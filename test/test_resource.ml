@@ -55,6 +55,57 @@ let test_banked_routing () =
   let bank4 = Resource.Banked.bank_of b ~addr:(4 * 64) ~line_bytes:64 in
   Alcotest.(check string) "wraps modulo banks" (Resource.name bank0) (Resource.name bank4)
 
+(* Naive reference model for the cached-argmin implementation: a plain
+   array of per-unit free times, scanned in full on every acquire with the
+   same first-lowest-index tie-break.  The cached version must agree on
+   every start/finish pair and on the derived queries after every step. *)
+module Naive = struct
+  type t = int array
+
+  let create count : t = Array.make count 0
+
+  let acquire (t : t) ~now ~busy =
+    let best = ref 0 in
+    for i = 1 to Array.length t - 1 do
+      if t.(i) < t.(!best) then best := i
+    done;
+    let start = max now t.(!best) in
+    let finish = start + busy in
+    t.(!best) <- finish;
+    start, finish
+
+  let earliest_free (t : t) = Array.fold_left min t.(0) t
+  let all_free_at (t : t) = Array.fold_left max t.(0) t
+
+  let busy_at (t : t) at =
+    Array.fold_left (fun acc f -> if f > at then acc + 1 else acc) 0 t
+end
+
+let prop_matches_naive_scan =
+  QCheck.Test.make ~name:"cached argmin agrees with naive scan" ~count:500
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size (QCheck.Gen.int_range 1 60)
+           (pair (int_range 0 50) (int_range 0 25))))
+  @@ fun (count, reqs) ->
+  let r = Resource.create ~count "r" in
+  let m = Naive.create count in
+  (* Requests arrive with non-decreasing [now], as in the simulator. *)
+  let _, ok =
+    List.fold_left
+      (fun (now, ok) (dt, busy) ->
+        let now = now + dt in
+        let s, f = Resource.acquire r ~now ~busy in
+        let s', f' = Naive.acquire m ~now ~busy in
+        ( now,
+          ok && s = s' && f = f'
+          && Resource.earliest_free r = Naive.earliest_free m
+          && Resource.all_free_at r = Naive.all_free_at m
+          && Resource.busy_at r now = Naive.busy_at m now ))
+      (0, true) reqs
+  in
+  ok
+
 let prop_start_never_before_now =
   QCheck.Test.make ~name:"start >= now always" ~count:300
     QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (pair (int_range 0 100) (int_range 0 20)))
@@ -77,4 +128,5 @@ let tests =
       Alcotest.test_case "utilization accounting" `Quick test_utilization;
       Alcotest.test_case "banked routing" `Quick test_banked_routing;
       QCheck_alcotest.to_alcotest prop_start_never_before_now;
+      QCheck_alcotest.to_alcotest prop_matches_naive_scan;
     ] )
