@@ -273,6 +273,158 @@ let ablate_cmd =
     (Cmd.info "ablate" ~doc:"Run the design-choice ablations (FSHR count, queue depth, skip decomposition, array width, coalescing)")
     Term.(const run $ jobs_arg)
 
+let audit_cmd =
+  let module Campaign = Skipit_audit.Campaign in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.") in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~doc:"Operations per trial schedule.")
+  in
+  let budget =
+    Arg.(value & opt int 20
+         & info [ "budget" ] ~docv:"N"
+           ~doc:"Crash boundaries tested per spec (exhaustive when the run \
+                 has at most N persist events, else first + last + sampled).")
+  in
+  let csv_list ~all ~name ~of_name arg_name doc =
+    let cv =
+      let parse s =
+        let parts = String.split_on_char ',' s |> List.map String.trim in
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest -> (
+            match of_name p with
+            | Some v -> go (v :: acc) rest
+            | None ->
+              Error (`Msg (Printf.sprintf "unknown %s %S (expected one of: %s)" arg_name p
+                             (String.concat ", " (List.map name all)))))
+        in
+        go [] parts
+      in
+      let print ppf l = Format.pp_print_string ppf (String.concat "," (List.map name l)) in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt (some cv) None & info [ arg_name ] ~docv:"LIST" ~doc)
+  in
+  let structures =
+    csv_list ~all:Campaign.all_structures ~name:Campaign.structure_name
+      ~of_name:Campaign.structure_of_name "structures"
+      "Comma-separated structures to test (default: all five)."
+  in
+  let modes =
+    let module Pctx = Skipit_persist.Pctx in
+    csv_list ~all:Pctx.all_modes ~name:Pctx.mode_name
+      ~of_name:(fun s -> List.find_opt (fun m -> Pctx.mode_name m = s) Pctx.all_modes)
+      "modes" "Comma-separated persistence modes (default: all three)."
+  in
+  let strategies =
+    csv_list ~all:Campaign.all_strategies ~name:Campaign.strategy_name
+      ~of_name:Campaign.strategy_of_name "strategies"
+      "Comma-separated strategies (default: plain,skip-it)."
+  in
+  let fault =
+    let cv =
+      let parse s =
+        match Campaign.fault_of_name s with
+        | Some f -> Ok f
+        | None -> Error (`Msg ("unknown fault " ^ s ^ " (none, drop-nth-persist:N, drop-all-persists)"))
+      in
+      Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Campaign.fault_name f))
+    in
+    Arg.(value & opt cv Campaign.No_fault
+         & info [ "fault" ] ~docv:"FAULT"
+           ~doc:"Seeded fault for validating the campaign itself: a test-only \
+                 strategy wrapper eliding required writebacks \
+                 (none, drop-nth-persist:N, drop-all-persists).")
+  in
+  let repro =
+    Arg.(value & opt (some file) None
+         & info [ "repro" ] ~docv:"FILE" ~doc:"Replay a reproducer file instead of a campaign.")
+  in
+  let repro_out =
+    Arg.(value & opt string "audit-repro.txt"
+         & info [ "repro-out" ] ~docv:"FILE"
+           ~doc:"Where to write the shrunk reproducer when a spec fails.")
+  in
+  let replay file =
+    match Campaign.read_reproducer file with
+    | Error e ->
+      prerr_endline ("reproducer error: " ^ e);
+      exit 1
+    | Ok f ->
+      let t = Campaign.run_trial f.Campaign.spec ~crash_at:f.Campaign.crash_at in
+      Printf.printf "replay %s crash_at=%s: %d persists, %d op(s) completed\n"
+        (Campaign.spec_name f.Campaign.spec)
+        (match f.Campaign.crash_at with Some b -> string_of_int b | None -> "-")
+        t.Campaign.persists t.Campaign.completed;
+      if t.Campaign.violations = [] then print_endline "no violations (does not reproduce)"
+      else begin
+        List.iter (fun v -> Printf.printf "violation: %s\n" v) t.Campaign.violations;
+        exit 1
+      end
+  in
+  let run seed ops budget structures modes strategies fault repro repro_out jobs =
+    match repro with
+    | Some file -> replay file
+    | None ->
+      let structures = Option.value structures ~default:Campaign.all_structures in
+      let modes = Option.value modes ~default:Skipit_persist.Pctx.all_modes in
+      let strategies =
+        Option.value strategies ~default:[ Campaign.Plain; Campaign.Skipit ]
+      in
+      let specs =
+        List.concat_map
+          (fun structure ->
+            List.concat_map
+              (fun mode ->
+                List.filter_map
+                  (fun strategy ->
+                    let s =
+                      { Campaign.structure; mode; strategy; fault; seed; n_ops = ops }
+                    in
+                    if Campaign.compatible s then Some s else None)
+                  strategies)
+              modes)
+          structures
+      in
+      Printf.printf "audit campaign: %d spec(s), seed %d, %d op(s), boundary budget %d\n%!"
+        (List.length specs) seed ops budget;
+      let reports =
+        with_jobs jobs (fun pool -> Campaign.run_campaign ?pool ~budget specs)
+      in
+      let failed = ref 0 in
+      List.iter
+        (fun r ->
+          with_ppf (fun ppf -> Campaign.pp_report ppf r);
+          match r.Campaign.failure with
+          | None -> ()
+          | Some f ->
+            incr failed;
+            if !failed = 1 then begin
+              print_endline "shrinking first failure...";
+              let s = Campaign.shrink f in
+              Campaign.write_reproducer repro_out s;
+              Printf.printf
+                "minimal reproducer: %s crash_at=%s (%d op(s)) -> wrote %s\n"
+                (Campaign.spec_name s.Campaign.spec)
+                (match s.Campaign.crash_at with Some b -> string_of_int b | None -> "-")
+                s.Campaign.spec.Campaign.n_ops repro_out
+            end)
+        reports;
+      if !failed = 0 then
+        Printf.printf "audit campaign: all %d spec(s) clean\n" (List.length reports)
+      else begin
+        Printf.printf "audit campaign: %d/%d spec(s) FAILED\n" !failed (List.length reports);
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Crash-injection campaign: every structure x mode x strategy, \
+             crashed at persist boundaries, repaired and checked for durable \
+             linearizability plus hierarchy invariants")
+    Term.(const run $ seed $ ops $ budget $ structures $ modes $ strategies $ fault
+          $ repro $ repro_out $ jobs_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -282,4 +434,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd; trace_cmd ]))
+          [ figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd; trace_cmd; audit_cmd ]))

@@ -1,0 +1,529 @@
+module S = Skipit_core.System
+module C = Skipit_core.Config
+module T = Skipit_core.Thread
+module Params = Skipit_cache.Params
+module Strategy = Skipit_persist.Strategy
+module Pctx = Skipit_persist.Pctx
+module Ops = Skipit_pds.Set_ops
+module MQ = Skipit_pds.Ms_queue
+module PL = Skipit_mem.Persist_log
+module Rng = Skipit_sim.Rng
+module Pool = Skipit_par.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Campaign dimensions.                                               *)
+
+type structure = Queue | Set of Ops.kind
+
+let all_structures = Queue :: List.map (fun k -> Set k) Ops.all_kinds
+let structure_name = function Queue -> "ms-queue" | Set k -> Ops.kind_name k
+
+let structure_of_name name =
+  List.find_opt (fun s -> structure_name s = name) all_structures
+
+type strategy_spec = Plain | Skipit | Flit_adjacent | Link_and_persist
+
+let all_strategies = [ Plain; Skipit; Flit_adjacent; Link_and_persist ]
+
+let strategy_name = function
+  | Plain -> "plain"
+  | Skipit -> "skip-it"
+  | Flit_adjacent -> "flit-adjacent"
+  | Link_and_persist -> "link-and-persist"
+
+let strategy_of_name name =
+  List.find_opt (fun s -> strategy_name s = name) all_strategies
+
+type fault = No_fault | Drop_nth_persist of int | Drop_all_persists
+
+let fault_name = function
+  | No_fault -> "none"
+  | Drop_nth_persist n -> Printf.sprintf "drop-nth-persist:%d" n
+  | Drop_all_persists -> "drop-all-persists"
+
+let fault_of_name = function
+  | "none" -> Some No_fault
+  | "drop-all-persists" -> Some Drop_all_persists
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i
+      when String.sub s 0 i = "drop-nth-persist" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n when n >= 1 -> Some (Drop_nth_persist n)
+      | _ -> None)
+    | _ -> None)
+
+type spec = {
+  structure : structure;
+  mode : Pctx.mode;
+  strategy : strategy_spec;
+  fault : fault;
+  seed : int;
+  n_ops : int;
+}
+
+let spec_name s =
+  Printf.sprintf "%s/%s/%s%s seed=%d ops=%d" (structure_name s.structure)
+    (Pctx.mode_name s.mode) (strategy_name s.strategy)
+    (match s.fault with No_fault -> "" | f -> "+" ^ fault_name f)
+    s.seed s.n_ops
+
+let uses_word_bits = function Queue -> false | Set k -> Ops.uses_word_bits k
+
+let compatible s =
+  not (uses_word_bits s.structure && s.strategy = Link_and_persist)
+
+let default_specs ~seed ~n_ops ~fault =
+  List.concat_map
+    (fun structure ->
+      List.concat_map
+        (fun mode ->
+          List.filter_map
+            (fun strategy ->
+              let s = { structure; mode; strategy; fault; seed; n_ops } in
+              if compatible s then Some s else None)
+            [ Plain; Skipit ])
+        Pctx.all_modes)
+    all_structures
+
+(* ------------------------------------------------------------------ *)
+(* Strategy realization and fault injection.                          *)
+
+let wants_skip_it_hw = function Skipit -> true | Plain | Flit_adjacent | Link_and_persist -> false
+
+let realize_strategy spec =
+  match spec.strategy with
+  | Plain -> Strategy.plain ()
+  | Skipit -> Strategy.skipit_hw ()
+  | Flit_adjacent -> Strategy.flit_adjacent ()
+  | Link_and_persist -> Strategy.link_and_persist ()
+
+(* The seeded-fault wrapper: silently elide required store-side writebacks.
+   Exactly the bug class FliT frames — one missing flush breaking durable
+   linearizability — and what the campaign must demonstrably catch. *)
+let apply_fault fault (s : Strategy.t) =
+  match fault with
+  | No_fault -> s
+  | Drop_all_persists ->
+    { s with name = s.name ^ "+" ^ fault_name fault; persist_store = (fun _ -> ()) }
+  | Drop_nth_persist n ->
+    let calls = ref 0 in
+    {
+      s with
+      name = s.name ^ "+" ^ fault_name fault;
+      persist_store =
+        (fun addr ->
+          incr calls;
+          if !calls <> n then s.persist_store addr);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic op schedules and the sequential oracle.              *)
+
+type op = Insert of int | Delete of int | Contains of int | Enqueue of int | Dequeue
+
+let set_key_range = 16
+
+let gen_ops spec =
+  let rng = Rng.create ~seed:(spec.seed lxor (Hashtbl.hash (structure_name spec.structure) * 65599)) in
+  match spec.structure with
+  | Set _ ->
+    Array.init spec.n_ops (fun _ ->
+      let key = 1 + Rng.int rng set_key_range in
+      let r = Rng.int rng 100 in
+      if r < 45 then Insert key else if r < 80 then Delete key else Contains key)
+  | Queue ->
+    let next_value = ref 0 in
+    Array.init spec.n_ops (fun _ ->
+      if Rng.int rng 100 < 60 then begin
+        incr next_value;
+        Enqueue !next_value
+      end
+      else Dequeue)
+
+(* ------------------------------------------------------------------ *)
+(* One trial.                                                         *)
+
+type trial = {
+  persists : int;
+  crashed : bool;
+  completed : int;
+  violations : string list;
+}
+
+let build_system spec =
+  let params =
+    { (C.tiny ~cores:1 ()) with Params.skip_it = wants_skip_it_hw spec.strategy }
+  in
+  S.create params
+
+let run_task sys f =
+  let r = ref None in
+  ignore (T.run sys [ { T.core = 0; body = (fun () -> r := Some (f ())) } ]);
+  Option.get !r
+
+(* Replay the completed prefix of the schedule on the host-side model. *)
+let set_model ops ~completed =
+  let model = Hashtbl.create 64 in
+  Array.iteri
+    (fun i op ->
+      if i < completed then
+        match op with
+        | Insert k -> Hashtbl.replace model k true
+        | Delete k -> Hashtbl.replace model k false
+        | Contains _ | Enqueue _ | Dequeue -> ())
+    ops;
+  model
+
+let queue_model ops ~completed =
+  let q = ref [] in
+  Array.iteri
+    (fun i op ->
+      if i < completed then
+        match op with
+        | Enqueue v -> q := !q @ [ v ]
+        | Dequeue -> (match !q with [] -> () | _ :: t -> q := t)
+        | Insert _ | Delete _ | Contains _ -> ())
+    ops;
+  !q
+
+let verify_set (h : Ops.handle) p sys ops ~completed =
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  ignore (run_task sys (fun () -> h.Ops.repair p));
+  let snap = h.Ops.snapshot sys in
+  let model = set_model ops ~completed in
+  let pending = if completed < Array.length ops then Some ops.(completed) else None in
+  let pending_key =
+    match pending with Some (Insert k) | Some (Delete k) -> Some k | _ -> None
+  in
+  let touched = Hashtbl.create 64 in
+  Array.iteri
+    (fun i op ->
+      if i <= completed then
+        match op with
+        | Insert k | Delete k | Contains k -> Hashtbl.replace touched k ()
+        | Enqueue _ | Dequeue -> ())
+    ops;
+  List.iter
+    (fun k ->
+      if not (Hashtbl.mem touched k) then
+        add "phantom element %d in post-crash snapshot (never inserted)" k)
+    snap;
+  Hashtbl.iter
+    (fun k present ->
+      if Some k <> pending_key then
+        if present && not (List.mem k snap) then
+          add "durably-inserted key %d lost after crash+repair" k
+        else if (not present) && List.mem k snap then
+          add "durably-deleted key %d resurrected after crash+repair" k)
+    model;
+  List.rev !out
+
+let verify_queue q p sys ops ~completed =
+  ignore (run_task sys (fun () -> MQ.repair q p));
+  let snap = MQ.to_list_unsafe q sys in
+  let base = queue_model ops ~completed in
+  let pending = if completed < Array.length ops then Some ops.(completed) else None in
+  let acceptable =
+    match pending with
+    | Some (Enqueue v) -> [ base; base @ [ v ] ]
+    | Some Dequeue -> [ base; (match base with [] -> [] | _ :: t -> t) ]
+    | _ -> [ base ]
+  in
+  if List.mem snap acceptable then []
+  else
+    [
+      Printf.sprintf "queue mismatch after crash+repair: got [%s], expected [%s]%s"
+        (String.concat "; " (List.map string_of_int snap))
+        (String.concat "; " (List.map string_of_int base))
+        (match pending with
+         | Some (Enqueue v) -> Printf.sprintf " (or with pending enqueue %d)" v
+         | Some Dequeue -> " (or with pending dequeue applied)"
+         | _ -> "");
+    ]
+
+let run_trial ?(audit_every = 400) spec ~crash_at =
+  let sys = build_system spec in
+  let strategy = apply_fault spec.fault (realize_strategy spec) in
+  (* Crash boundaries count persist-point *calls*, not persist-log events:
+     a fault that elides the writeback must not also elide the boundary
+     that would expose it.  The counter increments after the call returns,
+     so an honest flush has already issued (and, under eager timing, its
+     data is durable) when the crash lands at the next dispatch. *)
+  let persist_points = ref 0 in
+  let counted =
+    {
+      strategy with
+      persist_store =
+        (fun a ->
+          strategy.Strategy.persist_store a;
+          incr persist_points);
+      persist_load =
+        (fun a ->
+          strategy.Strategy.persist_load a;
+          incr persist_points);
+    }
+  in
+  let p = Pctx.make counted spec.mode in
+  let ops = gen_ops spec in
+  let completed = ref 0 in
+  let handle = ref None in
+  let body () =
+    (match spec.structure with
+     | Queue -> handle := Some (`Queue (MQ.create p (S.allocator sys)))
+     | Set k -> handle := Some (`Set (Ops.create_sized k ~buckets:4 p (S.allocator sys))));
+    Array.iter
+      (fun op ->
+        (match op, !handle with
+         | Insert k, Some (`Set h) -> ignore (h.Ops.insert p k)
+         | Delete k, Some (`Set h) -> ignore (h.Ops.delete p k)
+         | Contains k, Some (`Set h) -> ignore (h.Ops.contains p k)
+         | Enqueue v, Some (`Queue q) -> MQ.enqueue q p v
+         | Dequeue, Some (`Queue q) -> ignore (MQ.dequeue q p)
+         | _ -> assert false);
+        incr completed)
+      ops
+  in
+  let auditor = Auditor.create sys in
+  Auditor.attach auditor ~every:audit_every;
+  let stop =
+    match crash_at with
+    | None -> fun () -> false
+    | Some b -> fun () -> !persist_points >= b
+  in
+  let outcome = T.run_until sys ~stop [ { T.core = 0; body } ] in
+  let crashed = match outcome with `Stopped _ -> true | `Completed _ -> false in
+  let violations = ref [] in
+  let note_invariants ~quiesced =
+    List.iter
+      (fun v -> violations := Invariant.violation_to_string v :: !violations)
+      (Invariant.check_all ~quiesced sys)
+  in
+  if crashed then begin
+    S.crash sys;
+    Auditor.note_crash auditor;
+    (* Post-crash, pre-repair: the crash must leave the machinery clean. *)
+    note_invariants ~quiesced:true;
+    (match !handle with
+     | None -> ()  (* crashed during construction: nothing was promised *)
+     | Some (`Set h) ->
+       List.iter (fun v -> violations := v :: !violations)
+         (verify_set h p sys ops ~completed:!completed)
+     | Some (`Queue q) ->
+       List.iter (fun v -> violations := v :: !violations)
+         (verify_queue q p sys ops ~completed:!completed))
+  end
+  else begin
+    (* Uncrashed run: quiesced structural + conservation + oracle checks. *)
+    ignore (Auditor.observe auditor);
+    note_invariants ~quiesced:true;
+    match !handle with
+    | Some (`Set h) ->
+      let snap = h.Ops.snapshot sys in
+      let model = set_model ops ~completed:!completed in
+      Hashtbl.iter
+        (fun k present ->
+          if present <> List.mem k snap then
+            violations :=
+              Printf.sprintf "uncrashed run: key %d %s" k
+                (if present then "missing" else "present-but-deleted")
+              :: !violations)
+        model
+    | Some (`Queue q) ->
+      let snap = MQ.to_list_unsafe q sys in
+      let want = queue_model ops ~completed:!completed in
+      if snap <> want then
+        violations :=
+          Printf.sprintf "uncrashed run: queue [%s], expected [%s]"
+            (String.concat "; " (List.map string_of_int snap))
+            (String.concat "; " (List.map string_of_int want))
+          :: !violations
+    | None -> violations := "uncrashed run never constructed the structure" :: !violations
+  end;
+  List.iter
+    (fun v -> violations := ("audit: " ^ Invariant.violation_to_string v) :: !violations)
+    (Auditor.failures auditor);
+  {
+    persists = !persist_points;
+    crashed;
+    completed = !completed;
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver.                                                   *)
+
+type failure = { spec : spec; crash_at : int option; completed : int; violations : string list }
+
+type report = {
+  spec : spec;
+  persists : int;
+  boundaries_tested : int;
+  failure : failure option;
+}
+
+let boundaries ~persists ~budget ~seed =
+  if persists <= 0 then []
+  else if persists <= budget then List.init persists (fun i -> i + 1)
+  else begin
+    let rng = Rng.create ~seed:(seed lxor 0x5EED) in
+    let picks = Hashtbl.create budget in
+    Hashtbl.replace picks 1 ();
+    Hashtbl.replace picks persists ();
+    while Hashtbl.length picks < budget do
+      Hashtbl.replace picks (1 + Rng.int rng persists) ()
+    done;
+    List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) picks [])
+  end
+
+let run_spec ?pool ?(budget = 20) spec =
+  let full = run_trial spec ~crash_at:None in
+  match full.violations with
+  | _ :: _ ->
+    {
+      spec;
+      persists = full.persists;
+      boundaries_tested = 0;
+      failure =
+        Some { spec; crash_at = None; completed = full.completed; violations = full.violations };
+    }
+  | [] ->
+    let bs = boundaries ~persists:full.persists ~budget ~seed:spec.seed in
+    let trials = Pool.map_opt pool (fun b -> b, run_trial spec ~crash_at:(Some b)) bs in
+    let failure =
+      List.find_map
+        (fun (b, (t : trial)) ->
+          match t.violations with
+          | [] -> None
+          | v -> Some { spec; crash_at = Some b; completed = t.completed; violations = v })
+        trials
+    in
+    { spec; persists = full.persists; boundaries_tested = List.length bs; failure }
+
+let run_campaign ?pool ?budget specs =
+  (* Parallelism lives inside each spec (its crash boundaries fan out over
+     the pool); specs run in sequence so reports stay in submission order
+     with bounded memory. *)
+  List.map (fun spec -> run_spec ?pool ?budget spec) specs
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking.                                                         *)
+
+(* Earliest failing boundary of [spec], scanning from 1 (capped). *)
+let first_failing spec ~cap =
+  let full = run_trial spec ~crash_at:None in
+  let limit = min full.persists cap in
+  let rec scan b =
+    if b > limit then None
+    else begin
+      let t = run_trial spec ~crash_at:(Some b) in
+      if t.violations <> [] then
+        Some { spec; crash_at = Some b; completed = t.completed; violations = t.violations }
+      else scan (b + 1)
+    end
+  in
+  scan 1
+
+let shrink fail =
+  match fail.crash_at with
+  | None -> fail  (* an uncrashed-run failure has no schedule to minimise *)
+  | Some _ ->
+    let cap = 64 in
+    (* Ops after the in-flight one never ran; drop them outright. *)
+    let start_ops = min fail.spec.n_ops (fail.completed + 1) in
+    let current = ref { fail with spec = { fail.spec with n_ops = start_ops } } in
+    (match first_failing !current.spec ~cap with
+     | Some f -> current := f
+     | None -> current := fail);
+    let continue_ = ref true in
+    while !continue_ do
+      let n = !current.spec.n_ops in
+      let candidates = List.filter (fun n' -> n' >= 1 && n' < n) [ n / 2; n - 1 ] in
+      match
+        List.find_map
+          (fun n' -> first_failing { !current.spec with n_ops = n' } ~cap)
+          candidates
+      with
+      | Some f -> current := f
+      | None -> continue_ := false
+    done;
+    !current
+
+(* ------------------------------------------------------------------ *)
+(* Reproducer files.                                                  *)
+
+let write_reproducer path (fail : failure) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  Printf.fprintf oc "# skipit_sim audit reproducer (replay: skipit_sim audit --repro %s)\n" path;
+  Printf.fprintf oc "structure=%s\n" (structure_name fail.spec.structure);
+  Printf.fprintf oc "mode=%s\n" (Pctx.mode_name fail.spec.mode);
+  Printf.fprintf oc "strategy=%s\n" (strategy_name fail.spec.strategy);
+  Printf.fprintf oc "fault=%s\n" (fault_name fail.spec.fault);
+  Printf.fprintf oc "seed=%d\n" fail.spec.seed;
+  Printf.fprintf oc "ops=%d\n" fail.spec.n_ops;
+  Printf.fprintf oc "crash_at=%d\n" (match fail.crash_at with Some b -> b | None -> 0);
+  List.iter (fun v -> Printf.fprintf oc "# violation: %s\n" v) fail.violations
+
+let read_reproducer path =
+  try
+    let ic = open_in path in
+    let fields = Hashtbl.create 8 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match String.index_opt line '=' with
+           | Some i ->
+             Hashtbl.replace fields
+               (String.sub line 0 i)
+               (String.sub line (i + 1) (String.length line - i - 1))
+           | None -> ()
+       done
+     with End_of_file -> close_in ic);
+    let get k = match Hashtbl.find_opt fields k with Some v -> Ok v | None -> Error ("missing field " ^ k) in
+    let ( let* ) = Result.bind in
+    let* structure =
+      let* s = get "structure" in
+      Option.to_result ~none:("unknown structure " ^ s) (structure_of_name s)
+    in
+    let* mode =
+      let* s = get "mode" in
+      Option.to_result ~none:("unknown mode " ^ s)
+        (List.find_opt (fun m -> Pctx.mode_name m = s) Pctx.all_modes)
+    in
+    let* strategy =
+      let* s = get "strategy" in
+      Option.to_result ~none:("unknown strategy " ^ s) (strategy_of_name s)
+    in
+    let* fault =
+      let* s = get "fault" in
+      Option.to_result ~none:("unknown fault " ^ s) (fault_of_name s)
+    in
+    let int_field k =
+      let* s = get k in
+      Option.to_result ~none:("bad integer for " ^ k) (int_of_string_opt s)
+    in
+    let* seed = int_field "seed" in
+    let* n_ops = int_field "ops" in
+    let* crash_at = int_field "crash_at" in
+    Ok
+      {
+        spec = { structure; mode; strategy; fault; seed; n_ops };
+        crash_at = (if crash_at > 0 then Some crash_at else None);
+        completed = 0;
+        violations = [];
+      }
+  with Sys_error e -> Error e
+
+let pp_report ppf r =
+  match r.failure with
+  | None ->
+    Format.fprintf ppf "PASS %-50s %3d persists, %2d boundaries" (spec_name r.spec)
+      r.persists r.boundaries_tested
+  | Some f ->
+    Format.fprintf ppf "FAIL %-50s crash_at=%s (%d violation(s)):" (spec_name r.spec)
+      (match f.crash_at with Some b -> string_of_int b | None -> "-")
+      (List.length f.violations);
+    List.iter (fun v -> Format.fprintf ppf "@,       %s" v) f.violations

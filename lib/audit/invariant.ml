@@ -1,0 +1,189 @@
+module S = Skipit_core.System
+module Params = Skipit_cache.Params
+module Dcache = Skipit_l1.Dcache
+module Flush_unit = Skipit_l1.Flush_unit
+module L2 = Skipit_l2.Inclusive_cache
+module Directory = Skipit_l2.Directory
+module Memside = Skipit_l2.Memside_cache
+module Dram = Skipit_mem.Dram
+module PL = Skipit_mem.Persist_log
+module Resource = Skipit_sim.Resource
+module Perm = Skipit_tilelink.Perm
+
+type violation = { rule : string; addr : int option; detail : string }
+
+let pp_violation ppf v =
+  match v.addr with
+  | Some a -> Format.fprintf ppf "[%s] line %#x: %s" v.rule a v.detail
+  | None -> Format.fprintf ppf "[%s] %s" v.rule v.detail
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  sys : S.t;
+  words : int;  (* words per line *)
+  mutable out : violation list;  (* collected in reverse *)
+}
+
+let fail ctx ?addr rule fmt =
+  Printf.ksprintf (fun detail -> ctx.out <- { rule; addr; detail } :: ctx.out) fmt
+
+let words_per_line sys = Params.line_bytes (S.params sys) / 8
+
+(* Word-granular compare of a cached line against a reference read
+   function; returns the first differing word offset. *)
+let first_diff ctx ~base ~data read_ref =
+  let rec scan w =
+    if w >= ctx.words then None
+    else begin
+      let reference = read_ref (base + (w * 8)) in
+      if data.(w) <> reference then Some (w, data.(w), reference) else scan (w + 1)
+    end
+  in
+  scan 0
+
+(* Every L1 copy present in the L2 directory with matching permissions
+   (§3.4 inclusion), at most one Trunk/dirty copy, skip-bit safety and the
+   durability strengthening, and clean-copy value agreement with the L2. *)
+let check_l1_lines ctx =
+  let sys = ctx.sys in
+  let l2 = S.l2 sys in
+  let n = S.n_cores sys in
+  for core = 0 to n - 1 do
+    let dc = S.dcache sys core in
+    List.iter
+      (fun (addr, perm) ->
+        (* Inclusion + directory agreement. *)
+        if not (L2.present l2 addr) then
+          fail ctx ~addr "inclusion" "held by core %d (%s) but absent from L2" core
+            (Perm.to_string perm)
+        else begin
+          let dperm = L2.owner_perm l2 ~core ~addr in
+          if not (Perm.equal dperm perm) then
+            fail ctx ~addr "inclusion" "core %d holds %s but directory says %s" core
+              (Perm.to_string perm) (Perm.to_string dperm)
+        end;
+        match Dcache.line_state dc addr with
+        | None -> ()
+        | Some line ->
+          (* Single writer / dirty requires Trunk. *)
+          if Perm.equal line.Dcache.perm Perm.Trunk then
+            for other = 0 to n - 1 do
+              if other <> core && Dcache.line_state (S.dcache sys other) addr <> None then
+                fail ctx ~addr "single-writer" "Trunk on core %d but core %d holds a copy"
+                  core other
+            done;
+          if line.Dcache.dirty && not (Perm.equal line.Dcache.perm Perm.Trunk) then
+            fail ctx ~addr "single-writer" "dirty without Trunk on core %d" core;
+          if not line.Dcache.dirty then begin
+            if line.Dcache.skip then begin
+              (* §6.2 safety: valid ∧ ¬dirty ∧ skip ⇒ L2 copy not dirty. *)
+              if L2.dir_dirty l2 addr then
+                fail ctx ~addr "skip-safety" "skip set on core %d but L2 copy is dirty" core;
+              (* Strengthening: the skip bit claims "already persisted", so
+                 the clean copy must equal the persistence domain. *)
+              match first_diff ctx ~base:addr ~data:line.Dcache.data (S.persisted_word sys) with
+              | Some (w, got, want) ->
+                fail ctx ~addr "skip-durability"
+                  "skip set on core %d but word %d differs from NVMM (%#x vs %#x)" core w
+                  got want
+              | None -> ()
+            end;
+            (* Clean copies agree with the L2 directory data. *)
+            match
+              first_diff ctx ~base:addr ~data:line.Dcache.data (L2.peek_word l2)
+            with
+            | Some (w, got, want) ->
+              fail ctx ~addr "value-coherence"
+                "clean L1 copy on core %d: word %d is %#x but L2 has %#x" core w got want
+            | None -> ()
+          end)
+      (Dcache.held_lines dc)
+  done
+
+(* A clean L2 line agrees with the level below it; a clean L3 line agrees
+   with DRAM.  Catches an elided-but-needed writeback the moment metadata
+   claims cleanliness. *)
+let check_lower_levels ctx =
+  let sys = ctx.sys in
+  let l2 = S.l2 sys in
+  let backend = L2.backend l2 in
+  L2.iter_lines l2 (fun addr dir ->
+    if not dir.Directory.dirty then
+      match
+        first_diff ctx ~base:addr ~data:dir.Directory.data
+          (Skipit_l2.Backend.peek_word backend)
+      with
+      | Some (w, got, want) ->
+        fail ctx ~addr "value-coherence" "clean L2 line: word %d is %#x but below has %#x" w
+          got want
+      | None -> ());
+  match S.l3 sys with
+  | None -> ()
+  | Some l3 ->
+    Memside.iter_lines l3 (fun addr ~dirty ~data ->
+      if not dirty then
+        match first_diff ctx ~base:addr ~data (S.persisted_word sys) with
+        | Some (w, got, want) ->
+          fail ctx ~addr "value-coherence" "clean L3 line: word %d is %#x but NVMM has %#x"
+            w got want
+        | None -> ())
+
+(* §4 observability: the log is an ordered record — sequence numbers dense
+   and ascending from zero, times non-negative. *)
+let check_persist_log ctx =
+  let log = S.persist_log ctx.sys in
+  let expected = ref 0 in
+  List.iter
+    (fun (e : PL.event) ->
+      if e.PL.seq <> !expected then
+        fail ctx ~addr:e.PL.addr "persist-log" "sequence %d where %d expected" e.PL.seq
+          !expected;
+      if e.PL.time < 0 then
+        fail ctx ~addr:e.PL.addr "persist-log" "negative persist time %d (seq %d)" e.PL.time
+          e.PL.seq;
+      expected := e.PL.seq + 1)
+    (PL.events log);
+  if PL.length log <> !expected then
+    fail ctx "persist-log" "length %d but %d events enumerated" (PL.length log) !expected
+
+(* Occupancy conservation at quiesce: past every resource's busy horizon no
+   FSHR pendings, flush-queue admissions or ListBuffer admissions remain.
+   This is what catches units leaked across a crash (satellite: crash must
+   reset Resource occupancy and flush-queue state cleanly). *)
+let check_conservation ctx =
+  let sys = ctx.sys in
+  let l2 = S.l2 sys in
+  let horizon = ref (S.max_clock sys) in
+  let widen r = horizon := max !horizon (Resource.all_free_at r) in
+  for core = 0 to S.n_cores sys - 1 do
+    let dc = S.dcache sys core in
+    widen (Dcache.mshrs dc);
+    widen (Dcache.wbu dc);
+    widen (Flush_unit.fshrs (Dcache.flush_unit dc))
+  done;
+  widen (L2.mshrs l2);
+  widen (Dram.channels (S.dram sys));
+  let h = !horizon in
+  for core = 0 to S.n_cores sys - 1 do
+    let fu = Dcache.flush_unit (S.dcache sys core) in
+    let pending = Flush_unit.outstanding fu ~now:h in
+    if pending <> 0 then
+      fail ctx "conservation" "core %d: %d FSHR pending(s) survive the busy horizon (%d)"
+        core pending h;
+    let q = Flush_unit.queue_occupants fu in
+    if q <> 0 then
+      fail ctx "conservation" "core %d: %d flush-queue admission(s) never released" core q
+  done;
+  let lb = L2.list_buffer_occupants l2 in
+  if lb <> 0 then fail ctx "conservation" "L2 ListBuffer: %d admission(s) never released" lb
+
+let check_all ?(quiesced = false) sys =
+  let ctx = { sys; words = words_per_line sys; out = [] } in
+  check_l1_lines ctx;
+  check_lower_levels ctx;
+  check_persist_log ctx;
+  if quiesced then check_conservation ctx;
+  List.rev ctx.out

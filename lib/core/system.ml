@@ -10,6 +10,17 @@ open Skipit_tilelink
 
 module Memside = Skipit_l2.Memside_cache
 
+(* Periodic audit hook (off by default): [hook] fires whenever the maximum
+   core clock has advanced at least [every] simulated cycles since the last
+   firing.  The hook is untimed — it must only observe, never execute
+   instructions — so enabling it cannot perturb cycle counts. *)
+type audit_state = {
+  every : int;
+  mutable next_due : int;
+  mutable in_hook : bool;
+  hook : unit -> unit;
+}
+
 type t = {
   params : Params.t;
   dcaches : Dcache.t array;
@@ -21,6 +32,7 @@ type t = {
   dram : Dram.t;
   allocator : Allocator.t;
   persist_log : Skipit_mem.Persist_log.t;
+  mutable audit : audit_state option;
 }
 
 let create params =
@@ -85,6 +97,7 @@ let create params =
     dram;
     allocator = Allocator.create ();
     persist_log;
+    audit = None;
   }
 
 let params t = t.params
@@ -98,7 +111,30 @@ let dram t = t.dram
 let persist_log t = t.persist_log
 let allocator t = t.allocator
 
-let exec t ~core instr = Lsu.exec t.lsus.(core) instr
+let max_clock t = Array.fold_left (fun acc l -> max acc (Lsu.clock l)) 0 t.lsus
+
+let set_audit_hook t ~every hook =
+  if every <= 0 then invalid_arg "System.set_audit_hook: every must be positive";
+  t.audit <- Some { every; next_due = max_clock t + every; in_hook = false; hook = (fun () -> hook t) }
+
+let clear_audit_hook t = t.audit <- None
+
+let maybe_audit t =
+  match t.audit with
+  | None -> ()
+  | Some a ->
+    let now = max_clock t in
+    if now >= a.next_due && not a.in_hook then begin
+      a.in_hook <- true;
+      (* Catch up in one firing even if the clock jumped several periods. *)
+      a.next_due <- now + a.every;
+      Fun.protect ~finally:(fun () -> a.in_hook <- false) a.hook
+    end
+
+let exec t ~core instr =
+  let r = Lsu.exec t.lsus.(core) instr in
+  maybe_audit t;
+  r
 
 let load t ~core addr = exec t ~core (Instr.Load { addr })
 let store t ~core addr value = ignore (exec t ~core (Instr.Store { addr; value }))
@@ -112,8 +148,6 @@ let inval t ~core addr = ignore (exec t ~core (Instr.Cbo_inval { addr }))
 let zero t ~core addr = ignore (exec t ~core (Instr.Cbo_zero { addr }))
 let fence t ~core = ignore (exec t ~core Instr.Fence)
 let clock t ~core = Lsu.clock t.lsus.(core)
-
-let max_clock t = Array.fold_left (fun acc l -> max acc (Lsu.clock l)) 0 t.lsus
 
 let peek_word t addr =
   (* At most one core holds the line dirty; its copy is the architectural
@@ -134,7 +168,8 @@ let persisted_word t addr = Dram.peek_word t.dram addr
 
 let crash t =
   Array.iter Dcache.crash t.dcaches;
-  L2.crash t.l2
+  L2.crash t.l2;
+  Dram.crash t.dram
 
 let check_coherence t =
   (* Inclusion + directory agreement. *)

@@ -71,7 +71,25 @@ val persisted_word : t -> int -> int
 
 val crash : t -> unit
 (** Power failure: all volatile cache state vanishes; DRAM (the NVMM)
-    survives; core clocks are preserved. *)
+    survives; core clocks are preserved.  All in-flight machinery —
+    MSHRs, FSHRs, flush-queue admissions, writeback units, L2 banks and
+    ListBuffer, DRAM channels — is reset to empty, so re-running a
+    workload on the same system inherits no phantom occupancy. *)
+
+val set_audit_hook : t -> every:int -> (t -> unit) -> unit
+(** Install a periodic audit hook: [hook] fires after any instruction that
+    advances the maximum core clock at least [every] cycles past the last
+    firing (and from {!Thread}'s scheduler between instructions).  The hook
+    must be purely observational — it runs outside simulated time, so
+    enabling it never changes cycle counts.  Off by default; at most one
+    hook is installed (a second call replaces the first). *)
+
+val clear_audit_hook : t -> unit
+
+val maybe_audit : t -> unit
+(** Fire the installed audit hook if its period has elapsed (no-op
+    otherwise, and when no hook is installed).  Called automatically by
+    {!exec} and by {!Thread.run}; exposed for custom drivers. *)
 
 val check_coherence : t -> (unit, string) result
 (** Global invariants:

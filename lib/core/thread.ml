@@ -39,7 +39,7 @@ let start body =
           | _ -> None);
     }
 
-let run system tasks =
+let run_loop system ~stop tasks =
   let fibers = List.map (fun t -> { fcore = t.core; status = start t.body }) tasks in
   let runnable () =
     List.filter (fun f -> match f.status with Done -> false | Blocked _ -> true) fibers
@@ -49,7 +49,13 @@ let run system tasks =
      order. *)
   let rec loop () =
     match runnable () with
-    | [] -> ()
+    | [] -> `Completed (System.max_clock system)
+    | _ when stop () ->
+      (* Crash point: abandon every blocked fiber mid-instruction.  The
+         one-shot continuations are simply dropped (safe to GC); whatever
+         the tasks were about to do next never happens — exactly a power
+         failure at instruction granularity. *)
+      `Stopped (System.max_clock system)
     | ready ->
       let fiber =
         List.fold_left
@@ -69,8 +75,17 @@ let run system tasks =
            | Get_now -> Lsu.clock lsu
            | Get_core -> fiber.fcore
          in
+         System.maybe_audit system;
          fiber.status <- continue k answer);
       loop ()
   in
-  loop ();
-  System.max_clock system
+  loop ()
+
+let never_stop () = false
+
+let run system tasks =
+  match run_loop system ~stop:never_stop tasks with
+  | `Completed c -> c
+  | `Stopped _ -> assert false
+
+let run_until system ~stop tasks = run_loop system ~stop tasks

@@ -44,3 +44,11 @@ val run : System.t -> task list -> int
 (** Run all tasks to completion; returns the final maximum core clock.
     Several tasks may share a core (they interleave on its clock).  Raises
     whatever a task body raises. *)
+
+val run_until :
+  System.t -> stop:(unit -> bool) -> task list -> [ `Completed of int | `Stopped of int ]
+(** Like {!run}, but [stop] is consulted before every instruction dispatch;
+    when it returns [true] all remaining fibers are abandoned {e
+    mid-instruction} and [`Stopped max_clock] is returned — a power failure
+    at instruction granularity (the crash-campaign driver's primitive).
+    Typical predicate: "the persist log has reached [n] events". *)

@@ -377,7 +377,17 @@ let held_lines t =
     acc := (addr, (Store.payload_exn slot).perm) :: !acc);
   !acc
 
-let crash t = Store.invalidate_all t.store_arr
+let mshrs t = t.mshrs
+let wbu t = t.wbu
+
+let crash t =
+  Store.invalidate_all t.store_arr;
+  (* In-flight refills and writebacks die with the power: occupancy must
+     not leak into the next run on this system. *)
+  Resource.reset t.mshrs;
+  Resource.reset t.wbu;
+  Flush_unit.crash t.flush;
+  Int_tbl.clear t.last_change
 
 let create p ~core ~port =
   let stats = Stats.Registry.create () in

@@ -93,5 +93,14 @@ val held_lines : t -> (int * Perm.t) list
 val flush_unit : t -> Flush_unit.t
 val port : t -> Port.t
 val stats : t -> Skipit_sim.Stats.Registry.t
+
+val mshrs : t -> Skipit_sim.Resource.t
+(** MSHR occupancy tracker (audit/conservation checks). *)
+
+val wbu : t -> Skipit_sim.Resource.t
+(** Writeback-unit occupancy tracker (audit/conservation checks). *)
+
 val crash : t -> unit
-(** Volatile contents vanish. *)
+(** Volatile contents vanish, and so do all in-flight requests: MSHR, WBU
+    and flush-unit occupancy are reset so a subsequent run on the same
+    system starts with empty machinery (no leaked units). *)

@@ -244,3 +244,19 @@ let fence_ready_at t ~now =
 let outstanding t ~now =
   prune t ~now;
   List.length t.pendings
+
+let fshrs t = t.fshrs
+let queue_occupants t = match t.admission with Some a -> Admission.occupants a | None -> 0
+
+let crash t =
+  (* Power failure: in-flight writebacks vanish.  Every conflict/occupancy
+     structure must come back empty, or the next run on this system would
+     inherit phantom back-pressure (leaked FSHR units, stale queue-departure
+     times, booked entries that never drain). *)
+  t.pendings <- [];
+  let rec drain () =
+    match Flush_queue.dequeue t.book with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Resource.reset t.fshrs;
+  match t.admission with Some a -> Admission.reset a | None -> ()

@@ -94,6 +94,18 @@ val fence_ready_at : t -> now:int -> int
 val outstanding : t -> now:int -> int
 (** Pending writebacks (the flush counter's value) at [now]. *)
 
+val fshrs : t -> Skipit_sim.Resource.t
+(** The FSHR occupancy tracker (audit/conservation checks). *)
+
+val queue_occupants : t -> int
+(** Requests admitted to the flush queue and not yet dequeued into an FSHR
+    (0 when the queue has no buffering). *)
+
+val crash : t -> unit
+(** Power failure: drop every pending request and reset FSHR occupancy,
+    queue admissions and booked entries, so a subsequent run on the same
+    system starts from empty flush machinery. *)
+
 val note_skip_drop : t -> unit
 (** Record a Skip-It fast drop (the request never reached the queue). *)
 

@@ -358,8 +358,18 @@ let check_inclusion t ~l1_lines =
   done;
   match !violation with Some msg -> Error msg | None -> Ok ()
 
+let iter_lines t f = Store.iter_valid t.store (fun addr slot -> f addr (Store.payload_exn slot))
+
+let mshrs t = t.mshrs
+let list_buffer_occupants t = Admission.occupants t.list_buffer
+
 let crash t =
   Store.invalidate_all t.store;
+  (* In-flight transactions die with the power: reset MSHR/bank occupancy
+     and ListBuffer admissions so nothing leaks into the next run. *)
+  Resource.reset t.mshrs;
+  Resource.Banked.reset t.banks;
+  Admission.reset t.list_buffer;
   Backend.crash t.backend
 
 (* Bind this cache as the manager agent of [port] for client [core]: the

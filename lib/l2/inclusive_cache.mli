@@ -100,6 +100,17 @@ val check_inclusion : t -> l1_lines:(int -> (int * Perm.t) list) -> (unit, strin
     directory bits matching ([l1_lines core] lists that L1's
     (line address, permission) pairs). *)
 
+val iter_lines : t -> (int -> Directory.t -> unit) -> unit
+(** [iter_lines t f] calls [f line_addr dir] for every resident line — the
+    audit layer's window onto directory state (dirty bits, owner perms,
+    cached data). *)
+
+val mshrs : t -> Skipit_sim.Resource.t
+(** MSHR occupancy tracker (audit/conservation checks). *)
+
+val list_buffer_occupants : t -> int
+(** ListBuffer requests admitted but not yet dequeued into an MSHR. *)
+
 val crash : t -> unit
 (** Drop all (volatile) contents. *)
 

@@ -131,7 +131,14 @@ let dirty t addr =
   | Some slot -> (Store.payload_exn slot).dirty
   | None -> false
 
-let crash t = Store.invalidate_all t.store
+let iter_lines t f =
+  Store.iter_valid t.store (fun addr slot ->
+    let line = Store.payload_exn slot in
+    f addr ~dirty:line.dirty ~data:line.data)
+
+let crash t =
+  Store.invalidate_all t.store;
+  Resource.Banked.reset t.banks
 
 let create ?(name = "l3") ~geom ~access_latency ~banks ~bank_busy ~below ~beats_per_line () =
   let t =

@@ -40,6 +40,9 @@ val backend : t -> Backend.t
 val present : t -> int -> bool
 val dirty : t -> int -> bool
 
+val iter_lines : t -> (int -> dirty:bool -> data:int array -> unit) -> unit
+(** Visit every resident line (audit layer). *)
+
 val stats : t -> Skipit_sim.Stats.Registry.t
 (** ["hits"], ["misses"], ["evictions"], ["dram_writebacks"],
     ["persist_writes"]. *)

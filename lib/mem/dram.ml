@@ -63,4 +63,11 @@ let reset_timing t =
   t.reads <- 0;
   t.writes <- 0
 
+let channels t = t.channels
+
+(* Power failure: contents survive (this IS the persistence domain), but
+   channel occupancy from in-flight transactions does not.  Counters and
+   the persist log are history, not state — they are kept. *)
+let crash t = Resource.reset t.channels
+
 let attach_log t log = t.log <- Some log

@@ -51,5 +51,12 @@ val writes : t -> int
 val reset_timing : t -> unit
 (** Clear channel occupancy and counters, keep contents. *)
 
+val channels : t -> Skipit_sim.Resource.t
+(** Channel occupancy tracker (audit/conservation checks). *)
+
+val crash : t -> unit
+(** Power failure: contents and counters survive (NVMM), in-flight channel
+    occupancy is dropped. *)
+
 val attach_log : t -> Persist_log.t -> unit
 (** Record every durable line write into the log (at most one log). *)

@@ -22,10 +22,16 @@ let first_persist_time t addr =
 let last_persist_time t addr =
   match List.rev (persists_of t ~addr) with [] -> None | e :: _ -> Some e.time
 
+type order =
+  | Before
+  | Not_before
+  | Never_persisted of { a : bool; b : bool }
+
 let persisted_before t a b =
   match last_persist_time t a, first_persist_time t b with
-  | Some ta, Some tb -> ta <= tb
-  | (Some _ | None), _ -> false
+  | Some ta, Some tb -> if ta <= tb then Before else Not_before
+  | la, lb ->
+    Never_persisted { a = Option.is_some la; b = Option.is_some lb }
 
 let clear t =
   t.rev_events <- [];

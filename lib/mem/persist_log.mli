@@ -29,11 +29,22 @@ val events : t -> event list
 val persists_of : t -> addr:int -> event list
 (** Events for one line (any address within it, 64 B lines). *)
 
-val persisted_before : t -> int -> int -> bool
-(** [persisted_before t a b]: both lines have persisted and the {e last}
-    persist of [a]'s line completed no later than the {e first} persist of
-    [b]'s line. *)
+(** Total answer to "did [a]'s line persist before [b]'s?" — a line that
+    never persisted is reported explicitly instead of collapsing into
+    [false] and relying on caller discipline. *)
+type order =
+  | Before  (** Both persisted; last persist of [a] ≤ first persist of [b]. *)
+  | Not_before  (** Both persisted, but [a]'s last persist came later. *)
+  | Never_persisted of { a : bool; b : bool }
+      (** At least one line never persisted; the flags say which ones did. *)
+
+val persisted_before : t -> int -> int -> order
 
 val first_persist_time : t -> int -> int option
+(** Completion cycle of the line's first persist, if any. *)
+
+val last_persist_time : t -> int -> int option
+(** Completion cycle of the line's most recent persist, if any. *)
+
 val clear : t -> unit
 val length : t -> int

@@ -91,6 +91,26 @@ let is_empty t p =
   Pctx.commit p ~updated:false;
   Ptr.is_null next
 
+let repair t p =
+  (* Post-crash recovery: the tail pointer is deliberately never persisted
+     on the hot path (the linking CAS is the durable linearization point),
+     so after a crash [tail_cell] may lag arbitrarily — or trail the head.
+     Walk forward along persisted next links and durably swing the tail to
+     the last reachable node, completing any interrupted enqueue's swing. *)
+  let rec advance swings =
+    let tail = Ptr.addr_of (Pctx.read_critical p t.tail_cell) in
+    let next = Pctx.read_critical p (fnext ~stride:t.stride tail) in
+    if Ptr.is_null next then swings
+    else begin
+      ignore (Pctx.cas p t.tail_cell ~expected:tail ~desired:(Ptr.addr_of next));
+      advance (swings + 1)
+    end
+  in
+  let n = advance 0 in
+  if n > 0 then Pctx.persist p t.tail_cell;
+  Pctx.commit p ~updated:(n > 0);
+  n
+
 let to_list_unsafe t system =
   let module S = Skipit_core.System in
   let strip v = v land lnot Skipit_persist.Strategy.lap_mask in

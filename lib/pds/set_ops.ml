@@ -20,6 +20,7 @@ type handle = {
   insert : Skipit_persist.Pctx.t -> int -> bool;
   delete : Skipit_persist.Pctx.t -> int -> bool;
   contains : Skipit_persist.Pctx.t -> int -> bool;
+  repair : Skipit_persist.Pctx.t -> int;
   snapshot : Skipit_core.System.t -> int list;
 }
 
@@ -32,6 +33,7 @@ let create_sized kind ~buckets p alloc =
       insert = Harris_list.insert t;
       delete = Harris_list.delete t;
       contains = Harris_list.contains t;
+      repair = Harris_list.repair t;
       snapshot = Harris_list.to_list_unsafe t;
     }
   | Hash_set ->
@@ -41,6 +43,7 @@ let create_sized kind ~buckets p alloc =
       insert = Hash_table.insert t;
       delete = Hash_table.delete t;
       contains = Hash_table.contains t;
+      repair = Hash_table.repair t;
       snapshot = Hash_table.elements_unsafe t;
     }
   | Bst_set ->
@@ -50,6 +53,7 @@ let create_sized kind ~buckets p alloc =
       insert = Bst.insert t;
       delete = Bst.delete t;
       contains = Bst.contains t;
+      repair = Bst.repair t;
       snapshot = Bst.elements_unsafe t;
     }
   | Skiplist_set ->
@@ -59,6 +63,7 @@ let create_sized kind ~buckets p alloc =
       insert = Skiplist.insert t;
       delete = Skiplist.delete t;
       contains = Skiplist.contains t;
+      repair = Skiplist.repair t;
       snapshot = Skiplist.elements_unsafe t;
     }
 

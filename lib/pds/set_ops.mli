@@ -17,6 +17,8 @@ type handle = {
   insert : Skipit_persist.Pctx.t -> int -> bool;
   delete : Skipit_persist.Pctx.t -> int -> bool;
   contains : Skipit_persist.Pctx.t -> int -> bool;
+  repair : Skipit_persist.Pctx.t -> int;
+      (** Post-crash recovery: complete interrupted operations durably. *)
   snapshot : Skipit_core.System.t -> int list;
       (** Untimed sorted key snapshot (tests). *)
 }

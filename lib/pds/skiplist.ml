@@ -194,6 +194,39 @@ let delete t p key =
   in
   attempt ()
 
+let repair t p =
+  (* Post-crash recovery: finish interrupted deletions.  A crash between
+     persisting a bottom-level mark and persisting the physical unlink
+     leaves a durably-marked node still linked; walk every level top-down
+     snipping marked successors with persisted CASes.  Upper levels are
+     index-only (membership lives at level 0), but snipping them too keeps
+     traversals from stepping through dead towers. *)
+  let unlinked = ref 0 in
+  for level = max_level - 1 downto 0 do
+    let rec walk pred =
+      let succ_raw = Pctx.read_critical p (fnext ~stride:t.stride pred level) in
+      let curr = Ptr.addr_of succ_raw in
+      if curr = t.tail || Ptr.is_null curr then ()
+      else begin
+        let curr_next = Pctx.read_critical p (fnext ~stride:t.stride curr level) in
+        if Ptr.is_marked curr_next then begin
+          if
+            Pctx.cas p (fnext ~stride:t.stride pred level) ~expected:succ_raw
+              ~desired:(Ptr.addr_of curr_next)
+          then begin
+            Pctx.persist p (fnext ~stride:t.stride pred level);
+            if level = 0 then incr unlinked
+          end;
+          walk pred
+        end
+        else walk curr
+      end
+    in
+    walk t.head
+  done;
+  Pctx.commit p ~updated:(!unlinked > 0);
+  !unlinked
+
 let elements_unsafe t system =
   let module S = Skipit_core.System in
   let strip v = v land lnot Skipit_persist.Strategy.lap_mask in

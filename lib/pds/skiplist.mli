@@ -19,5 +19,11 @@ val insert : t -> Skipit_persist.Pctx.t -> int -> bool
 val delete : t -> Skipit_persist.Pctx.t -> int -> bool
 val contains : t -> Skipit_persist.Pctx.t -> int -> bool
 
+val repair : t -> Skipit_persist.Pctx.t -> int
+(** Post-crash recovery: durably unlink every marked node at every level
+    (a crash window exists between a delete's mark-persist and its
+    unlink-persist).  Returns the number of bottom-level (membership)
+    unlinks completed. *)
+
 val elements_unsafe : t -> Skipit_core.System.t -> int list
 (** Untimed snapshot from the bottom level (tests only). *)

@@ -24,3 +24,8 @@ let release t ~at =
   Queue.add at t.departures
 
 let occupants t = t.admitted - t.released
+
+let reset t =
+  Queue.clear t.departures;
+  t.admitted <- 0;
+  t.released <- 0

@@ -27,3 +27,7 @@ val release : t -> at:int -> unit
 
 val occupants : t -> int
 (** Requests admitted but not yet released. *)
+
+val reset : t -> unit
+(** Forget all admissions and recorded departures (power failure: in-flight
+    requests vanish and must not back-pressure the next run). *)

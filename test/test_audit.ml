@@ -1,0 +1,195 @@
+(* The invariant auditor and the crash campaign (lib/audit): healthy
+   systems audit clean, a crash mid-flush leaves no leaked occupancy and
+   the same system stays usable, campaigns pass on the default config, and
+   a seeded fault (a strategy eliding a required writeback) is caught,
+   shrunk and round-tripped through a reproducer file. *)
+
+module S = Skipit_core.System
+module C = Skipit_core.Config
+module T = Skipit_core.Thread
+module Params = Skipit_cache.Params
+module Dcache = Skipit_l1.Dcache
+module Flush_unit = Skipit_l1.Flush_unit
+module PL = Skipit_mem.Persist_log
+module Invariant = Skipit_audit.Invariant
+module Auditor = Skipit_audit.Auditor
+module Campaign = Skipit_audit.Campaign
+module Pctx = Skipit_persist.Pctx
+module Strategy = Skipit_persist.Strategy
+module Ops = Skipit_pds.Set_ops
+
+let no_violations what vs =
+  if vs <> [] then
+    Alcotest.failf "%s: %d violation(s), first: %s" what (List.length vs)
+      (Invariant.violation_to_string (List.hd vs))
+
+(* ------------------------------------------------------------------ *)
+
+let store_flush_lines sys ~base ~lines =
+  let body () =
+    for i = 0 to lines - 1 do
+      T.store (base + (i * 64)) (i + 1);
+      T.flush (base + (i * 64))
+    done;
+    T.fence ()
+  in
+  ignore (T.run sys [ { T.core = 0; body } ])
+
+let test_healthy_audit () =
+  let sys = S.create (C.tiny ~cores:2 ()) in
+  let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (32 * 64) in
+  no_violations "fresh system" (Invariant.check_all ~quiesced:true sys);
+  store_flush_lines sys ~base ~lines:32;
+  no_violations "after store+flush" (Invariant.check_all ~quiesced:true sys);
+  (* Dirty lines present (no flush): structural checks still hold. *)
+  ignore
+    (T.run sys
+       [ { T.core = 1; body = (fun () -> T.store (base + 8) 99; T.store (base + 640) 7) } ]);
+  no_violations "with dirty lines" (Invariant.check_all ~quiesced:true sys)
+
+let test_auditor_conservation () =
+  let sys = S.create (C.tiny ~cores:1 ()) in
+  let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (8 * 64) in
+  let auditor = Auditor.create sys in
+  ignore (T.run sys [ { T.core = 0; body = (fun () -> T.store base 1) } ]);
+  no_violations "observe dirty" (Auditor.observe auditor);
+  ignore (T.run sys [ { T.core = 0; body = (fun () -> T.flush base; T.fence ()) } ]);
+  (* The line left the dirty set via a persist: conservation holds. *)
+  no_violations "observe after flush" (Auditor.observe auditor);
+  no_violations "accumulated" (Auditor.failures auditor)
+
+(* Satellite: crash mid-flush must reset Resource occupancy and flush-queue
+   state, and the same system must run a fresh workload afterwards. *)
+let test_crash_mid_flush () =
+  let sys = S.create (C.tiny ~cores:1 ()) in
+  let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (64 * 64) in
+  let log = S.persist_log sys in
+  (* Stop in the middle of a burst of flushes: persist events exist but the
+     instruction stream is nowhere near done. *)
+  let outcome =
+    T.run_until sys
+      ~stop:(fun () -> PL.length log >= 3)
+      [
+        {
+          T.core = 0;
+          body =
+            (fun () ->
+              for i = 0 to 63 do
+                T.store (base + (i * 64)) i;
+                T.flush (base + (i * 64))
+              done;
+              T.fence ());
+        };
+      ]
+  in
+  (match outcome with
+   | `Stopped _ -> ()
+   | `Completed _ -> Alcotest.fail "expected the run to stop mid-flush");
+  S.crash sys;
+  let dc = S.dcache sys 0 in
+  let fu = Dcache.flush_unit dc in
+  Alcotest.(check int) "no FSHR pendings survive" 0 (Flush_unit.outstanding fu ~now:max_int);
+  Alcotest.(check int) "flush queue drained" 0 (Flush_unit.queue_occupants fu);
+  no_violations "post-crash invariants" (Invariant.check_all ~quiesced:true sys);
+  (* The same system must accept a fresh workload after the crash. *)
+  store_flush_lines sys ~base ~lines:16;
+  no_violations "post-crash reuse" (Invariant.check_all ~quiesced:true sys);
+  for i = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "line %d durable after re-run" i)
+      (i + 1)
+      (S.persisted_word sys (base + (i * 64)))
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let quick_spec ?(fault = Campaign.No_fault) ?(ops = 10) structure mode strategy =
+  { Campaign.structure; mode; strategy; fault; seed = 11; n_ops = ops }
+
+let test_campaign_clean () =
+  (* One structure per mode keeps the smoke test quick; the CLI covers the
+     full matrix. *)
+  let specs =
+    [
+      quick_spec Campaign.Queue Pctx.Manual Campaign.Skipit;
+      quick_spec (Campaign.Set Ops.List_set) Pctx.Nvtraverse Campaign.Plain;
+      quick_spec (Campaign.Set Ops.Hash_set) Pctx.Automatic Campaign.Plain;
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let r = Campaign.run_spec ~budget:4 spec in
+      match r.Campaign.failure with
+      | None -> ()
+      | Some f ->
+        Alcotest.failf "%s failed at crash_at=%s: %s" (Campaign.spec_name spec)
+          (match f.Campaign.crash_at with Some b -> string_of_int b | None -> "-")
+          (String.concat "; " f.Campaign.violations))
+    specs
+
+let test_campaign_catches_fault () =
+  (* A strategy that silently drops every required writeback must fail, and
+     the failure must shrink and round-trip through a reproducer file. *)
+  let spec =
+    quick_spec ~fault:Campaign.Drop_all_persists ~ops:12 (Campaign.Set Ops.List_set)
+      Pctx.Manual Campaign.Plain
+  in
+  let r = Campaign.run_spec ~budget:8 spec in
+  match r.Campaign.failure with
+  | None -> Alcotest.fail "campaign missed a strategy that elides every writeback"
+  | Some f ->
+    let s = Campaign.shrink f in
+    Alcotest.(check bool) "shrunk schedule no longer than original" true
+      (s.Campaign.spec.Campaign.n_ops <= spec.Campaign.n_ops);
+    Alcotest.(check bool) "shrunk failure still has violations" true
+      (s.Campaign.violations <> []);
+    let file = Filename.temp_file "skipit-repro" ".txt" in
+    Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+    Campaign.write_reproducer file s;
+    (match Campaign.read_reproducer file with
+     | Error e -> Alcotest.failf "reproducer did not parse back: %s" e
+     | Ok f' ->
+       Alcotest.(check string) "spec round-trips"
+         (Campaign.spec_name s.Campaign.spec)
+         (Campaign.spec_name f'.Campaign.spec);
+       Alcotest.(check bool) "crash point round-trips" true
+         (f'.Campaign.crash_at = s.Campaign.crash_at);
+       let t = Campaign.run_trial f'.Campaign.spec ~crash_at:f'.Campaign.crash_at in
+       Alcotest.(check bool) "replayed reproducer still fails" true
+         (t.Campaign.violations <> []))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: per-structure qcheck property — random ops, random crash
+   point, repair ⇒ every durably-completed update is present and nothing
+   phantom appears.  run_trial's oracle is exactly that check, so the
+   property is "no trial on an un-faulted spec ever reports a violation". *)
+
+let prop_crash_repair structure =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: crash+repair durable linearizability" (Campaign.structure_name structure))
+    ~count:6
+    QCheck.(triple small_int (int_range 0 2) (int_range 1 30))
+    (fun (seed, mode_ix, boundary) ->
+      let mode = List.nth Pctx.all_modes mode_ix in
+      let spec =
+        { Campaign.structure; mode; strategy = Campaign.Skipit; fault = Campaign.No_fault;
+          seed; n_ops = 8 }
+      in
+      let t = Campaign.run_trial spec ~crash_at:(Some boundary) in
+      match t.Campaign.violations with
+      | [] -> true
+      | v -> QCheck.Test.fail_reportf "%s crash_at=%d: %s" (Campaign.spec_name spec) boundary
+               (String.concat "; " v))
+
+let tests =
+  ( "audit",
+    [
+      Alcotest.test_case "healthy system audits clean" `Quick test_healthy_audit;
+      Alcotest.test_case "auditor dirty-line conservation" `Quick test_auditor_conservation;
+      Alcotest.test_case "crash mid-flush resets occupancy" `Quick test_crash_mid_flush;
+      Alcotest.test_case "campaign clean on default config" `Slow test_campaign_clean;
+      Alcotest.test_case "campaign catches seeded fault" `Slow test_campaign_catches_fault;
+    ]
+    @ List.map
+        (fun s -> QCheck_alcotest.to_alcotest (prop_crash_repair s))
+        Campaign.all_structures )

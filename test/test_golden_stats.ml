@@ -44,6 +44,33 @@ let test_cycles_golden () =
         [ false; true ])
     [ "producer_consumer", 915; "redundant_flush", 1120; "fig5_semantics", 127 ]
 
+(* The periodic invariant auditor is observation-only: with it attached at
+   a cadence that fires many times per trace, the cycle counts must stay
+   bit-identical to the unaudited runs — and it must find nothing. *)
+let test_cycles_golden_with_auditor () =
+  List.iter
+    (fun (name, golden) ->
+      List.iter
+        (fun skip_it ->
+          match TP.load_file (trace name) with
+          | Error e -> Alcotest.failf "trace %s: %s" name e
+          | Ok program ->
+            let cores = TP.max_core program + 1 in
+            let sys = S.create (C.platform ~cores ~skip_it ~topology:`Crossbar ()) in
+            let auditor = Skipit_audit.Auditor.create sys in
+            Skipit_audit.Auditor.attach auditor ~every:25;
+            let cycles, _ = TP.run sys program in
+            Alcotest.(check int)
+              (Printf.sprintf "%s skip_it=%b audited" name skip_it)
+              golden cycles;
+            match Skipit_audit.Auditor.failures auditor with
+            | [] -> ()
+            | v :: _ ->
+              Alcotest.failf "%s: auditor reported %s" name
+                (Skipit_audit.Invariant.violation_to_string v))
+        [ false; true ])
+    [ "producer_consumer", 915; "redundant_flush", 1120; "fig5_semantics", 127 ]
+
 let test_checksums_golden () =
   let _, _, checksums = run_trace ~skip_it:false "producer_consumer" in
   Alcotest.(check (array int)) "producer_consumer checksums" [| 0; 0xd |] checksums
@@ -117,6 +144,8 @@ let tests =
   ( "golden-stats",
     [
       Alcotest.test_case "trace cycles unchanged from seed" `Quick test_cycles_golden;
+      Alcotest.test_case "cycles identical with auditor attached" `Quick
+        test_cycles_golden_with_auditor;
       Alcotest.test_case "checksums unchanged" `Quick test_checksums_golden;
       Alcotest.test_case "producer_consumer counters" `Quick test_producer_consumer_stats;
       Alcotest.test_case "redundant_flush counters" `Quick test_redundant_flush_stats;

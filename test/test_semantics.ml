@@ -129,11 +129,36 @@ let test_persist_log_api () =
   Alcotest.(check int) "length" 3 (PL.length log);
   Alcotest.(check int) "events per line" 2 (List.length (PL.persists_of log ~addr:0x40));
   Alcotest.(check (option int)) "first time" (Some 10) (PL.first_persist_time log 0x40);
+  Alcotest.(check (option int)) "last time" (Some 20) (PL.last_persist_time log 0x40);
   Alcotest.(check bool) "0x80 before 0x40? last(0x80)=5 <= first(0x40)=10" true
-    (PL.persisted_before log 0x80 0x40);
-  Alcotest.(check bool) "0x40 not before 0x80" false (PL.persisted_before log 0x40 0x80);
+    (PL.persisted_before log 0x80 0x40 = PL.Before);
+  Alcotest.(check bool) "0x40 not before 0x80" true
+    (PL.persisted_before log 0x40 0x80 = PL.Not_before);
   PL.clear log;
   Alcotest.(check int) "cleared" 0 (PL.length log)
+
+let test_persist_log_edges () =
+  let log = PL.create () in
+  (* Totality: never-persisted operands are reported explicitly, on both
+     sides, instead of collapsing into [false]. *)
+  Alcotest.(check bool) "both never persisted" true
+    (PL.persisted_before log 0x40 0x80 = PL.Never_persisted { a = false; b = false });
+  PL.record log ~addr:0x40 ~time:7;
+  Alcotest.(check bool) "right side never persisted" true
+    (PL.persisted_before log 0x40 0x80 = PL.Never_persisted { a = true; b = false });
+  Alcotest.(check bool) "left side never persisted" true
+    (PL.persisted_before log 0x80 0x40 = PL.Never_persisted { a = false; b = true });
+  (* last_persist_time edges: absent line, then single and repeated events
+     (interior addresses map to the line base). *)
+  Alcotest.(check (option int)) "no events: no last time" None
+    (PL.last_persist_time log 0x80);
+  Alcotest.(check (option int)) "single event: last = first" (Some 7)
+    (PL.last_persist_time log 0x40);
+  PL.record log ~addr:0x78 ~time:9 (* interior of line 0x40 *);
+  Alcotest.(check (option int)) "interior address folds to line" (Some 9)
+    (PL.last_persist_time log 0x40);
+  Alcotest.(check (option int)) "first unchanged" (Some 7)
+    (PL.first_persist_time log 0x40)
 
 let tests =
   ( "semantics",
@@ -150,4 +175,5 @@ let tests =
       Alcotest.test_case "fence drains all pending" `Quick test_fence_drains_all_pending;
       Alcotest.test_case "fence is per-core" `Quick test_per_core_fence_scope;
       Alcotest.test_case "persist log api" `Quick test_persist_log_api;
+      Alcotest.test_case "persist log edge cases" `Quick test_persist_log_edges;
     ] )
