@@ -41,6 +41,18 @@ let jobs =
     Sys.argv;
   !jobs
 
+(* --out FILE (or --out=FILE): where to write the JSON summary.  The CI
+   perf gate uses this to produce a fresh file next to the committed one. *)
+let out_path =
+  let out = ref "BENCH_results.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)
+      else if String.starts_with ~prefix:"--out=" a then
+        out := String.sub a 6 (String.length a - 6))
+    Sys.argv;
+  !out
+
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let figure_test name =
@@ -207,6 +219,34 @@ let run_scaling_workload ~skip_it =
     wall_ms = 0.;
   }
 
+(* Serving-engine points: the hash table under Poisson load at three offered
+   rates, per-operation persists (batch 1) vs group commit (batch 8).  The
+   p99-vs-load pairs land in the JSON so the perf gate locks in the
+   group-commit win (higher achieved throughput, lower tail at rate 16+). *)
+let run_serve_workload ~batch ~rate =
+  let module Engine = Skipit_serve.Engine in
+  let cfg = { Engine.default with Engine.requests = 600; batch } in
+  let point, latency = with_latency (fun () -> Engine.run cfg ~rate) in
+  {
+    w_name = Printf.sprintf "serve_hash_r%.0f_b%d" rate batch;
+    cycles = point.Engine.elapsed;
+    checksums = [| point.Engine.served; point.Engine.shed |];
+    latency;
+    stats =
+      [
+        "served", point.Engine.served;
+        "shed", point.Engine.shed;
+        "epochs", point.Engine.epochs;
+        "flushes", point.Engine.flushes;
+        "deferred", point.Engine.deferred;
+        "passthrough", point.Engine.passthrough;
+        "fences", point.Engine.fences;
+        ( "achieved_milli",
+          int_of_float (Float.round (point.Engine.achieved *. 1000.)) );
+      ];
+    wall_ms = 0.;
+  }
+
 (* Host wall-clock timing of the JSON workload set: each workload is timed
    individually in the serial pass; the parallel pass times the whole set
    under the pool.  Simulated results are taken from the serial pass, so
@@ -283,6 +323,10 @@ let emit_json ~jobs path =
         (fun () -> Some (run_scaling_workload ~skip_it:false));
         (fun () -> Some (run_scaling_workload ~skip_it:true));
       ]
+    @ List.concat_map
+        (fun rate ->
+          List.map (fun batch () -> Some (run_serve_workload ~batch ~rate)) [ 1; 8 ])
+        [ 8.; 16.; 24. ]
   in
   (* Serial pass: the source of truth for every simulated quantity, with
      each workload timed individually. *)
@@ -316,7 +360,7 @@ let emit_json ~jobs path =
 
 let () =
   if Array.exists (( = ) "--json-only") Sys.argv then
-    emit_json ~jobs "BENCH_results.json"
+    emit_json ~jobs out_path
   else begin
     let ppf = Format.std_formatter in
     Format.pp_open_vbox ppf 0;
@@ -329,5 +373,5 @@ let () =
     Format.pp_close_box ppf ();
     Format.pp_print_newline ppf ();
     run_bechamel ();
-    emit_json ~jobs "BENCH_results.json"
+    emit_json ~jobs out_path
   end

@@ -425,6 +425,135 @@ let audit_cmd =
     Term.(const run $ seed $ ops $ budget $ structures $ modes $ strategies $ fault
           $ repro $ repro_out $ jobs_arg)
 
+let serve_cmd =
+  let module Engine = Skipit_serve.Engine in
+  let module Arrival = Skipit_serve.Arrival in
+  let module Report = Skipit_serve.Report in
+  let module Ops = Skipit_pds.Set_ops in
+  let module Ds_bench = Skipit_workload.Ds_bench in
+  let module Pctx = Skipit_persist.Pctx in
+  let conv_of ~what ~of_name ~to_name =
+    Arg.conv
+      ( (fun s ->
+          match of_name s with
+          | Some v -> Ok v
+          | None -> Error (`Msg (Printf.sprintf "unknown %s %S" what s))),
+        fun ppf v -> Format.pp_print_string ppf (to_name v) )
+  in
+  let structure =
+    let of_name s = List.find_opt (fun k -> Ops.kind_name k = s) Ops.all_kinds in
+    Arg.(value
+         & opt (conv_of ~what:"structure" ~of_name ~to_name:Ops.kind_name)
+             Engine.default.Engine.kind
+         & info [ "structure" ] ~docv:"S"
+           ~doc:"Structure to serve: list, hash, bst, skiplist.")
+  in
+  let mode =
+    let of_name s = List.find_opt (fun m -> Pctx.mode_name m = s) Pctx.all_modes in
+    Arg.(value
+         & opt (conv_of ~what:"mode" ~of_name ~to_name:Pctx.mode_name)
+             Engine.default.Engine.mode
+         & info [ "mode" ] ~docv:"M"
+           ~doc:"Persistence mode: automatic, nvtraverse, manual.")
+  in
+  let strategy =
+    Arg.(value
+         & opt (conv_of ~what:"strategy" ~of_name:Ds_bench.spec_of_name
+                  ~to_name:Ds_bench.spec_name)
+             Engine.default.Engine.spec
+         & info [ "strategy" ] ~docv:"STRAT"
+           ~doc:"Persist strategy: plain, flit-adjacent, flit-hash[/N], \
+                 link-and-persist, skip-it, baseline.")
+  in
+  let arrival =
+    Arg.(value
+         & opt (conv_of ~what:"arrival process" ~of_name:Arrival.process_of_name
+                  ~to_name:Arrival.process_name)
+             Engine.default.Engine.process
+         & info [ "arrival" ] ~docv:"PROC"
+           ~doc:"Arrival process: poisson, or bursty[:ON/OFF] (on/off phase \
+                 lengths in cycles).")
+  in
+  let rates =
+    Arg.(value
+         & opt (some (list ~sep:',' float)) None
+         & info [ "rate" ] ~docv:"R1,R2,..."
+           ~doc:"Offered loads to sweep, in operations per 1000 cycles \
+                 (default: the standard sweep; --quick thins it).")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Fewer sweep points and requests.") in
+  let batch =
+    Arg.(value & opt int Engine.default.Engine.batch
+         & info [ "batch" ] ~docv:"N"
+           ~doc:"Group-commit epoch size; 1 = per-operation persists.")
+  in
+  let depth =
+    Arg.(value & opt int Engine.default.Engine.depth
+         & info [ "depth" ] ~docv:"N"
+           ~doc:"Waiting-room capacity; arrivals that find it full are shed.")
+  in
+  let clients =
+    Arg.(value & opt int Engine.default.Engine.clients
+         & info [ "clients" ] ~docv:"N" ~doc:"Independent open-loop sessions.")
+  in
+  let requests =
+    Arg.(value & opt (some int) None
+         & info [ "requests" ] ~docv:"N"
+           ~doc:"Requests per sweep point (default 2000; 600 with --quick).")
+  in
+  let cores =
+    Arg.(value & opt int Engine.default.Engine.cores
+         & info [ "cores" ] ~docv:"N" ~doc:"Serving cores, each with its own batcher.")
+  in
+  let update =
+    Arg.(value & opt int Engine.default.Engine.update_pct
+         & info [ "update" ] ~docv:"PCT" ~doc:"Update percentage (insert/delete 50/50).")
+  in
+  let seed = Arg.(value & opt int Engine.default.Engine.seed & info [ "seed" ] ~doc:"Workload seed.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of a table.") in
+  let run structure mode strategy arrival rates quick batch depth clients requests cores
+      update seed csv json jobs =
+    let cfg =
+      {
+        Engine.default with
+        Engine.kind = structure;
+        mode;
+        spec = strategy;
+        process = arrival;
+        clients;
+        requests = (match requests with Some n -> n | None -> if quick then 600 else 2000);
+        batch;
+        depth;
+        cores;
+        update_pct = update;
+        seed;
+      }
+    in
+    (match Engine.validate cfg with
+     | Ok () -> ()
+     | Error e ->
+       prerr_endline ("serve: " ^ e);
+       exit 2);
+    let rates = match rates with Some rs -> rs | None -> Report.default_rates ~quick in
+    let points = with_jobs jobs (fun pool -> Engine.sweep ?pool cfg ~rates) in
+    if json then print_string (Report.to_json cfg points)
+    else
+      with_ppf (fun ppf ->
+        if csv then Report.pp_csv ppf points
+        else begin
+          Report.pp_config ppf cfg;
+          Report.pp_table ppf points
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Open-loop serving: arrival-process load over a persistent \
+             structure with group-committed persists, bounded admission and \
+             load shedding; prints the throughput-latency sweep")
+    Term.(const run $ structure $ mode $ strategy $ arrival $ rates $ quick $ batch
+          $ depth $ clients $ requests $ cores $ update $ seed $ csv $ json $ jobs_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -434,4 +563,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd; trace_cmd; audit_cmd ]))
+          [
+            figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd; trace_cmd; audit_cmd;
+            serve_cmd;
+          ]))

@@ -127,9 +127,16 @@ type res_op = Res_alloc | Res_free
 let res_op_name = function Res_alloc -> "alloc" | Res_free -> "free"
 
 (* End-to-end request classes for the latency histograms. *)
-type cls = Cls_load_miss | Cls_store_miss | Cls_cbo_clean | Cls_cbo_flush | Cls_writeback
+type cls =
+  | Cls_load_miss
+  | Cls_store_miss
+  | Cls_cbo_clean
+  | Cls_cbo_flush
+  | Cls_writeback
+  | Cls_serve
 
-let all_classes = [ Cls_load_miss; Cls_store_miss; Cls_cbo_clean; Cls_cbo_flush; Cls_writeback ]
+let all_classes =
+  [ Cls_load_miss; Cls_store_miss; Cls_cbo_clean; Cls_cbo_flush; Cls_writeback; Cls_serve ]
 
 let cls_name = function
   | Cls_load_miss -> "load_miss"
@@ -137,6 +144,7 @@ let cls_name = function
   | Cls_cbo_clean -> "cbo.clean"
   | Cls_cbo_flush -> "cbo.flush"
   | Cls_writeback -> "writeback"
+  | Cls_serve -> "serve"
 
 type event =
   | L1 of { core : int; op : l1_op; addr : int }

@@ -68,8 +68,16 @@ type dram_op = Dram_read | Dram_write
 
 type res_op = Res_alloc | Res_free
 
-(** Request classes measured end-to-end by {!Latency}. *)
-type cls = Cls_load_miss | Cls_store_miss | Cls_cbo_clean | Cls_cbo_flush | Cls_writeback
+(** Request classes measured end-to-end by {!Latency}.  [Cls_serve] spans a
+    serving-engine request from enqueue (arrival) to persist-complete (its
+    group-commit epoch's fence). *)
+type cls =
+  | Cls_load_miss
+  | Cls_store_miss
+  | Cls_cbo_clean
+  | Cls_cbo_flush
+  | Cls_writeback
+  | Cls_serve
 
 val all_classes : cls list
 val cls_name : cls -> string

@@ -1,0 +1,53 @@
+(** Fixed-size domain pool for independent simulation jobs.
+
+    The experiment drivers (figures, ablations, data-structure benches, the
+    serving engine's load sweeps) are grids of {e independent} simulations:
+    every job builds its own [System.create], its own [Rng] and its own
+    stats, so no simulator state crosses a domain boundary.  Workers pull
+    thunks off a mutex-protected queue and write each result into a
+    dedicated slot of the caller's result array; {!map} returns results in
+    submission order, which is what makes every table, CSV and JSON artifact
+    byte-identical to a sequential run regardless of the pool width.
+
+    Determinism contract for jobs:
+    - a job must not read or write any state shared with another job (the
+      tracing sink is domain-local, so [Trace.with_trace] inside a job is
+      fine);
+    - a job's result must depend only on its inputs (own seed, own system);
+    - host-time measurements are allowed (they are reported, not reduced
+      into simulated results).
+
+    A pool of width 1 spawns no domains at all and runs jobs inline, so
+    [--jobs 1] is exactly the sequential driver it replaced.  Jobs submitted
+    from inside a worker also run inline (a worker must never block on a
+    nested {!map} of its own pool). *)
+
+type job = unit -> unit
+
+type t
+
+val default_jobs : unit -> int
+(** The [--jobs 0] resolution: [$SKIPIT_JOBS] when set to a positive
+    integer, otherwise one per core capped at 8. *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!default_jobs}; must be at least 1.  Width 1 spawns
+    no domains. *)
+
+val width : t -> int
+
+val shutdown : t -> unit
+(** Stop accepting work, drain the queue and join all worker domains. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Map over the pool; results come back in list order.  The first failing
+    job (by submission order) re-raises in the caller. *)
+
+val run_jobs : t -> (unit -> 'a) list -> 'a list
+(** Run ready-made thunks, results in submission order. *)
+
+val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} with an optional pool: [None] is the sequential engine. *)

@@ -11,6 +11,7 @@ type t = {
   persist_load : int -> unit;
   fence : unit -> unit;
   persistent : bool;
+  deferrable : bool;
 }
 
 let plain () =
@@ -25,6 +26,7 @@ let plain () =
     persist_load = Thread.flush;
     fence = Thread.fence;
     persistent = true;
+    deferrable = true;
   }
 
 let none () =
@@ -39,6 +41,7 @@ let none () =
     persist_load = (fun _ -> ());
     fence = (fun () -> ());
     persistent = false;
+    deferrable = true;
   }
 
 let skipit_hw () =
@@ -84,6 +87,10 @@ module Flit = struct
       persist_load;
       fence = Thread.fence;
       persistent = true;
+      (* The counter bookkeeping lives inside the persist point: postponing
+         it would leave counters raised across an epoch and break the
+         load-side avoidance test. *)
+      deferrable = false;
     }
 end
 
@@ -139,6 +146,9 @@ let link_and_persist () =
     persist_load = persist;
     fence = Thread.fence;
     persistent = true;
+    (* The persist point clears the in-word mark; deferring it would leave
+       marks set for readers across the whole epoch. *)
+    deferrable = false;
   }
 
 let all_persistent ~table_base ~table_slots () =

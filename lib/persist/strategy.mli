@@ -44,6 +44,12 @@ type t = {
           has unflushed stores pending (FliT counter ≠ 0, LaP mark set). *)
   fence : unit -> unit;  (** Persist barrier ([unit] for [none]). *)
   persistent : bool;  (** [false] only for [none]. *)
+  deferrable : bool;
+      (** The persist points carry no software bookkeeping, so a group-commit
+          batcher may postpone and deduplicate them to an epoch boundary
+          (plain, Skip It).  [false] for FliT and Link-and-Persist, whose
+          persist points maintain counters / in-word marks that other threads
+          observe — for those only the trailing fence may be batched. *)
 }
 
 val plain : unit -> t

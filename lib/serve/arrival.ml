@@ -1,0 +1,109 @@
+module Rng = Skipit_sim.Rng
+
+type process =
+  | Poisson
+  | Bursty of { on : int; off : int }
+
+let default_bursty = Bursty { on = 2000; off = 6000 }
+
+let process_name = function
+  | Poisson -> "poisson"
+  | Bursty { on; off } -> Printf.sprintf "bursty:%d/%d" on off
+
+let process_of_name s =
+  match s with
+  | "poisson" -> Some Poisson
+  | "bursty" -> Some default_bursty
+  | _ ->
+    (match String.index_opt s ':' with
+     | Some i when String.sub s 0 i = "bursty" -> (
+       let rest = String.sub s (i + 1) (String.length s - i - 1) in
+       match String.split_on_char '/' rest with
+       | [ a; b ] -> (
+         match int_of_string_opt a, int_of_string_opt b with
+         | Some on, Some off when on > 0 && off >= 0 -> Some (Bursty { on; off })
+         | _ -> None)
+       | _ -> None)
+     | _ -> None)
+
+type op = Insert | Delete | Contains
+
+let op_name = function Insert -> "insert" | Delete -> "delete" | Contains -> "contains"
+
+type request = {
+  arrival : int;
+  client : int;
+  seq : int;
+  op : op;
+  key : int;
+}
+
+(* One client session: its own Rng split, its own clock, its own request
+   counter.  [p] is the per-cycle arrival probability during an active
+   phase. *)
+type session = {
+  id : int;
+  rng : Rng.t;
+  p : float;
+  mutable clock : int;
+  mutable count : int;
+}
+
+(* Advance [s.clock] past its next arrival: Bernoulli trials cycle by
+   cycle, skipping off phases for bursty processes.  The trial cap bounds
+   the walk when [p] is tiny (it shows up as one very late arrival rather
+   than an unbounded loop). *)
+let next_arrival process s =
+  let skip_off t =
+    match process with
+    | Poisson -> t
+    | Bursty { on; off } ->
+      let period = on + off in
+      if t mod period < on then t else (t / period + 1) * period
+  in
+  let cap = 10_000_000 in
+  let t = ref (skip_off (s.clock + 1)) in
+  let trials = ref 0 in
+  while not (Rng.chance s.rng s.p) && !trials < cap do
+    incr trials;
+    t := skip_off (!t + 1)
+  done;
+  s.clock <- !t;
+  !t
+
+let schedule ~process ~rate ~clients ~requests ~key_range ~update_pct ~seed =
+  if rate <= 0. then invalid_arg "Arrival.schedule: rate must be positive";
+  if clients <= 0 then invalid_arg "Arrival.schedule: clients must be positive";
+  if key_range <= 0 then invalid_arg "Arrival.schedule: key_range must be positive";
+  let boost =
+    match process with
+    | Poisson -> 1.
+    | Bursty { on; off } -> float_of_int (on + off) /. float_of_int on
+  in
+  let p = Float.min 1. (rate /. 1000. /. float_of_int clients *. boost) in
+  let master = Rng.create ~seed in
+  let sessions =
+    Array.init clients (fun id ->
+      { id; rng = Rng.split master; p; clock = -1; count = 0 })
+  in
+  (* Prime every session with its first arrival, then pull the globally
+     earliest [requests] times (earliest-deadline merge; ties by client id
+     via the scan order, seq is strictly increasing per client). *)
+  Array.iter (fun s -> ignore (next_arrival process s)) sessions;
+  let out =
+    Array.init requests (fun _ ->
+      let best = ref sessions.(0) in
+      Array.iter (fun s -> if s.clock < !best.clock then best := s) sessions;
+      let s = !best in
+      let r = Rng.int s.rng 100 in
+      let op =
+        if r < update_pct then if Rng.bool s.rng then Insert else Delete
+        else Contains
+      in
+      let key = 1 + Rng.int s.rng key_range in
+      let req = { arrival = s.clock; client = s.id; seq = s.count; op; key } in
+      s.count <- s.count + 1;
+      ignore (next_arrival process s);
+      req)
+  in
+  out

@@ -1,0 +1,62 @@
+(** Open-loop arrival schedules for the serving engine.
+
+    Unlike the closed-loop §7.4 harness (a fixed number of worker threads
+    issuing the next operation as soon as the previous one returns), an
+    open-loop client population decides {e when} requests arrive
+    independently of how fast the server drains them — the regime where
+    queueing delay, tail latency and load shedding exist at all.
+
+    A schedule is the deterministic merge of [clients] independent session
+    streams.  Each session owns a split of the master {!Skipit_sim.Rng}
+    stream and draws its own inter-arrival gaps, operations and keys, so the
+    whole schedule is a pure function of the configuration — the property
+    the byte-identical [--jobs] reduction and the CI gates rely on.
+
+    Inter-arrival gaps are sampled from a Bernoulli process (one trial per
+    simulated cycle), i.e. the discrete-time Poisson process, using only
+    integer and exact [Rng] arithmetic — no [libm] calls whose last-ulp
+    behaviour could differ across hosts. *)
+
+(** Arrival process shape.  [Bursty] alternates fixed-length on/off phases
+    per client; arrivals are drawn only during on phases, at a rate scaled
+    by [(on + off) / on] so the long-run offered load still matches the
+    configured rate (a deterministic on/off — interrupted Poisson —
+    process). *)
+type process =
+  | Poisson
+  | Bursty of { on : int; off : int }
+
+val default_bursty : process
+(** 2000 cycles on, 6000 off: 4x the average rate in one quarter of the
+    time. *)
+
+val process_name : process -> string
+
+val process_of_name : string -> process option
+(** ["poisson"], ["bursty"] (the default phases), or ["bursty:ON/OFF"]. *)
+
+type op = Insert | Delete | Contains
+
+val op_name : op -> string
+
+type request = {
+  arrival : int;  (** Cycles after the serving window opens. *)
+  client : int;  (** Owning session. *)
+  seq : int;  (** Per-session sequence number. *)
+  op : op;
+  key : int;  (** In [\[1, key_range\]]. *)
+}
+
+val schedule :
+  process:process ->
+  rate:float ->
+  clients:int ->
+  requests:int ->
+  key_range:int ->
+  update_pct:int ->
+  seed:int ->
+  request array
+(** [rate] is the aggregate offered load in operations per 1000 cycles,
+    split evenly across [clients] sessions.  The result holds [requests]
+    entries sorted by arrival (ties broken by client id, then sequence
+    number).  Equal configurations give equal schedules. *)

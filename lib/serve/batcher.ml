@@ -1,0 +1,100 @@
+module Strategy = Skipit_persist.Strategy
+module Pctx = Skipit_persist.Pctx
+module Int_tbl = Skipit_sim.Int_tbl
+
+type stats = {
+  mutable epochs : int;
+  mutable deferred : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable passthrough : int;
+}
+
+type t = {
+  base : Strategy.t;
+  pctx : Pctx.t;
+  grouping : bool;
+  defer_persists : bool;
+  (* Distinct lines captured in the open epoch: membership table plus
+     first-capture order (replay order must be deterministic). *)
+  seen : Int_tbl.t;
+  mutable lines : int list;  (* reversed *)
+  mutable n_lines : int;
+  mutable fence_due : bool;
+  stats : stats;
+}
+
+let line_of addr = addr land lnot 63
+
+let create ?(group = true) ~strategy ~mode () =
+  let stats = { epochs = 0; deferred = 0; flushes = 0; fences = 0; passthrough = 0 } in
+  let grouping =
+    group && strategy.Strategy.persistent && mode <> Pctx.Manual
+  in
+  let defer_persists = grouping && strategy.Strategy.deferrable in
+  (* Forward references so the wrapped closures can reach the batcher
+     record built after them. *)
+  let self = ref None in
+  let get () = Option.get !self in
+  let wrapped =
+    if not grouping then strategy
+    else
+      let persist_point forward addr =
+        let b = get () in
+        if b.defer_persists then begin
+          b.stats.deferred <- b.stats.deferred + 1;
+          let line = line_of addr in
+          if Int_tbl.find_default b.seen line ~default:0 = 0 then begin
+            Int_tbl.replace b.seen line 1;
+            b.lines <- line :: b.lines;
+            b.n_lines <- b.n_lines + 1
+          end
+        end
+        else begin
+          b.stats.passthrough <- b.stats.passthrough + 1;
+          forward addr
+        end
+      in
+      {
+        strategy with
+        Strategy.persist_store = persist_point strategy.Strategy.persist_store;
+        persist_load = persist_point strategy.Strategy.persist_load;
+        fence = (fun () -> (get ()).fence_due <- true);
+      }
+  in
+  let t =
+    {
+      base = strategy;
+      pctx = Pctx.make wrapped mode;
+      grouping;
+      defer_persists;
+      seen = Int_tbl.create ~size_hint:64 ();
+      lines = [];
+      n_lines = 0;
+      fence_due = false;
+      stats;
+    }
+  in
+  self := Some t;
+  t
+
+let pctx t = t.pctx
+let grouping t = t.grouping
+let pending t = t.n_lines
+let stats t = t.stats
+
+let commit t =
+  if t.grouping && (t.n_lines > 0 || t.fence_due) then begin
+    t.stats.epochs <- t.stats.epochs + 1;
+    List.iter
+      (fun line ->
+        t.stats.flushes <- t.stats.flushes + 1;
+        t.base.Strategy.persist_store line)
+      (List.rev t.lines);
+    t.lines <- [];
+    t.n_lines <- 0;
+    Int_tbl.clear t.seen;
+    t.stats.fences <- t.stats.fences + 1;
+    t.fence_due <- false;
+    t.base.Strategy.fence ()
+  end

@@ -1,0 +1,63 @@
+(** Group-commit persist batcher.
+
+    Closed-loop persistence pays a writeback + fence per operation.  A
+    serving layer can instead coalesce the persist points of all requests
+    admitted into one {e epoch} and make them durable together: one CBO per
+    {e distinct} dirty line, then a single fence — the group-commit idea of
+    architecture-aware PM transactions.  A request is not acknowledged
+    (persist-complete) until its epoch's fence returns, so a crash inside an
+    epoch loses only unacknowledged work: durability moves from operation
+    granularity to epoch granularity, which is exactly what the engine's
+    enqueue-to-persist-complete latency measures.
+
+    The batcher is strategy- and mode-aware:
+    - {b deferrable} strategies (plain, Skip It — no software bookkeeping at
+      persist points) have their persist points captured, deduplicated per
+      cache line, and replayed at {!commit}, followed by one fence;
+    - {b non-deferrable} strategies (FliT, Link-and-Persist — persist points
+      maintain counters / in-word marks that concurrent readers observe)
+      keep per-operation persist points, and only the trailing fence is
+      deferred to the epoch boundary;
+    - {b manual} mode falls back to per-operation persists entirely: the
+      structure author placed provably-sufficient persist points whose
+      ordering an epoch must not disturb;
+    - the non-persistent baseline has nothing to batch.
+
+    All mutating entry points must run inside a {!Skipit_core.Thread} task
+    (they replay persist points through the wrapped strategy). *)
+
+type stats = {
+  mutable epochs : int;  (** {!commit} calls that did any work. *)
+  mutable deferred : int;  (** Persist points captured into epochs. *)
+  mutable flushes : int;  (** Distinct-line writebacks replayed at commits. *)
+  mutable fences : int;  (** Epoch fences issued. *)
+  mutable passthrough : int;  (** Persist points forwarded per-operation. *)
+}
+
+type t
+
+val create :
+  ?group:bool -> strategy:Skipit_persist.Strategy.t -> mode:Skipit_persist.Pctx.mode -> unit -> t
+(** One batcher per serving core.  [group] (default [true]) enables epoch
+    batching; [~group:false] is the per-operation baseline — the returned
+    context persists exactly as the closed-loop harness does and {!commit}
+    is a no-op. *)
+
+val pctx : t -> Skipit_persist.Pctx.t
+(** The persistence context requests must execute under. *)
+
+val grouping : t -> bool
+(** Whether any deferral is active (persistent strategy, non-manual mode,
+    [group = true]). *)
+
+val pending : t -> int
+(** Distinct lines captured in the open epoch (0 for non-deferrable
+    strategies, which defer only the fence). *)
+
+val commit : t -> unit
+(** Close the open epoch: replay one persist point per distinct captured
+    line (in first-capture order) through the wrapped strategy, then issue
+    its fence once — iff any persist point or operation fence was deferred
+    since the previous commit. *)
+
+val stats : t -> stats

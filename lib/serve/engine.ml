@@ -1,0 +1,257 @@
+module S = Skipit_core.System
+module T = Skipit_core.Thread
+module Params = Skipit_cache.Params
+module Pctx = Skipit_persist.Pctx
+module Ops = Skipit_pds.Set_ops
+module Rng = Skipit_sim.Rng
+module Admission = Skipit_sim.Admission
+module Sample = Skipit_sim.Stats.Sample
+module Trace = Skipit_obs.Trace
+module Latency = Skipit_obs.Latency
+module Pool = Skipit_par.Pool
+module Ds_bench = Skipit_workload.Ds_bench
+
+type config = {
+  kind : Ops.kind;
+  mode : Pctx.mode;
+  spec : Ds_bench.strategy_spec;
+  process : Arrival.process;
+  clients : int;
+  requests : int;
+  batch : int;
+  depth : int;
+  cores : int;
+  key_range : int;
+  update_pct : int;
+  prefill : int;
+  seed : int;
+}
+
+let default =
+  {
+    kind = Ops.Hash_set;
+    mode = Pctx.Automatic;
+    spec = Ds_bench.Skipit;
+    process = Arrival.Poisson;
+    clients = 16;
+    requests = 2000;
+    batch = 8;
+    depth = 64;
+    cores = 1;
+    key_range = 1024;
+    update_pct = 20;
+    prefill = 512;
+    seed = 11;
+  }
+
+let validate cfg =
+  let check cond msg = if cond then Error msg else Ok () in
+  let ( >>= ) r f = Result.bind r (fun () -> f ()) in
+  check (cfg.clients <= 0) "clients must be positive"
+  >>= fun () -> check (cfg.requests <= 0) "requests must be positive"
+  >>= fun () -> check (cfg.batch <= 0) "batch must be positive"
+  >>= fun () -> check (cfg.depth <= 0) "depth must be positive"
+  >>= fun () -> check (cfg.cores <= 0) "cores must be positive"
+  >>= fun () -> check (cfg.key_range <= 0) "key-range must be positive"
+  >>= fun () -> check (cfg.update_pct < 0 || cfg.update_pct > 100) "update-pct must be in [0,100]"
+  >>= fun () -> check (cfg.prefill < 0) "prefill must be non-negative"
+  >>= fun () ->
+  check
+    (not (Ds_bench.compatible cfg.kind cfg.spec))
+    (Printf.sprintf "%s is incompatible with %s (word-bit conflict)"
+       (Ds_bench.spec_name cfg.spec) (Ops.kind_name cfg.kind))
+
+type point = {
+  offered : float;
+  achieved : float;
+  served : int;
+  shed : int;
+  n : int;
+  latency : Latency.summary option;
+  elapsed : int;
+  epochs : int;
+  flushes : int;
+  deferred : int;
+  passthrough : int;
+  fences : int;
+  leaked : int;
+}
+
+let shed_fraction p = if p.n = 0 then 0. else float_of_int p.shed /. float_of_int p.n
+
+let run ?(params = Params.boom_default) cfg ~rate =
+  (match validate cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Serve.Engine.run: " ^ e));
+  let params =
+    Params.with_skip_it
+      (Params.with_cores params cfg.cores)
+      (Ds_bench.wants_skip_it_hw cfg.spec)
+  in
+  let sys = S.create params in
+  let strategy = Ds_bench.realize cfg.spec sys in
+  let alloc = S.allocator sys in
+  (* Build + prefill (untimed relative to the serving window) with a plain
+     per-operation context, exactly like the closed-loop harness: every
+     (range/prefill)-th key in shuffled order. *)
+  let setup_pctx = Pctx.make strategy cfg.mode in
+  let handle = ref None in
+  let buckets = max 16 (cfg.key_range / 4) in
+  ignore
+    (T.run sys
+       [
+         {
+           T.core = 0;
+           body =
+             (fun () ->
+               let h = Ops.create_sized cfg.kind ~buckets setup_pctx alloc in
+               let step = max 1 (cfg.key_range / max 1 cfg.prefill) in
+               let keys = Array.init (cfg.key_range / step) (fun i -> 1 + (i * step)) in
+               Rng.shuffle (Rng.create ~seed:cfg.seed) keys;
+               Array.iter (fun k -> ignore (h.Ops.insert setup_pctx k)) keys;
+               handle := Some h);
+         };
+       ]);
+  let h = Option.get !handle in
+  (* The serving window opens when the prefill quiesces; arrival offsets are
+     relative to it. *)
+  let t0 = S.max_clock sys in
+  let sched =
+    Arrival.schedule ~process:cfg.process ~rate ~clients:cfg.clients
+      ~requests:cfg.requests ~key_range:cfg.key_range ~update_pct:cfg.update_pct
+      ~seed:(cfg.seed + 1)
+  in
+  let n = Array.length sched in
+  let arrival i = t0 + sched.(i).Arrival.arrival in
+  let adm = Admission.create ~capacity:cfg.depth in
+  let batchers =
+    Array.init cfg.cores (fun _ ->
+      Batcher.create ~group:(cfg.batch > 1) ~strategy ~mode:cfg.mode ())
+  in
+  (* An epoch can never usefully exceed the waiting room: its members all
+     occupy admission slots until the commit fence. *)
+  let batch = max 1 (min cfg.batch cfg.depth) in
+  let cursor = ref 0 in
+  let completions = Array.make n (-1) in
+  (* Admitted request indices in admission order; released (in FIFO order,
+     as Admission requires) once their epoch has committed. *)
+  let admitted_fifo = Queue.create () in
+  let shed = ref 0 in
+  let served = ref 0 in
+  let lat = Sample.create () in
+  let t_end = ref t0 in
+  let drain () =
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt admitted_fifo with
+      | Some j when completions.(j) >= 0 ->
+        ignore (Queue.pop admitted_fifo);
+        Admission.release adm ~at:completions.(j)
+      | _ -> continue := false
+    done
+  in
+  let worker core =
+    {
+      T.core;
+      body =
+        (fun () ->
+          let b = batchers.(core) in
+          let members = ref [] in
+          let n_members = ref 0 in
+          let commit_epoch () =
+            if !n_members > 0 then begin
+              Batcher.commit b;
+              let t = T.now () in
+              if t > !t_end then t_end := t;
+              List.iter
+                (fun (i, rid) ->
+                  completions.(i) <- t;
+                  Sample.add_int lat (t - arrival i);
+                  Trace.req_end ~at:t rid;
+                  incr served)
+                (List.rev !members);
+              members := [];
+              n_members := 0;
+              drain ()
+            end
+          in
+          let rec loop () =
+            let i = !cursor in
+            if i >= n then commit_epoch ()
+            else begin
+              let at = arrival i in
+              let now = T.now () in
+              if at > now && !n_members > 0 then begin
+                (* No request is waiting: close the epoch rather than
+                   parking admitted work behind a future arrival. *)
+                commit_epoch ();
+                loop ()
+              end
+              else begin
+                incr cursor;
+                if at > now then T.delay (at - now);
+                drain ();
+                (* Shed iff the waiting room was full at the arrival
+                   instant. *)
+                if Admission.peek_entry adm ~now:at > at then begin
+                  incr shed;
+                  (* Backpressure signal: free this worker's own slots
+                     before the next claim. *)
+                  commit_epoch ()
+                end
+                else begin
+                  ignore (Admission.admit adm ~now:at : int);
+                  Queue.add i admitted_fifo;
+                  let r = sched.(i) in
+                  let rid =
+                    Trace.req_start ~at ~cls:Trace.Cls_serve ~core ~addr:r.Arrival.key
+                  in
+                  let pctx = Batcher.pctx b in
+                  (match r.Arrival.op with
+                   | Arrival.Insert -> ignore (h.Ops.insert pctx r.Arrival.key)
+                   | Arrival.Delete -> ignore (h.Ops.delete pctx r.Arrival.key)
+                   | Arrival.Contains -> ignore (h.Ops.contains pctx r.Arrival.key));
+                  members := (i, rid) :: !members;
+                  incr n_members;
+                  if !n_members >= batch then commit_epoch ()
+                end;
+                loop ()
+              end
+            end
+          in
+          loop ());
+    }
+  in
+  ignore (T.run sys (List.init cfg.cores worker));
+  drain ();
+  let elapsed = !t_end - t0 in
+  let epochs = ref 0 and flushes = ref 0 and deferred = ref 0 in
+  let passthrough = ref 0 and fences = ref 0 in
+  Array.iter
+    (fun b ->
+      let s = Batcher.stats b in
+      epochs := !epochs + s.Batcher.epochs;
+      flushes := !flushes + s.Batcher.flushes;
+      deferred := !deferred + s.Batcher.deferred;
+      passthrough := !passthrough + s.Batcher.passthrough;
+      fences := !fences + s.Batcher.fences)
+    batchers;
+  {
+    offered = rate;
+    achieved =
+      (if elapsed > 0 then float_of_int !served *. 1000. /. float_of_int elapsed else 0.);
+    served = !served;
+    shed = !shed;
+    n;
+    latency = Latency.summarize lat;
+    elapsed;
+    epochs = !epochs;
+    flushes = !flushes;
+    deferred = !deferred;
+    passthrough = !passthrough;
+    fences = !fences;
+    leaked = Admission.occupants adm;
+  }
+
+let sweep ?params ?pool cfg ~rates =
+  Pool.map_opt pool (fun rate -> run ?params cfg ~rate) rates

@@ -1,0 +1,96 @@
+module Latency = Skipit_obs.Latency
+module Pctx = Skipit_persist.Pctx
+module Ops = Skipit_pds.Set_ops
+module Ds_bench = Skipit_workload.Ds_bench
+
+let default_rates ~quick =
+  if quick then [ 2.; 8.; 24. ] else [ 1.; 2.; 4.; 8.; 12.; 16.; 24.; 32. ]
+
+let pp_config ppf (cfg : Engine.config) =
+  Format.fprintf ppf
+    "serve: %s x %s x %s, %s arrivals, %d clients, %d requests, batch %d, depth %d, %d \
+     core%s, seed %d@,"
+    (Ops.kind_name cfg.Engine.kind)
+    (Pctx.mode_name cfg.Engine.mode)
+    (Ds_bench.spec_name cfg.Engine.spec)
+    (Arrival.process_name cfg.Engine.process)
+    cfg.Engine.clients cfg.Engine.requests cfg.Engine.batch cfg.Engine.depth
+    cfg.Engine.cores
+    (if cfg.Engine.cores = 1 then "" else "s")
+    cfg.Engine.seed
+
+(* Latency columns render "-" when nothing was served. *)
+let lat_cols (p : Engine.point) =
+  match p.Engine.latency with
+  | Some s ->
+    ( Printf.sprintf "%.0f" s.Latency.p50,
+      Printf.sprintf "%.0f" s.Latency.p95,
+      Printf.sprintf "%.0f" s.Latency.p99,
+      Printf.sprintf "%.0f" s.Latency.max )
+  | None -> "-", "-", "-", "-"
+
+let pp_table ppf points =
+  Format.fprintf ppf "%8s %9s %7s %7s %7s %8s %8s %8s %8s %7s %8s@," "offered"
+    "achieved" "served" "shed" "shed%" "p50" "p95" "p99" "max" "epochs" "wb";
+  List.iter
+    (fun (p : Engine.point) ->
+      let p50, p95, p99, pmax = lat_cols p in
+      Format.fprintf ppf "%8.1f %9.2f %7d %7d %6.1f%% %8s %8s %8s %8s %7d %8d@,"
+        p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
+        (100. *. Engine.shed_fraction p)
+        p50 p95 p99 pmax p.Engine.epochs p.Engine.flushes)
+    points
+
+let pp_csv ppf points =
+  Format.fprintf ppf
+    "offered,achieved,served,shed,shed_fraction,p50,p95,p99,max,elapsed,epochs,flushes,deferred,passthrough,fences@,";
+  List.iter
+    (fun (p : Engine.point) ->
+      let p50, p95, p99, pmax = lat_cols p in
+      Format.fprintf ppf "%.3f,%.3f,%d,%d,%.4f,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d@,"
+        p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
+        (Engine.shed_fraction p) p50 p95 p99 pmax p.Engine.elapsed p.Engine.epochs
+        p.Engine.flushes p.Engine.deferred p.Engine.passthrough p.Engine.fences)
+    points
+
+let to_json (cfg : Engine.config) points =
+  let buf = Buffer.create 2048 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add
+    (Printf.sprintf
+       "  \"config\": {\"structure\": \"%s\", \"mode\": \"%s\", \"strategy\": \"%s\", \
+        \"arrival\": \"%s\", \"clients\": %d, \"requests\": %d, \"batch\": %d, \
+        \"depth\": %d, \"cores\": %d, \"key_range\": %d, \"update_pct\": %d, \
+        \"seed\": %d},\n"
+       (Ops.kind_name cfg.Engine.kind)
+       (Pctx.mode_name cfg.Engine.mode)
+       (Ds_bench.spec_name cfg.Engine.spec)
+       (Arrival.process_name cfg.Engine.process)
+       cfg.Engine.clients cfg.Engine.requests cfg.Engine.batch cfg.Engine.depth
+       cfg.Engine.cores cfg.Engine.key_range cfg.Engine.update_pct cfg.Engine.seed);
+  add "  \"points\": [\n";
+  List.iteri
+    (fun i (p : Engine.point) ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"offered\": %.3f, \"achieved\": %.3f, \"served\": %d, \"shed\": %d, \
+            \"shed_fraction\": %.4f, \"elapsed\": %d, \"epochs\": %d, \"flushes\": %d, \
+            \"deferred\": %d, \"passthrough\": %d, \"fences\": %d"
+           p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
+           (Engine.shed_fraction p) p.Engine.elapsed p.Engine.epochs p.Engine.flushes
+           p.Engine.deferred p.Engine.passthrough p.Engine.fences);
+      (match p.Engine.latency with
+       | Some s ->
+         add
+           (Printf.sprintf
+              ", \"latency\": {\"count\": %d, \"mean\": %.2f, \"p50\": %.1f, \"p95\": \
+               %.1f, \"p99\": %.1f, \"max\": %.1f}"
+              s.Latency.count s.Latency.mean s.Latency.p50 s.Latency.p95 s.Latency.p99
+              s.Latency.max)
+       | None -> ());
+      add "}")
+    points;
+  add "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Throughput-latency curve rendering for the serving engine.
+
+    All three forms print only simulated quantities (cycles, counts,
+    fractions) with fixed formatting, so the output is byte-identical across
+    hosts and [--jobs] widths. *)
+
+val default_rates : quick:bool -> float list
+(** The standard offered-load sweep (ops per 1000 cycles), crossing the
+    single-core saturation point of the default configuration. *)
+
+val pp_config : Format.formatter -> Engine.config -> unit
+(** One header line echoing the configuration. *)
+
+val pp_table : Format.formatter -> Engine.point list -> unit
+
+val pp_csv : Format.formatter -> Engine.point list -> unit
+
+val to_json : Engine.config -> Engine.point list -> string
+(** A self-contained JSON document: the configuration plus one object per
+    sweep point. *)

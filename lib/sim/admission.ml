@@ -12,6 +12,16 @@ let create ~capacity =
 
 let capacity t = t.capacity
 
+let peek_entry t ~now =
+  (* Mirror [admit]'s arithmetic without consuming state: the next admission
+     is number [admitted + 1], which waits on the FIFO-head departure once
+     the room has been filled.  When that departure has not been recorded
+     yet (its occupant is still inside), entry is unboundedly far away. *)
+  if t.admitted < t.capacity then now
+  else match Queue.peek_opt t.departures with
+    | Some d -> max now d
+    | None -> max_int
+
 let admit t ~now =
   t.admitted <- t.admitted + 1;
   (* The k-th admission waits for the departure of the (k - capacity)-th

@@ -22,6 +22,13 @@ val admit : t -> now:int -> int
 (** Entry time: [now], or the departure time of the request [capacity]
     positions earlier if the room is still full then. *)
 
+val peek_entry : t -> now:int -> int
+(** What {!admit} would return, without admitting.  When the room is full
+    and the slot-freeing departure has not been recorded yet, the entry time
+    is unknown but certainly after [now]: [max_int] is returned.  Load
+    shedders test [peek_entry t ~now > now] — "the room was full at the
+    instant the request arrived". *)
+
 val release : t -> at:int -> unit
 (** Record (in FIFO order) that the oldest occupant left at [at]. *)
 

@@ -26,6 +26,23 @@ let spec_name = function
 let default_specs =
   [ Plain; Flit_adjacent; Flit_hash 65536; Link_and_persist; Skipit; Baseline ]
 
+let spec_of_name s =
+  match s with
+  | "plain" -> Some Plain
+  | "flit-adjacent" -> Some Flit_adjacent
+  | "flit-hash" -> Some (Flit_hash 65536)
+  | "link-and-persist" -> Some Link_and_persist
+  | "skip-it" -> Some Skipit
+  | "baseline" -> Some Baseline
+  | _ ->
+    (match String.index_opt s '/' with
+     | Some i when String.sub s 0 i = "flit-hash" ->
+       let rest = String.sub s (i + 1) (String.length s - i - 1) in
+       (match int_of_string_opt rest with
+        | Some n when n > 0 -> Some (Flit_hash n)
+        | Some _ | None -> None)
+     | _ -> None)
+
 let realize spec sys =
   match spec with
   | Plain -> Strategy.plain ()
@@ -70,6 +87,8 @@ let default_workload =
 let spec_uses_word_bit = function
   | Link_and_persist -> true
   | Plain | Flit_adjacent | Flit_hash _ | Skipit | Baseline -> false
+
+let compatible kind spec = not (Ops.uses_word_bits kind && spec_uses_word_bit spec)
 
 let throughput ?(params = Params.boom_default) ~kind ~mode ~spec w =
   if Ops.uses_word_bits kind && spec_uses_word_bit spec then nan

@@ -30,6 +30,15 @@ val realize : strategy_spec -> Skipit_core.System.t -> Skipit_persist.Strategy.t
 
 val wants_skip_it_hw : strategy_spec -> bool
 
+val compatible : Skipit_pds.Set_ops.kind -> strategy_spec -> bool
+(** [false] for the one excluded combination family: a word-bit strategy
+    (Link-and-Persist) on a structure that uses spare word bits itself
+    (the BST). *)
+
+val spec_of_name : string -> strategy_spec option
+(** Inverse of {!spec_name}; accepts ["flit-hash"] (the default 2{^16}-slot
+    table) and ["flit-hash/N"]. *)
+
 type workload = {
   threads : int;  (** 2 in the paper's runs. *)
   key_range : int;

@@ -20,6 +20,24 @@ let test_full_blocks_until_departure () =
   A.release a ~at:90;
   Alcotest.(check int) "late arrival passes" 100 (A.admit a ~now:100)
 
+let test_peek_entry_is_nonmutating () =
+  let a = A.create ~capacity:2 in
+  (* Empty room: entry is immediate, repeatedly. *)
+  Alcotest.(check int) "peek with space" 7 (A.peek_entry a ~now:7);
+  Alcotest.(check int) "peek again unchanged" 7 (A.peek_entry a ~now:7);
+  Alcotest.(check int) "occupancy untouched" 0 (A.occupants a);
+  ignore (A.admit a ~now:7);
+  ignore (A.admit a ~now:7);
+  (* Full, no departure recorded yet: a shedder sees "not now". *)
+  Alcotest.(check int) "full + no departure = never" max_int (A.peek_entry a ~now:8);
+  A.release a ~at:50;
+  Alcotest.(check int) "full: entry at next departure" 50 (A.peek_entry a ~now:8);
+  Alcotest.(check int) "peek matches admit" 50 (A.admit a ~now:8);
+  (* After the real admit consumed the slot, peek sees a full room again. *)
+  Alcotest.(check int) "slot consumed" max_int (A.peek_entry a ~now:9);
+  A.release a ~at:40;
+  Alcotest.(check int) "stale departure never beats now" 60 (A.peek_entry a ~now:60)
+
 let test_capacity_guard () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Admission.create: capacity must be positive") (fun () ->
@@ -75,6 +93,7 @@ let tests =
     [
       Alcotest.test_case "pass-through when space" `Quick test_passthrough_when_space;
       Alcotest.test_case "full blocks until departure" `Quick test_full_blocks_until_departure;
+      Alcotest.test_case "peek_entry is non-mutating" `Quick test_peek_entry_is_nonmutating;
       Alcotest.test_case "capacity guard" `Quick test_capacity_guard;
       Alcotest.test_case "L2 ListBuffer back-pressure" `Quick test_l2_list_buffer_backpressure;
       QCheck_alcotest.to_alcotest prop_admission_never_early;

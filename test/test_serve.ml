@@ -1,0 +1,279 @@
+(* The open-loop serving engine: arrival-schedule determinism, the
+   group-commit batcher's ordering contract, conservation of requests
+   through admission + shedding, and byte-identical sweeps at any pool
+   width. *)
+
+module Arrival = Skipit_serve.Arrival
+module Batcher = Skipit_serve.Batcher
+module Engine = Skipit_serve.Engine
+module Report = Skipit_serve.Report
+module Strategy = Skipit_persist.Strategy
+module Pctx = Skipit_persist.Pctx
+module Pool = Skipit_par.Pool
+
+(* == Arrival schedules ================================================== *)
+
+let schedule ?(process = Arrival.Poisson) ?(seed = 42) ?(rate = 8.) () =
+  Arrival.schedule ~process ~rate ~clients:8 ~requests:400 ~key_range:256
+    ~update_pct:20 ~seed
+
+let req_tuple (r : Arrival.request) =
+  (r.Arrival.arrival, r.Arrival.client, r.Arrival.seq, Arrival.op_name r.Arrival.op, r.Arrival.key)
+
+let test_schedule_deterministic () =
+  List.iter
+    (fun process ->
+      let a = schedule ~process () and b = schedule ~process () in
+      Alcotest.(check (list (triple int int int)))
+        (Arrival.process_name process ^ ": same seed, same schedule")
+        (Array.to_list (Array.map (fun (r : Arrival.request) -> r.arrival, r.client, r.key) a))
+        (Array.to_list (Array.map (fun (r : Arrival.request) -> r.arrival, r.client, r.key) b));
+      Alcotest.(check bool)
+        (Arrival.process_name process ^ ": different seed, different schedule")
+        false
+        (Array.for_all2 (fun x y -> req_tuple x = req_tuple y) a (schedule ~process ~seed:43 ())))
+    [ Arrival.Poisson; Arrival.default_bursty ]
+
+let test_schedule_shape () =
+  let s = schedule () in
+  Alcotest.(check int) "requested length" 400 (Array.length s);
+  Array.iteri
+    (fun i (r : Arrival.request) ->
+      if i > 0 then
+        Alcotest.(check bool) "arrivals nondecreasing" true
+          (r.arrival >= s.(i - 1).Arrival.arrival);
+      Alcotest.(check bool) "key in range" true (r.key >= 1 && r.key <= 256))
+    s;
+  (* Per-client sequence numbers count that client's emissions in order. *)
+  let next_seq = Array.make 8 0 in
+  Array.iter
+    (fun (r : Arrival.request) ->
+      Alcotest.(check int)
+        (Printf.sprintf "client %d seq" r.client)
+        next_seq.(r.client) r.seq;
+      next_seq.(r.client) <- r.seq + 1)
+    s
+
+let test_bursty_respects_phases () =
+  let on = 500 and off = 1500 in
+  let s = schedule ~process:(Arrival.Bursty { on; off }) () in
+  Array.iter
+    (fun (r : Arrival.request) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "arrival %d inside an on phase" r.arrival)
+        true
+        (r.arrival mod (on + off) < on))
+    s
+
+let test_process_names_round_trip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Arrival.process_name p ^ " round-trips")
+        true
+        (Arrival.process_of_name (Arrival.process_name p) = Some p))
+    [ Arrival.Poisson; Arrival.default_bursty; Arrival.Bursty { on = 17; off = 3 } ];
+  Alcotest.(check bool) "bad spec rejected" true
+    (Arrival.process_of_name "bursty:0/5" = None
+    && Arrival.process_of_name "sawtooth" = None)
+
+(* == Batcher ordering contract ========================================== *)
+
+(* A probe strategy that only logs: operations via [write], persist points
+   and fences via the batcher's replay.  No simulated memory is touched, so
+   this runs outside any Thread task. *)
+let probe log =
+  {
+    Strategy.name = "probe";
+    field_stride = 8;
+    uses_word_bit = false;
+    read = (fun _ -> 0);
+    write = (fun addr _ -> log := ("op", addr) :: !log);
+    cas =
+      (fun addr ~expected:_ ~desired:_ ->
+        log := ("op", addr) :: !log;
+        true);
+    persist_store = (fun addr -> log := ("persist", addr) :: !log);
+    persist_load = (fun addr -> log := ("persist", addr) :: !log);
+    fence = (fun () -> log := ("fence", -1) :: !log);
+    persistent = true;
+    deferrable = true;
+  }
+
+let test_batcher_defers_and_orders () =
+  let log = ref [] in
+  let b = Batcher.create ~strategy:(probe log) ~mode:Pctx.Automatic () in
+  Alcotest.(check bool) "grouping active" true (Batcher.grouping b);
+  let pctx = Batcher.pctx b in
+  (* Two requests: ops on lines 64 and 128, plus a duplicate store to 64. *)
+  Pctx.write pctx 64 1;
+  Pctx.commit pctx ~updated:true;
+  Pctx.write pctx 128 2;
+  Pctx.write pctx 70 3;  (* same line as 64 *)
+  Pctx.commit pctx ~updated:true;
+  let before = List.rev !log in
+  Alcotest.(check bool) "no persist reaches the base strategy before commit" true
+    (List.for_all (fun (e, _) -> e = "op") before);
+  Alcotest.(check int) "distinct lines pending" 2 (Batcher.pending b);
+  Batcher.commit b;
+  let events = List.rev !log in
+  let ops, tail = List.partition (fun (e, _) -> e = "op") events in
+  Alcotest.(check int) "three ops" 3 (List.length ops);
+  Alcotest.(check (list (pair string int)))
+    "commit replays one persist per distinct line, first-capture order, then one fence"
+    [ "persist", 64; "persist", 128; "fence", -1 ]
+    tail;
+  (* Every op precedes the whole persist replay: the epoch closes after the
+     last member operation, so no request's persist is reordered before its
+     own accesses. *)
+  let first_persist =
+    List.mapi (fun i (e, _) -> i, e) events
+    |> List.find (fun (_, e) -> e = "persist")
+    |> fst
+  in
+  List.iteri
+    (fun i (e, _) -> if e = "op" then Alcotest.(check bool) "op before persists" true (i < first_persist))
+    events;
+  Batcher.commit b;
+  Alcotest.(check int) "empty commit is a no-op" (3 + 2 + 1) (List.length !log)
+
+let test_batcher_non_deferrable_passthrough () =
+  let log = ref [] in
+  let strategy = { (probe log) with Strategy.deferrable = false } in
+  let b = Batcher.create ~strategy ~mode:Pctx.Automatic () in
+  let pctx = Batcher.pctx b in
+  Pctx.write pctx 64 1;
+  Pctx.commit pctx ~updated:true;
+  Alcotest.(check (list (pair string int)))
+    "persist point forwarded immediately, fence still deferred"
+    [ "op", 64; "persist", 64 ]
+    (List.rev !log);
+  Alcotest.(check int) "nothing pending (only the fence)" 0 (Batcher.pending b);
+  Batcher.commit b;
+  Alcotest.(check (list (pair string int)))
+    "epoch fence issued at commit"
+    [ "op", 64; "persist", 64; "fence", -1 ]
+    (List.rev !log)
+
+let test_batcher_manual_and_ungrouped_fall_back () =
+  List.iter
+    (fun (label, b) ->
+      let log_len_before = 0 in
+      ignore log_len_before;
+      Alcotest.(check bool) (label ^ ": grouping off") false (Batcher.grouping b))
+    [
+      "manual mode", Batcher.create ~strategy:(probe (ref [])) ~mode:Pctx.Manual ();
+      "group:false", Batcher.create ~group:false ~strategy:(probe (ref [])) ~mode:Pctx.Automatic ();
+      ( "non-persistent",
+        Batcher.create
+          ~strategy:{ (probe (ref [])) with Strategy.persistent = false }
+          ~mode:Pctx.Automatic () );
+    ];
+  (* Per-op semantics under fallback: persists and fences pass straight
+     through and commit is a no-op. *)
+  let log = ref [] in
+  let b = Batcher.create ~strategy:(probe log) ~mode:Pctx.Manual () in
+  let pctx = Batcher.pctx b in
+  Pctx.write pctx 64 1;
+  Pctx.persist pctx 64;
+  Pctx.commit pctx ~updated:true;
+  Batcher.commit b;
+  Alcotest.(check (list (pair string int)))
+    "manual mode: author-placed persist order untouched"
+    [ "op", 64; "persist", 64; "fence", -1 ]
+    (List.rev !log)
+
+(* == Conservation through admission + shedding ========================== *)
+
+let spike_cfg =
+  {
+    Engine.default with
+    Engine.requests = 500;
+    clients = 8;
+    depth = 8;
+    batch = 4;
+    key_range = 256;
+    prefill = 128;
+  }
+
+let test_spike_conservation () =
+  (* Offered load far beyond saturation: the waiting room must overflow,
+     yet every request is either served or shed, no admission slot leaks,
+     and exactly the served requests have latencies. *)
+  let p = Engine.run spike_cfg ~rate:60. in
+  Alcotest.(check bool) "spike actually sheds" true (p.Engine.shed > 0);
+  Alcotest.(check bool) "still serves" true (p.Engine.served > 0);
+  Alcotest.(check int) "served + shed = offered requests" p.Engine.n
+    (p.Engine.served + p.Engine.shed);
+  Alcotest.(check int) "no admission slots leak" 0 p.Engine.leaked;
+  (match p.Engine.latency with
+   | None -> Alcotest.fail "latency summary missing"
+   | Some s ->
+     Alcotest.(check int) "one latency sample per served request" p.Engine.served
+       s.Skipit_obs.Latency.count;
+     Alcotest.(check bool) "positive latencies" true (s.Skipit_obs.Latency.p50 > 0.));
+  (* A gentle load on the same config sheds nothing. *)
+  let q = Engine.run spike_cfg ~rate:2. in
+  Alcotest.(check int) "gentle load sheds nothing" 0 q.Engine.shed;
+  Alcotest.(check int) "gentle load serves everything" q.Engine.n q.Engine.served
+
+let test_group_commit_beats_per_op () =
+  (* The point of the batcher: near saturation, epochs spend fewer cycles
+     on persists, so group commit serves more than per-op persists. *)
+  let rate = 16. in
+  let cfg = { Engine.default with Engine.requests = 600 } in
+  let b8 = Engine.run cfg ~rate in
+  let b1 = Engine.run { cfg with Engine.batch = 1 } ~rate in
+  Alcotest.(check bool)
+    (Printf.sprintf "achieved %.2f (batch 8) > %.2f (batch 1)" b8.Engine.achieved
+       b1.Engine.achieved)
+    true
+    (b8.Engine.achieved > b1.Engine.achieved);
+  Alcotest.(check bool) "per-op run batches nothing" true (b1.Engine.epochs = 0);
+  Alcotest.(check bool) "grouped run commits epochs" true (b8.Engine.epochs > 0)
+
+(* == Sweep determinism under the pool =================================== *)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_open_vbox ppf 0;
+  f ppf;
+  Format.pp_close_box ppf ();
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_sweep_byte_identical_across_jobs () =
+  let cfg = { spike_cfg with Engine.requests = 300 } in
+  let rates = [ 4.; 12.; 40. ] in
+  let output pool =
+    let points = Engine.sweep ?pool cfg ~rates in
+    render (fun ppf ->
+      Report.pp_config ppf cfg;
+      Report.pp_table ppf points;
+      Report.pp_csv ppf points)
+    ^ Report.to_json cfg points
+  in
+  let seq = output None in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> output (Some pool)) in
+  Alcotest.(check bool) "serve sweep --jobs 1 vs --jobs 4 byte-identical" true
+    (String.equal seq par);
+  Alcotest.(check bool) "sweep output non-empty" true (String.length seq > 0)
+
+let tests =
+  ( "serve",
+    [
+      Alcotest.test_case "schedules are seed-deterministic" `Quick test_schedule_deterministic;
+      Alcotest.test_case "schedule shape and per-client seq" `Quick test_schedule_shape;
+      Alcotest.test_case "bursty arrivals stay in on phases" `Quick test_bursty_respects_phases;
+      Alcotest.test_case "process names round-trip" `Quick test_process_names_round_trip;
+      Alcotest.test_case "batcher defers, dedups, never reorders" `Quick test_batcher_defers_and_orders;
+      Alcotest.test_case "non-deferrable strategies pass through" `Quick
+        test_batcher_non_deferrable_passthrough;
+      Alcotest.test_case "manual / ungrouped fall back to per-op" `Quick
+        test_batcher_manual_and_ungrouped_fall_back;
+      Alcotest.test_case "load spike conserves requests and slots" `Quick test_spike_conservation;
+      Alcotest.test_case "group commit beats per-op persists" `Quick test_group_commit_beats_per_op;
+      Alcotest.test_case "sweep byte-identical at any width" `Slow
+        test_sweep_byte_identical_across_jobs;
+    ] )

@@ -1,0 +1,262 @@
+(* Perf-regression gate over BENCH_results.json.
+
+   Usage: bench_gate BASELINE FRESH [REPORT]
+
+   Compares the committed baseline against a freshly generated file.  Every
+   simulated quantity — per-workload cycles, checksums, latency summaries
+   and the stats counters — is deterministic by construction, so the gate
+   demands exact equality for them.  Host-dependent fields (wall_ms,
+   wall_ms_serial, speedup_vs_serial, jobs) are ignored except for a very
+   generous sanity bound on per-workload wall_ms (10x either way, floored
+   at 1 ms, catches only pathological blowups, never scheduler noise).
+
+   Writes a human-readable diff report to REPORT (default
+   bench_gate_report.txt) and exits 1 when any gated field drifts, so CI
+   can fail the build and upload the report as an artifact.
+
+   The parser below handles exactly the JSON subset the bench emits:
+   objects, arrays, strings with only simple escapes, numbers, booleans,
+   null.  No external dependencies. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | c -> Buffer.add_char buf c);
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); Obj [])
+      else
+        let rec members acc =
+          let k = (skip_ws (); parse_string ()) in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((k, v) :: acc)
+          | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); List [])
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements (v :: acc)
+          | ']' -> advance (); List (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+    | '"' -> Str (parse_string ())
+    | 't' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "true" then (pos := !pos + 4; Bool true)
+      else fail "bad literal"
+    | 'f' ->
+      if !pos + 5 <= n && String.sub s !pos 5 = "false" then (pos := !pos + 5; Bool false)
+      else fail "bad literal"
+    | 'n' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "null" then (pos := !pos + 4; Null)
+      else fail "bad literal"
+    | c when c = '-' || (c >= '0' && c <= '9') -> Num (parse_number ())
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* -- accessors --------------------------------------------------------- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let rec render = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | Str s -> Printf.sprintf "%S" s
+  | List vs -> "[" ^ String.concat ", " (List.map render vs) ^ "]"
+  | Obj kvs ->
+    "{" ^ String.concat ", " (List.map (fun (k, v) -> k ^ ": " ^ render v) kvs) ^ "}"
+
+(* -- comparison -------------------------------------------------------- *)
+
+let drifts : string list ref = ref []
+
+let notes : string list ref = ref []
+
+let drift fmt = Printf.ksprintf (fun m -> drifts := m :: !drifts) fmt
+
+let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt
+
+(* Exact structural comparison; floats must match to the printed digit
+   (both files come from the same printf formats, so real equality). *)
+let rec equal_json a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> x = y
+  | Str x, Str y -> x = y
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 equal_json xs ys
+  | Obj xs, Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> k1 = k2 && equal_json v1 v2)
+         xs ys
+  | _ -> false
+
+let compare_exact ~where key base fresh =
+  match base, fresh with
+  | None, None -> ()
+  | Some b, None -> drift "%s: %s missing from fresh run (baseline %s)" where key (render b)
+  | None, Some f -> drift "%s: %s appeared in fresh run (%s), absent from baseline" where key (render f)
+  | Some b, Some f ->
+    if not (equal_json b f) then
+      drift "%s: %s drifted: baseline %s, fresh %s" where key (render b) (render f)
+
+let compare_wall ~where base fresh =
+  match base, fresh with
+  | Some b, Some f when b > 0. ->
+    let lo = Float.max 1. (b /. 10.) and hi = Float.max 10. (b *. 10.) in
+    if f > hi || (f < lo && b >= 10.) then
+      note "%s: wall_ms %.2f vs baseline %.2f (outside 10x band; informational)" where f b
+  | _ -> ()
+
+let compare_workload name base fresh =
+  let where = "workload " ^ name in
+  List.iter
+    (fun key -> compare_exact ~where key (member key base) (member key fresh))
+    [ "cycles"; "checksums"; "latency"; "stats" ];
+  compare_wall ~where
+    (Option.bind (member "wall_ms" base) to_num)
+    (Option.bind (member "wall_ms" fresh) to_num)
+
+let workloads j =
+  match member "workloads" j with
+  | Some (List ws) ->
+    List.filter_map
+      (fun w -> Option.map (fun n -> n, w) (Option.bind (member "name" w) to_str))
+      ws
+  | _ -> []
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  let baseline_path, fresh_path, report_path =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> b, f, "bench_gate_report.txt"
+    | [ _; b; f; r ] -> b, f, r
+    | _ ->
+      prerr_endline "usage: bench_gate BASELINE FRESH [REPORT]";
+      exit 2
+  in
+  let load path =
+    try parse (read_file path) with
+    | Sys_error e ->
+      Printf.eprintf "bench_gate: %s\n" e;
+      exit 2
+    | Parse_error e ->
+      Printf.eprintf "bench_gate: %s: %s\n" path e;
+      exit 2
+  in
+  let base = load baseline_path and fresh = load fresh_path in
+  let bws = workloads base and fws = workloads fresh in
+  List.iter
+    (fun (name, bw) ->
+      match List.assoc_opt name fws with
+      | Some fw -> compare_workload name bw fw
+      | None -> drift "workload %s present in baseline, missing from fresh run" name)
+    bws;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name bws) then
+        drift "workload %s appeared in fresh run, absent from baseline" name)
+    fws;
+  let drifts = List.rev !drifts and notes = List.rev !notes in
+  let oc = open_out report_path in
+  Printf.fprintf oc "bench_gate: %s vs %s\n" baseline_path fresh_path;
+  Printf.fprintf oc "workloads: %d baseline, %d fresh\n" (List.length bws)
+    (List.length fws);
+  if drifts = [] then Printf.fprintf oc "PASS: all gated fields identical\n"
+  else begin
+    Printf.fprintf oc "FAIL: %d drift(s)\n" (List.length drifts);
+    List.iter (fun d -> Printf.fprintf oc "  %s\n" d) drifts
+  end;
+  List.iter (fun w -> Printf.fprintf oc "  note: %s\n" w) notes;
+  close_out oc;
+  print_string (read_file report_path);
+  if drifts <> [] then exit 1
