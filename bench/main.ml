@@ -53,6 +53,56 @@ let out_path =
     Sys.argv;
   !out
 
+(* --profile: record per-workload GC deltas (minor/major words, collection
+   counts) from [Gc.quick_stat] around each serial run.  Allocation is a
+   host-side property, so the simulated results are unaffected; the JSON
+   gains a "gc" object per workload. *)
+let profile = Array.exists (( = ) "--profile") Sys.argv
+
+(* --baseline FILE (or --baseline=FILE): the pinned pre-refactor serial
+   measurement that "speedup_vs_serial" is defined against (see
+   EXPERIMENTS.md).  Defaults to the committed pin; when the file is
+   missing the ratio falls back to this run's own serial pass. *)
+let baseline_path =
+  let p = ref "bench/baseline_v1.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--baseline" && i + 1 < Array.length Sys.argv then p := Sys.argv.(i + 1)
+      else if String.starts_with ~prefix:"--baseline=" a then
+        p := String.sub a 11 (String.length a - 11))
+    Sys.argv;
+  !p
+
+(* Pull "wall_ms_workloads": <num> out of a results file without a JSON
+   dependency: scan for the key, then read the number after the colon. *)
+let baseline_workload_ms path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let key = "\"wall_ms_workloads\"" in
+    let klen = String.length key in
+    let rec find i =
+      if i + klen > String.length s then None
+      else if String.sub s i klen = key then begin
+        let j = ref (i + klen) in
+        while !j < String.length s && (s.[!j] = ':' || s.[!j] = ' ') do incr j done;
+        let k = ref !j in
+        while
+          !k < String.length s
+          && (match s.[!k] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+        do
+          incr k
+        done;
+        float_of_string_opt (String.sub s !j (!k - !j))
+      end
+      else find (i + 1)
+    in
+    find 0
+  end
+
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let figure_test name =
@@ -144,6 +194,13 @@ let trace_path name =
 
 (* A workload result: elapsed cycles, per-class latency percentiles, the
    full stats report, and the host wall-clock cost of simulating it. *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type workload_result = {
   w_name : string;
   cycles : int;
@@ -151,20 +208,27 @@ type workload_result = {
   latency : (string * Latency.summary) list;
   stats : (string * int) list;
   mutable wall_ms : float;
+  mutable gc : gc_delta option;
 }
 
 (* Run [f] with tracing on and distill the per-class latency summaries
    (plus "overall") from the recorded request spans.  Tracing never changes
    simulated timing, so the cycle counts are those of an untraced run. *)
 let with_latency f =
-  let tr = Trace.start ~capacity:(1 lsl 20) () in
+  (* Reqs-only sink: the histograms are distilled purely from the
+     [Req_start]/[Req_end] spans, so detail events are never recorded (or
+     allocated) — the summaries are byte-identical to full tracing as long
+     as the ring never dropped a span, which 2^20 slots guarantees for
+     every workload here. *)
+  let tr = Trace.start ~capacity:(1 lsl 20) ~reqs_only:true () in
   let r = Fun.protect ~finally:(fun () -> ignore (Trace.stop ())) f in
+  let lat = Latency.of_trace tr in
   let overall =
-    match Latency.summarize (Latency.overall (Latency.of_trace tr)) with
+    match Latency.summarize (Latency.overall lat) with
     | Some s -> [ "overall", s ]
     | None -> []
   in
-  r, overall @ Latency.summaries (Latency.of_trace tr)
+  r, overall @ Latency.summaries lat
 
 let run_trace_workload name ~skip_it =
   match trace_path name with
@@ -186,6 +250,7 @@ let run_trace_workload name ~skip_it =
            latency;
            stats = S.stats_report sys;
            wall_ms = 0.;
+           gc = None;
          })
 
 (* The Fig. 9-style scaling point: 8 threads, each store+flush+flush over a
@@ -217,6 +282,7 @@ let run_scaling_workload ~skip_it =
     latency;
     stats = S.stats_report sys;
     wall_ms = 0.;
+    gc = None;
   }
 
 (* Serving-engine points: the hash table under Poisson load at three offered
@@ -245,6 +311,7 @@ let run_serve_workload ~batch ~rate =
           int_of_float (Float.round (point.Engine.achieved *. 1000.)) );
       ];
     wall_ms = 0.;
+    gc = None;
   }
 
 (* Host wall-clock timing of the JSON workload set: each workload is timed
@@ -254,8 +321,10 @@ let run_serve_workload ~batch ~rate =
    pool width. *)
 type timing = {
   t_jobs : int;
+  t_width : int;  (* effective pool width after the host-core clamp *)
   wall_ms_serial : float;
-  wall_ms_parallel : float;  (* = serial when jobs <= 1 *)
+  wall_ms_parallel : float;  (* = serial when the effective width is 1 *)
+  baseline_ms : float option;  (* pinned pre-refactor serial workload wall *)
 }
 
 let json_of_results ~timing results =
@@ -265,11 +334,30 @@ let json_of_results ~timing results =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" timing.t_jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"pool_width\": %d,\n" timing.t_width);
   Buffer.add_string buf (Printf.sprintf "  \"wall_ms\": %.2f,\n" timing.wall_ms_parallel);
   Buffer.add_string buf
     (Printf.sprintf "  \"wall_ms_serial\": %.2f,\n" timing.wall_ms_serial);
+  (* "speedup_vs_serial" is the engine-v2 headline: the pinned pre-refactor
+     serial wall (bench/baseline_v1.json, measured with the v1 engine at
+     --jobs 1) over this run's wall for the same workload set.  On hosts
+     with real parallelism the pool compounds it; on a single-core host it
+     measures the serial-path rebuild alone.  "pool_efficiency" is the
+     honest intra-run ratio (this run's serial pass over its pooled pass). *)
+  (match timing.baseline_ms with
+   | Some b ->
+     Buffer.add_string buf (Printf.sprintf "  \"baseline_wall_ms\": %.2f,\n" b);
+     Buffer.add_string buf
+       (Printf.sprintf "  \"speedup_vs_serial\": %.2f,\n"
+          (if timing.wall_ms_parallel > 0. then b /. timing.wall_ms_parallel else 1.))
+   | None ->
+     Buffer.add_string buf
+       (Printf.sprintf "  \"speedup_vs_serial\": %.2f,\n"
+          (if timing.wall_ms_parallel > 0. then
+             timing.wall_ms_serial /. timing.wall_ms_parallel
+           else 1.)));
   Buffer.add_string buf
-    (Printf.sprintf "  \"speedup_vs_serial\": %.2f,\n"
+    (Printf.sprintf "  \"pool_efficiency\": %.2f,\n"
        (if timing.wall_ms_parallel > 0. then
           timing.wall_ms_serial /. timing.wall_ms_parallel
         else 1.));
@@ -299,6 +387,13 @@ let json_of_results ~timing results =
                cls s.Latency.count s.Latency.mean s.Latency.p50 s.Latency.p95
                s.Latency.p99 s.Latency.max))
         r.latency;
+      (match r.gc with
+       | Some g ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              "},\n      \"gc\": {\"minor_words\": %.0f, \"major_words\": %.0f, \"minor_collections\": %d, \"major_collections\": %d"
+              g.minor_words g.major_words g.minor_collections g.major_collections)
+       | None -> ());
       Buffer.add_string buf "},\n      \"stats\": {";
       List.iteri
         (fun j (k, v) ->
@@ -335,7 +430,20 @@ let emit_json ~jobs path =
     List.filter_map
       (fun thunk ->
         let t = now_ms () in
+        let g0 = if profile then Some (Gc.quick_stat ()) else None in
         let r = thunk () in
+        (match r, g0 with
+         | Some r, Some g0 ->
+           let g1 = Gc.quick_stat () in
+           r.gc <-
+             Some
+               {
+                 minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+                 major_words = g1.Gc.major_words -. g0.Gc.major_words;
+                 minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+                 major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+               }
+         | _ -> ());
         Option.iter (fun r -> r.wall_ms <- now_ms () -. t) r;
         r)
       thunks
@@ -343,15 +451,25 @@ let emit_json ~jobs path =
   let wall_ms_serial = now_ms () -. t0 in
   (* Parallel pass: same jobs on the pool, timed as a set — only the
      wall-clock numbers come from it. *)
+  let pool_width = ref 1 in
   let wall_ms_parallel =
     if jobs <= 1 then wall_ms_serial
     else
       Pool.with_pool ~jobs (fun pool ->
+        pool_width := Pool.width pool;
         let t0 = now_ms () in
         ignore (Pool.map pool (fun thunk -> thunk ()) thunks);
         now_ms () -. t0)
   in
-  let timing = { t_jobs = jobs; wall_ms_serial; wall_ms_parallel } in
+  let timing =
+    {
+      t_jobs = jobs;
+      t_width = !pool_width;
+      wall_ms_serial;
+      wall_ms_parallel;
+      baseline_ms = baseline_workload_ms baseline_path;
+    }
+  in
   let oc = open_out path in
   output_string oc (json_of_results ~timing results);
   close_out oc;

@@ -390,7 +390,11 @@ let run_spec ?pool ?(budget = 20) spec =
     }
   | [] ->
     let bs = boundaries ~persists:full.persists ~budget ~seed:spec.seed in
-    let trials = Pool.map_opt pool (fun b -> b, run_trial spec ~crash_at:(Some b)) bs in
+    let trials =
+      Pool.run_chunked_opt ~chunk:1 pool
+        (fun b -> b, run_trial spec ~crash_at:(Some b))
+        bs
+    in
     let failure =
       List.find_map
         (fun (b, (t : trial)) ->

@@ -1,86 +1,122 @@
-type 'a slot = {
-  set_index : int;
-  way : int;
-  mutable tag : int;
-  mutable valid : bool;
-  mutable payload : 'a option;
-  mutable last_use : int;
-}
+(* Struct-of-arrays set-associative tag store.
+
+   v1 kept one heap record per way ([{tag; valid; payload; last_use}]),
+   which meant every lookup returned a ['a slot option] — an allocation on
+   the L1-hit path — and a tag scan chased a pointer per way.  v2 keys
+   everything by an integer slot id ([set * ways + way]) into flat
+   parallel tables: tags and LRU stamps in [int array]s, valid bits in a
+   [Bytes.t], payloads in one ['a option array].  Lookups return the slot
+   id (-1 for a miss), so the hit path allocates nothing, and a set's tags
+   sit in 8|ways| contiguous bytes of one array.
+
+   Levels that want pure SoA line storage (the L1 keeps per-line metadata
+   in a packed byte table and line words in one flat array) instantiate
+   ['a = unit] and index their own tables by the same slot id; levels with
+   richer payloads (L2 directory entries, memory-side lines) store them in
+   the payload table, paying one small allocation per *fill* — never per
+   lookup. *)
 
 type policy = Lru | Random of Skipit_sim.Rng.t
 
-type 'a t = { geom : Geometry.t; policy : policy; sets : 'a slot array array }
+type 'a t = {
+  geom : Geometry.t;
+  policy : policy;
+  ways : int;
+  tags : int array;  (* by slot id *)
+  valid : Bytes.t;  (* 0/1 by slot id *)
+  last_use : int array;  (* by slot id *)
+  payload : 'a option array;  (* [Some] iff valid *)
+}
+
+let miss = -1
 
 let create ?(policy = Lru) geom =
-  let make_slot set_index way =
-    { set_index; way; tag = 0; valid = false; payload = None; last_use = 0 }
-  in
-  let sets =
-    Array.init geom.Geometry.sets (fun s -> Array.init geom.Geometry.ways (make_slot s))
-  in
-  { geom; policy; sets }
+  let slots = geom.Geometry.sets * geom.Geometry.ways in
+  {
+    geom;
+    policy;
+    ways = geom.Geometry.ways;
+    tags = Array.make slots 0;
+    valid = Bytes.make slots '\000';
+    last_use = Array.make slots 0;
+    payload = Array.make slots None;
+  }
 
 let geometry t = t.geom
+let slots t = Array.length t.tags
+let is_valid t id = Bytes.unsafe_get t.valid id <> '\000'
+
+(* Top-level so the tag scan compiles to a static call: a local [let rec]
+   closing over [t]/[base]/[tag] is a minor-heap closure per lookup
+   (without flambda), which would break the zero-alloc L1-hit pin. *)
+let rec scan_ways t base tag i =
+  if i >= t.ways then miss
+  else begin
+    let id = base + i in
+    if is_valid t id && Array.unsafe_get t.tags id = tag then id
+    else scan_ways t base tag (i + 1)
+  end
 
 let find t addr =
-  let set = t.sets.(Geometry.index_of t.geom addr) in
+  let base = Geometry.index_of t.geom addr * t.ways in
   let tag = Geometry.tag_of t.geom addr in
-  let rec scan i =
-    if i >= Array.length set then None
-    else begin
-      let slot = set.(i) in
-      if slot.valid && slot.tag = tag then Some slot else scan (i + 1)
-    end
-  in
-  scan 0
+  scan_ways t base tag 0
 
-let payload_exn slot =
-  match slot.payload with
+let payload t id =
+  match t.payload.(id) with
   | Some p -> p
-  | None -> invalid_arg "Store.payload_exn: invalid slot"
+  | None -> invalid_arg "Store.payload: invalid slot"
 
-let touch _t slot ~now = slot.last_use <- now
+let touch t id ~now = t.last_use.(id) <- now
 
+(* Replacement (matching v1 bit for bit): the lowest-numbered invalid way
+   if any, else the policy's pick — for LRU the lowest-numbered way with
+   the strictly smallest stamp. *)
 let victim t addr =
-  let set = t.sets.(Geometry.index_of t.geom addr) in
+  let base = Geometry.index_of t.geom addr * t.ways in
   let rec find_invalid i =
-    if i >= Array.length set then None
-    else if not set.(i).valid then Some set.(i)
+    if i >= t.ways then miss
+    else if not (is_valid t (base + i)) then base + i
     else find_invalid (i + 1)
   in
   match find_invalid 0 with
-  | Some slot -> slot
-  | None -> (
+  | id when id <> miss -> id
+  | _ -> (
     match t.policy with
     | Lru ->
-      Array.fold_left
-        (fun best slot -> if slot.last_use < best.last_use then slot else best)
-        set.(0) set
-    | Random rng -> set.(Skipit_sim.Rng.int rng (Array.length set)))
+      let best = ref base in
+      for i = 1 to t.ways - 1 do
+        if t.last_use.(base + i) < t.last_use.(!best) then best := base + i
+      done;
+      !best
+    | Random rng -> base + Skipit_sim.Rng.int rng t.ways)
 
-let fill t slot ~addr ~payload ~now =
-  slot.tag <- Geometry.tag_of t.geom addr;
-  slot.valid <- true;
-  slot.payload <- Some payload;
-  slot.last_use <- now
+let fill t id ~addr ~payload ~now =
+  t.tags.(id) <- Geometry.tag_of t.geom addr;
+  Bytes.unsafe_set t.valid id '\001';
+  t.payload.(id) <- Some payload;
+  t.last_use.(id) <- now
 
-let invalidate slot =
-  slot.valid <- false;
-  slot.payload <- None
+let invalidate t id =
+  Bytes.unsafe_set t.valid id '\000';
+  t.payload.(id) <- None
 
-let slot_addr t slot =
-  if not slot.valid then invalid_arg "Store.slot_addr: invalid slot";
-  Geometry.addr_of t.geom ~tag:slot.tag ~index:slot.set_index
+let slot_addr t id =
+  if not (is_valid t id) then invalid_arg "Store.slot_addr: invalid slot";
+  Geometry.addr_of t.geom ~tag:t.tags.(id) ~index:(id / t.ways)
 
 let iter_valid t f =
-  Array.iter
-    (fun set ->
-      Array.iter (fun slot -> if slot.valid then f (slot_addr t slot) slot) set)
-    t.sets
+  for id = 0 to Array.length t.tags - 1 do
+    if is_valid t id then f (slot_addr t id) id
+  done
 
 let count_valid t =
   let n = ref 0 in
-  iter_valid t (fun _ _ -> incr n);
+  for id = 0 to Array.length t.tags - 1 do
+    if is_valid t id then incr n
+  done;
   !n
 
-let invalidate_all t = Array.iter (Array.iter invalidate) t.sets
+let invalidate_all t =
+  Bytes.fill t.valid 0 (Bytes.length t.valid) '\000';
+  Array.fill t.payload 0 (Array.length t.payload) None

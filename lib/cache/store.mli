@@ -1,9 +1,18 @@
-(** Generic set-associative tag/metadata store with LRU replacement.
+(** Struct-of-arrays set-associative tag store with LRU replacement.
 
     Both the L1 metadata/data arrays (§3.3) and the L2 directory+BankedStore
-    (§3.4) are instances: the per-line payload type ['a] carries whatever
-    metadata that level needs (permission, dirty bit, skip bit, directory
-    bits, line data).  Replacement picks an invalid way first; among valid
+    (§3.4) are instances.  All state lives in flat parallel tables (tags,
+    valid bits, LRU stamps, payloads) indexed by an integer {e slot id} —
+    [set_index * ways + way] — and lookups return that id rather than an
+    option, so the hit path allocates nothing.  [-1] ({!miss}) means not
+    present.
+
+    The per-line payload type ['a] carries whatever metadata a level wants
+    in the store itself (directory bits, line records); a level keeping its
+    line state in its own struct-of-arrays tables instantiates ['a = unit]
+    and indexes those tables by the same slot id (see {!slots}).
+
+    Replacement picks the lowest-numbered invalid way first; among valid
     ways the policy chooses: [Lru] (the default — deterministic and easiest
     to reason about in tests) or [Random] seeded pseudo-random — what the
     BOOM data cache actually implements. *)
@@ -11,43 +20,45 @@
 (** Victim-selection policy among valid ways. *)
 type policy = Lru | Random of Skipit_sim.Rng.t
 
-type 'a slot = private {
-  set_index : int;
-  way : int;
-  mutable tag : int;
-  mutable valid : bool;
-  mutable payload : 'a option;  (** [Some] iff [valid]. *)
-  mutable last_use : int;
-}
-
 type 'a t
 
 val create : ?policy:policy -> Geometry.t -> 'a t
 val geometry : 'a t -> Geometry.t
 
-val find : 'a t -> int -> 'a slot option
-(** [find t addr] is the valid slot whose tag matches [addr]'s line. *)
+val slots : 'a t -> int
+(** Total slot count ([sets * ways]); the valid id range for parallel
+    side tables. *)
 
-val payload_exn : 'a slot -> 'a
-(** Payload of a valid slot.  Raises [Invalid_argument] on an invalid slot. *)
+val miss : int
+(** The not-present slot id, [-1]. *)
 
-val touch : 'a t -> 'a slot -> now:int -> unit
+val find : 'a t -> int -> int
+(** [find t addr] is the slot id holding [addr]'s line, or {!miss}. *)
+
+val is_valid : 'a t -> int -> bool
+
+val payload : 'a t -> int -> 'a
+(** Payload of a valid slot id.  Raises [Invalid_argument] on an invalid
+    slot. *)
+
+val touch : 'a t -> int -> now:int -> unit
 (** Record a use for LRU. *)
 
-val victim : 'a t -> int -> 'a slot
-(** [victim t addr] is the slot to (re)fill for [addr]'s set: an invalid way
-    if one exists, else the LRU way (which the caller must first evict). *)
+val victim : 'a t -> int -> int
+(** [victim t addr] is the slot id to (re)fill for [addr]'s set: the
+    lowest-numbered invalid way if one exists, else the policy's pick
+    (which the caller must first evict — check {!is_valid}). *)
 
-val fill : 'a t -> 'a slot -> addr:int -> payload:'a -> now:int -> unit
-(** Install a line into [slot] (tag set from [addr], marked valid). *)
+val fill : 'a t -> int -> addr:int -> payload:'a -> now:int -> unit
+(** Install a line into a slot id (tag set from [addr], marked valid). *)
 
-val invalidate : 'a slot -> unit
+val invalidate : 'a t -> int -> unit
 
-val slot_addr : 'a t -> 'a slot -> int
-(** Line base address currently held by a valid slot. *)
+val slot_addr : 'a t -> int -> int
+(** Line base address currently held by a valid slot id. *)
 
-val iter_valid : 'a t -> (int -> 'a slot -> unit) -> unit
-(** [iter_valid t f] calls [f line_addr slot] for every valid slot. *)
+val iter_valid : 'a t -> (int -> int -> unit) -> unit
+(** [iter_valid t f] calls [f line_addr id] for every valid slot. *)
 
 val count_valid : 'a t -> int
 

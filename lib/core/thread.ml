@@ -40,31 +40,41 @@ let start body =
     }
 
 let run_loop system ~stop tasks =
-  let fibers = List.map (fun t -> { fcore = t.core; status = start t.body }) tasks in
-  let runnable () =
-    List.filter (fun f -> match f.status with Done -> false | Blocked _ -> true) fibers
-  in
+  let fibers = Array.of_list (List.map (fun t -> { fcore = t.core; status = start t.body }) tasks) in
+  let n = Array.length fibers in
   (* Timestamp-ordered scheduling: always advance the fiber whose core clock
      is smallest, so cross-core state mutations happen in global time
-     order. *)
+     order.  The scan is a plain array sweep — no per-instruction list
+     rebuild — and ties go to the lowest task index, matching the old
+     filter-then-fold order. *)
+  let live = ref 0 in
+  Array.iter (fun f -> match f.status with Blocked _ -> incr live | Done -> ()) fibers;
+  let pick () =
+    let best = ref (-1) in
+    let best_clock = ref max_int in
+    for i = 0 to n - 1 do
+      let f = Array.unsafe_get fibers i in
+      match f.status with
+      | Done -> ()
+      | Blocked _ ->
+        let c = Lsu.clock (System.lsu system f.fcore) in
+        if !best < 0 || c < !best_clock then begin
+          best := i;
+          best_clock := c
+        end
+    done;
+    !best
+  in
   let rec loop () =
-    match runnable () with
-    | [] -> `Completed (System.max_clock system)
-    | _ when stop () ->
+    if !live = 0 then `Completed (System.max_clock system)
+    else if stop () then
       (* Crash point: abandon every blocked fiber mid-instruction.  The
          one-shot continuations are simply dropped (safe to GC); whatever
          the tasks were about to do next never happens — exactly a power
          failure at instruction granularity. *)
       `Stopped (System.max_clock system)
-    | ready ->
-      let fiber =
-        List.fold_left
-          (fun best f ->
-            if Lsu.clock (System.lsu system f.fcore) < Lsu.clock (System.lsu system best.fcore)
-            then f
-            else best)
-          (List.hd ready) (List.tl ready)
-      in
+    else begin
+      let fiber = fibers.(pick ()) in
       (match fiber.status with
        | Done -> assert false
        | Blocked (req, k) ->
@@ -76,8 +86,10 @@ let run_loop system ~stop tasks =
            | Get_core -> fiber.fcore
          in
          System.maybe_audit system;
-         fiber.status <- continue k answer);
+         fiber.status <- continue k answer;
+         match fiber.status with Done -> decr live | Blocked _ -> ());
       loop ()
+    end
   in
   loop ()
 

@@ -32,8 +32,8 @@ let exec t instr =
   t.instructions <- t.instructions + 1;
   match instr with
   | Instr.Load { addr } ->
-    let value, done_at = Dcache.load t.dcache ~addr ~now:t.clock in
-    t.clock <- done_at;
+    let value = Dcache.load_word t.dcache ~addr ~now:t.clock in
+    t.clock <- Dcache.done_at t.dcache;
     value
   | Instr.Store { addr; value } ->
     let drain_at = Dcache.store t.dcache ~addr ~value ~now:t.clock in
@@ -46,8 +46,8 @@ let exec t instr =
     else t.clock <- drain_at;
     0
   | Instr.Cas { addr; expected; desired } ->
-    let ok, done_at = Dcache.cas t.dcache ~addr ~expected ~desired ~now:t.clock in
-    t.clock <- done_at;
+    let ok = Dcache.cas_word t.dcache ~addr ~expected ~desired ~now:t.clock in
+    t.clock <- Dcache.done_at t.dcache;
     if ok then 1 else 0
   | Instr.Cbo_clean { addr } ->
     let r = Dcache.cbo t.dcache ~addr ~kind:Message.Wb_clean ~now:t.clock in

@@ -3,6 +3,8 @@ open Skipit_tilelink
 open Skipit_cache
 module Trace = Skipit_obs.Trace
 
+(* Metadata/state snapshot handed to tests; the live state is
+   struct-of-arrays (below), so this record is built on demand. *)
 type line = {
   mutable perm : Perm.t;
   mutable dirty : bool;
@@ -10,10 +12,25 @@ type line = {
   data : int array;
 }
 
+(* Per-line state lives in flat tables indexed by the tag store's slot id:
+   one packed metadata byte (permission in bits 0-1, dirty bit 2, skip bit
+   3) and the line's words at [id * words_per_line] of one int array.  The
+   hit paths read and write these tables directly — no per-line records,
+   no option returns, no allocation. *)
+let perm_mask = 0b11
+let dirty_bit = 0b100
+let skip_bit = 0b1000
+
+let perm_of_bits = function 0 -> Perm.Nothing | 1 -> Perm.Branch | _ -> Perm.Trunk
+let bits_of_perm = function Perm.Nothing -> 0 | Perm.Branch -> 1 | Perm.Trunk -> 2
+
 type t = {
   p : Params.t;
   core : int;
-  store_arr : line Store.t;
+  store_arr : unit Store.t;
+  meta : Bytes.t;  (* packed metadata byte, by slot id *)
+  data : int array;  (* line words, [slot id * wpl + word] *)
+  wpl : int;  (* words per line *)
   mshrs : Resource.t;
   wbu : Resource.t;
   port : Port.t;
@@ -29,6 +46,10 @@ type t = {
   c_store_hits : Stats.Counter.t;
   c_load_misses : Stats.Counter.t;
   c_store_misses : Stats.Counter.t;
+  (* Scratch completion time of the most recent [load_word]/[cas_word]:
+     the hot API returns the payload unboxed and parks the timestamp here,
+     so a hit performs zero minor-heap allocation. *)
+  mutable done_at : int;
 }
 
 let core t = t.core
@@ -36,10 +57,31 @@ let params t = t.p
 let flush_unit t = t.flush
 let stats t = t.stats
 let port t = t.port
+let done_at t = t.done_at
 
 let line_base t addr = Geometry.line_base t.p.Params.l1_geom addr
 let word_off t addr = Geometry.offset_word t.p.Params.l1_geom addr
 let beats t = Params.data_beats t.p
+
+let meta_of t id = Char.code (Bytes.unsafe_get t.meta id)
+let set_meta t id m = Bytes.unsafe_set t.meta id (Char.unsafe_chr m)
+let line_perm t id = perm_of_bits (meta_of t id land perm_mask)
+let set_perm t id p = set_meta t id (meta_of t id land lnot perm_mask lor bits_of_perm p)
+let line_dirty t id = meta_of t id land dirty_bit <> 0
+let line_skip t id = meta_of t id land skip_bit <> 0
+
+let set_dirty t id b =
+  let m = meta_of t id in
+  set_meta t id (if b then m lor dirty_bit else m land lnot dirty_bit)
+
+let set_skip t id b =
+  let m = meta_of t id in
+  set_meta t id (if b then m lor skip_bit else m land lnot skip_bit)
+
+let word t id off = Array.unsafe_get t.data ((id * t.wpl) + off)
+let set_word t id off v = Array.unsafe_set t.data ((id * t.wpl) + off) v
+let copy_line t id = Array.sub t.data (id * t.wpl) t.wpl
+let blit_line t id src = Array.blit src 0 t.data (id * t.wpl) t.wpl
 
 (* Serialize [beats] of an outgoing/incoming message on a shared channel
    whose serialization time is already part of [finish]: contention-free
@@ -62,56 +104,59 @@ let find_line t addr = Store.find t.store_arr (line_base t addr)
    directory stays exact.  Honours the §5.4.2 interlock with the flush unit.
    Returns the cycle at which the slot is free for refill (the L2-side ack
    proceeds off the critical path). *)
-let evict_slot t slot ~now =
-  let vaddr = Store.slot_addr t.store_arr slot in
-  let line = Store.payload_exn slot in
+let evict_slot t id ~now =
+  let vaddr = Store.slot_addr t.store_arr id in
   let t0 = Flush_unit.evict_block_until t.flush ~addr:vaddr ~now in
   note_change t ~addr:vaddr ~now:t0;
+  let perm = line_perm t id in
   let t_free =
-    if line.dirty then begin
+    if line_dirty t id then begin
       Stats.Registry.incr t.stats "evictions_dirty";
       l1_ev t ~at:t0 ~addr:vaddr Trace.Evict_dirty;
       let rid = Trace.req_start ~at:t0 ~cls:Trace.Cls_writeback ~core:t.core ~addr:vaddr in
       let t_buf = Resource.acquire_finish t.wbu ~now:t0 ~busy:(beats t) in
       let t_sent = channel_c t ~finish:t_buf ~beats:(beats t) in
-      let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
+      let shrink = Perm.shrink_for ~from:perm ~cap:Perm.Nothing in
       ignore
-        (Port.release t.port ~addr:vaddr ~shrink ~data:(Some (Array.copy line.data))
-           ~now:t_sent);
+        (Port.release t.port ~addr:vaddr ~shrink ~data:(Some (copy_line t id)) ~now:t_sent);
       Trace.req_end ~at:t_sent rid;
       t_sent
     end
     else begin
       Stats.Registry.incr t.stats "evictions_clean";
       l1_ev t ~at:t0 ~addr:vaddr Trace.Evict_clean;
-      let shrink = Perm.shrink_for ~from:line.perm ~cap:Perm.Nothing in
+      let shrink = Perm.shrink_for ~from:perm ~cap:Perm.Nothing in
       ignore (Port.release t.port ~addr:vaddr ~shrink ~data:None ~now:t0);
       t0 + 1
     end
   in
-  Store.invalidate slot;
+  Store.invalidate t.store_arr id;
   t_free
 
 (* Fetch a line at [target] permission through an MSHR: pick and evict a
    victim, Acquire from the L2, install with the skip bit from the grant
-   flavour (GrantData vs GrantDataDirty, §6.1). *)
+   flavour (GrantData vs GrantDataDirty, §6.1).  Returns the slot id and
+   the grant completion time. *)
 let refill t ~addr ~grow ~now =
   let addr = line_base t addr in
-  let installed = ref None in
+  let installed = ref Store.miss in
   let mshr_comp = lazy (Printf.sprintf "l1.%d.mshr" t.core) in
   let _, _, finish =
     Resource.acquire_dyn_idx t.mshrs ~now (fun ~idx start ->
       if Trace.enabled () then
         Trace.emit ~at:start
           (Trace.Resource { comp = Lazy.force mshr_comp; idx; op = Trace.Res_alloc });
-      let slot, t_slot =
+      let id, t_slot =
         match find_line t addr with
-        | Some slot ->
+        | id when id <> Store.miss ->
           (* Upgrade in place (Branch → Trunk); no victim needed. *)
-          slot, start
-        | None ->
+          id, start
+        | _ ->
           let victim = Store.victim t.store_arr addr in
-          let t_free = if victim.Store.valid then evict_slot t victim ~now:start else start in
+          let t_free =
+            if Store.is_valid t.store_arr victim then evict_slot t victim ~now:start
+            else start
+          in
           victim, t_free
       in
       let t_sent = Port.send_a t.port ~now:t_slot in
@@ -121,56 +166,56 @@ let refill t ~addr ~grow ~now =
       let grant =
         { grant with Port.done_at = channel_d t ~finish:grant.Port.done_at ~beats:(beats t) }
       in
-      let line =
-        {
-          perm = grant.Port.perm;
-          dirty = false;
-          skip = not grant.Port.l2_dirty;
-          data = Array.copy grant.Port.data;
-        }
-      in
-      Store.fill t.store_arr slot ~addr ~payload:line ~now:grant.Port.done_at;
-      installed := Some line;
+      Store.fill t.store_arr id ~addr ~payload:() ~now:grant.Port.done_at;
+      set_meta t id
+        (bits_of_perm grant.Port.perm lor (if grant.Port.l2_dirty then 0 else skip_bit));
+      blit_line t id grant.Port.data;
+      installed := id;
       if Trace.enabled () then
         Trace.emit ~at:grant.Port.done_at
           (Trace.Resource { comp = Lazy.force mshr_comp; idx; op = Trace.Res_free });
       grant.Port.done_at)
   in
-  match !installed with
-  | Some line -> line, finish
-  | None -> assert false
+  assert (!installed <> Store.miss);
+  !installed, finish
 
-let rec load t ~addr ~now =
+let rec load_word t ~addr ~now =
   match find_line t addr with
-  | Some slot ->
-    let line = Store.payload_exn slot in
+  | id when id <> Store.miss ->
     Stats.Counter.incr t.c_load_hits;
     l1_ev t ~at:now ~addr Trace.Load_hit;
-    Store.touch t.store_arr slot ~now;
-    line.data.(word_off t addr), now + t.p.Params.l1_load_to_use
-  | None -> (
+    Store.touch t.store_arr id ~now;
+    t.done_at <- now + t.p.Params.l1_load_to_use;
+    word t id (word_off t addr)
+  | _ -> (
     let base = line_base t addr in
     match Flush_unit.load_conflict t.flush ~addr:base ~now with
     | Flush_unit.Load_forward tb ->
       (* §5.3: the FSHR's filled data buffer is forwarded to the load. *)
       Stats.Registry.incr t.stats "load_forwards";
       l1_ev t ~at:now ~addr Trace.Load_forward;
-      Port.peek_word t.port addr, tb + t.p.Params.l1_load_to_use
+      t.done_at <- tb + t.p.Params.l1_load_to_use;
+      Port.peek_word t.port addr
     | Flush_unit.Load_wait tw ->
       Stats.Registry.incr t.stats "load_nacks";
       l1_ev t ~at:now ~addr Trace.Load_nack;
-      load t ~addr ~now:(tw + t.p.Params.nack_retry_delay)
+      load_word t ~addr ~now:(tw + t.p.Params.nack_retry_delay)
     | Flush_unit.Load_no_conflict ->
       Stats.Counter.incr t.c_load_misses;
       l1_ev t ~at:now ~addr Trace.Load_miss;
       let rid = Trace.req_start ~at:now ~cls:Trace.Cls_load_miss ~core:t.core ~addr in
-      let line, t_done = refill t ~addr ~grow:Perm.N_to_B ~now in
+      let id, t_done = refill t ~addr ~grow:Perm.N_to_B ~now in
       Trace.req_end ~at:t_done rid;
-      line.data.(word_off t addr), t_done + t.p.Params.l1_load_to_use)
+      t.done_at <- t_done + t.p.Params.l1_load_to_use;
+      word t id (word_off t addr))
+
+let load t ~addr ~now =
+  let v = load_word t ~addr ~now in
+  v, t.done_at
 
 (* Obtain a Trunk copy for a write-type access, honouring the §5.3 pending-
-   writeback conditions; returns the writable line and the cycle the write
-   may retire. *)
+   writeback conditions; returns the slot id and the cycle the write may
+   retire. *)
 let writable_line t ~addr ~now =
   let base = line_base t addr in
   let now =
@@ -182,49 +227,52 @@ let writable_line t ~addr ~now =
     | Some _ | None -> now
   in
   match find_line t addr with
-  | Some slot when Perm.includes (Store.payload_exn slot).perm Perm.Trunk ->
+  | id when id <> Store.miss && Perm.includes (line_perm t id) Perm.Trunk ->
     Stats.Counter.incr t.c_store_hits;
     l1_ev t ~at:now ~addr Trace.Store_hit;
-    Store.touch t.store_arr slot ~now;
-    Store.payload_exn slot, now + t.p.Params.l1_store_commit
-  | Some slot ->
+    Store.touch t.store_arr id ~now;
+    id, now + t.p.Params.l1_store_commit
+  | id when id <> Store.miss ->
     (* Branch → Trunk upgrade; data is re-granted (no AcquirePerm, §3.3). *)
     Stats.Registry.incr t.stats "store_upgrades";
     l1_ev t ~at:now ~addr Trace.Store_upgrade;
-    ignore slot;
     let rid = Trace.req_start ~at:now ~cls:Trace.Cls_store_miss ~core:t.core ~addr in
-    let line, t_done = refill t ~addr ~grow:Perm.B_to_T ~now in
+    let id, t_done = refill t ~addr ~grow:Perm.B_to_T ~now in
     Trace.req_end ~at:t_done rid;
-    line, t_done + t.p.Params.l1_store_commit
-  | None ->
+    id, t_done + t.p.Params.l1_store_commit
+  | _ ->
     Stats.Counter.incr t.c_store_misses;
     l1_ev t ~at:now ~addr Trace.Store_miss;
     let rid = Trace.req_start ~at:now ~cls:Trace.Cls_store_miss ~core:t.core ~addr in
-    let line, t_done = refill t ~addr ~grow:Perm.N_to_T ~now in
+    let id, t_done = refill t ~addr ~grow:Perm.N_to_T ~now in
     Trace.req_end ~at:t_done rid;
-    line, t_done + t.p.Params.l1_store_commit
+    id, t_done + t.p.Params.l1_store_commit
 
 let store t ~addr ~value ~now =
-  let line, t_done = writable_line t ~addr ~now in
-  line.data.(word_off t addr) <- value;
-  line.dirty <- true;
+  let id, t_done = writable_line t ~addr ~now in
+  set_word t id (word_off t addr) value;
+  set_dirty t id true;
   (* The architectural state change happens in program order at issue; the
      drain completion time is a background timing artefact (§3.2) and must
      not poison the §5.3 coalescing window. *)
   note_change t ~addr ~now;
   t_done
 
-let cas t ~addr ~expected ~desired ~now =
-  let line, t_done = writable_line t ~addr ~now in
-  let t_done = t_done + t.p.Params.cas_extra in
-  let current = line.data.(word_off t addr) in
-  if current = expected then begin
-    line.data.(word_off t addr) <- desired;
-    line.dirty <- true;
+let cas_word t ~addr ~expected ~desired ~now =
+  let id, t_done = writable_line t ~addr ~now in
+  t.done_at <- t_done + t.p.Params.cas_extra;
+  let off = word_off t addr in
+  if word t id off = expected then begin
+    set_word t id off desired;
+    set_dirty t id true;
     note_change t ~addr ~now;
-    true, t_done
+    true
   end
-  else false, t_done
+  else false
+
+let cas t ~addr ~expected ~desired ~now =
+  let ok = cas_word t ~addr ~expected ~desired ~now in
+  ok, t.done_at
 
 type cbo_result = {
   commit_at : int;
@@ -243,14 +291,10 @@ let cbo t ~addr ~kind ~now =
   (* The CBO.X travels the STQ like a store (§5.1) and reads the metadata
      array on arrival; the snapshot is carried in the flush request. *)
   let t_access = now + t.p.Params.cbo_issue_cost in
-  let slot = find_line t base in
-  let hit, dirty, skip =
-    match slot with
-    | Some s ->
-      let line = Store.payload_exn s in
-      true, line.dirty, line.skip
-    | None -> false, false, false
-  in
+  let id = find_line t base in
+  let hit = id <> Store.miss in
+  let dirty = hit && line_dirty t id in
+  let skip = hit && line_skip t id in
   if t.p.Params.skip_it && hit && (not dirty) && skip then begin
     (* §6.1 fast drop: the line is persisted; signal success to the LSU. *)
     Flush_unit.note_skip_drop t.flush;
@@ -259,19 +303,14 @@ let cbo t ~addr ~kind ~now =
     { commit_at = t_access; ack_at = t_access; dropped = `Skip_bit }
   end
   else begin
-    let line_data =
-      match slot with
-      | Some s when dirty -> Some (Array.copy (Store.payload_exn s).data)
-      | Some _ | None -> None
-    in
+    let line_data = if hit && dirty then Some (copy_line t id) else None in
     let apply_meta effect =
-      match slot, effect with
-      | Some s, Fshr_fsm.Invalidate_line -> Store.invalidate s
-      | Some s, Fshr_fsm.Clear_dirty ->
-        let line = Store.payload_exn s in
-        line.dirty <- false
-      | (Some _ | None), (Fshr_fsm.No_meta_change | Fshr_fsm.Invalidate_line | Fshr_fsm.Clear_dirty)
-        -> ()
+      if hit then begin
+        match effect with
+        | Fshr_fsm.Invalidate_line -> Store.invalidate t.store_arr id
+        | Fshr_fsm.Clear_dirty -> set_dirty t id false
+        | Fshr_fsm.No_meta_change -> ()
+      end
     in
     let send ~data ~now =
       (* The FSHR's beats are its own serialization; arbitrate them onto
@@ -287,11 +326,10 @@ let cbo t ~addr ~kind ~now =
     (* A completed CBO.CLEAN leaves the line persisted: its skip bit may be
        set (§6.2 — L2 wrote the data through to DRAM and cleared its dirty
        bit). *)
-    (match result, kind, slot with
-     | Flush_unit.Accepted _, Message.Wb_clean, Some s when hit ->
-       let line = Store.payload_exn s in
-       if Perm.compare line.perm Perm.Nothing > 0 then line.skip <- true
-     | (Flush_unit.Accepted _ | Flush_unit.Coalesced _), _, _ -> ());
+    (match result, kind with
+     | Flush_unit.Accepted _, Message.Wb_clean when hit ->
+       if Perm.compare (line_perm t id) Perm.Nothing > 0 then set_skip t id true
+     | (Flush_unit.Accepted _ | Flush_unit.Coalesced _), _ -> ());
     match result with
     | Flush_unit.Coalesced { commit_at; ack_at } ->
       l1_ev t ~at:commit_at ~addr:base Trace.Cbo_coalesced;
@@ -315,17 +353,17 @@ let cbo_inval t ~addr ~now =
   in
   let t0 = t0 + t.p.Params.l1_meta_access in
   (match find_line t base with
-   | Some slot -> Store.invalidate slot
-   | None -> ());
+   | id when id <> Store.miss -> Store.invalidate t.store_arr id
+   | _ -> ());
   note_change t ~addr:base ~now:t0;
   Port.root_inval t.port ~addr:base ~now:t0
 
 let cbo_zero t ~addr ~now =
   let base = line_base t addr in
   Stats.Registry.incr t.stats "cbo_zeros";
-  let line, t_done = writable_line t ~addr:base ~now in
-  Array.fill line.data 0 (Array.length line.data) 0;
-  line.dirty <- true;
+  let id, t_done = writable_line t ~addr:base ~now in
+  Array.fill t.data (id * t.wpl) t.wpl 0;
+  set_dirty t id true;
   note_change t ~addr:base ~now:t_done;
   t_done
 
@@ -338,23 +376,20 @@ let handle_probe t ~addr ~cap ~now =
   let t0 = Flush_unit.probe_block_until t.flush ~addr:base ~cap ~now in
   let meta = t.p.Params.l1_meta_access in
   match find_line t base with
-  | None ->
-    { Port.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
-  | Some slot ->
-    let line = Store.payload_exn slot in
-    if Perm.compare line.perm cap > 0 then begin
+  | id when id <> Store.miss ->
+    if Perm.compare (line_perm t id) cap > 0 then begin
       let dirty_data =
-        if line.dirty && Perm.compare cap Perm.Trunk < 0 then Some (Array.copy line.data)
+        if line_dirty t id && Perm.compare cap Perm.Trunk < 0 then Some (copy_line t id)
         else None
       in
       (match cap with
-       | Perm.Nothing -> Store.invalidate slot
+       | Perm.Nothing -> Store.invalidate t.store_arr id
        | Perm.Branch | Perm.Trunk ->
-         line.perm <- cap;
+         set_perm t id cap;
          if dirty_data <> None then begin
-           line.dirty <- false;
+           set_dirty t id false;
            (* The dirty data now lives (only) in the L2: not persisted. *)
-           line.skip <- false
+           set_skip t id false
          end);
       note_change t ~addr:base ~now:t0;
       let wire = if dirty_data = None then 1 else beats t in
@@ -362,19 +397,28 @@ let handle_probe t ~addr ~cap ~now =
       { Port.dirty_data; done_at = sent + t.p.Params.link_latency }
     end
     else { Port.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
+  | _ -> { Port.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }
 
 let peek_word t addr =
   match find_line t addr with
-  | Some slot -> (Store.payload_exn slot).data.(word_off t addr)
-  | None -> Port.peek_word t.port addr
+  | id when id <> Store.miss -> word t id (word_off t addr)
+  | _ -> Port.peek_word t.port addr
 
 let line_state t addr =
-  Option.map (fun slot -> Store.payload_exn slot) (find_line t addr)
+  match find_line t addr with
+  | id when id <> Store.miss ->
+    Some
+      {
+        perm = line_perm t id;
+        dirty = line_dirty t id;
+        skip = line_skip t id;
+        data = copy_line t id;
+      }
+  | _ -> None
 
 let held_lines t =
   let acc = ref [] in
-  Store.iter_valid t.store_arr (fun addr slot ->
-    acc := (addr, (Store.payload_exn slot).perm) :: !acc);
+  Store.iter_valid t.store_arr (fun addr id -> acc := (addr, line_perm t id) :: !acc);
   !acc
 
 let mshrs t = t.mshrs
@@ -391,17 +435,24 @@ let crash t =
 
 let create p ~core ~port =
   let stats = Stats.Registry.create () in
+  let store_arr =
+    let policy =
+      match p.Params.l1_replacement with
+      | `Lru -> Store.Lru
+      | `Random -> Store.Random (Skipit_sim.Rng.create ~seed:(0xCAFE + core))
+    in
+    Store.create ~policy p.Params.l1_geom
+  in
+  let slots = Store.slots store_arr in
+  let wpl = Geometry.words_per_line p.Params.l1_geom in
   let t =
     {
       p;
       core;
-      store_arr =
-        (let policy =
-           match p.Params.l1_replacement with
-           | `Lru -> Store.Lru
-           | `Random -> Store.Random (Skipit_sim.Rng.create ~seed:(0xCAFE + core))
-         in
-         Store.create ~policy p.Params.l1_geom);
+      store_arr;
+      meta = Bytes.make slots '\000';
+      data = Array.make (slots * wpl) 0;
+      wpl;
       mshrs = Resource.create ~count:p.Params.l1_mshrs (Printf.sprintf "l1-mshr-%d" core);
       wbu = Resource.create (Printf.sprintf "l1-wbu-%d" core);
       port;
@@ -413,6 +464,7 @@ let create p ~core ~port =
       c_store_hits = Stats.Registry.counter stats "store_hits";
       c_load_misses = Stats.Registry.counter stats "load_misses";
       c_store_misses = Stats.Registry.counter stats "store_misses";
+      done_at = 0;
     }
   in
   (* The cache is the client agent of its port: B-channel probes from the

@@ -28,6 +28,9 @@ type line = {
   mutable skip : bool;
   data : int array;
 }
+(** Snapshot of a line's state (see {!line_state}); the live state is kept
+    struct-of-arrays internally, so mutating a snapshot has no effect on
+    the cache. *)
 
 type t
 
@@ -44,14 +47,30 @@ val params : t -> Params.t
 val load : t -> addr:int -> now:int -> int * int
 (** [(value, done_at)].  Handles §5.3 interactions with pending writebacks:
     forwarding from a filled FSHR buffer, or nack-stall until the FSHR
-    completes. *)
+    completes.  Convenience wrapper over {!load_word}. *)
+
+val load_word : t -> addr:int -> now:int -> int
+(** Allocation-free {!load}: returns the value and parks the completion
+    time in the {!done_at} scratch slot.  An L1 hit performs zero
+    minor-heap allocation on this path — the property the bench's
+    [--profile] gate pins. *)
 
 val store : t -> addr:int -> value:int -> now:int -> int
 (** Completion time.  Applies the §5.3 store conditions against pending
     writebacks before proceeding. *)
 
 val cas : t -> addr:int -> expected:int -> desired:int -> now:int -> bool * int
-(** Atomic compare-and-swap (AMO); acquires write permission like a store. *)
+(** Atomic compare-and-swap (AMO); acquires write permission like a store.
+    Convenience wrapper over {!cas_word}. *)
+
+val cas_word : t -> addr:int -> expected:int -> desired:int -> now:int -> bool
+(** Allocation-free {!cas}: returns success and parks the completion time
+    in {!done_at}. *)
+
+val done_at : t -> int
+(** Completion cycle of the most recent {!load_word}/{!cas_word} on this
+    cache.  Only meaningful immediately after one of those calls (the
+    simulator is single-threaded per system, so there is no race). *)
 
 type cbo_result = {
   commit_at : int;  (** When the instruction leaves the STQ (committable). *)

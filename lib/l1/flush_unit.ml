@@ -17,6 +17,16 @@ type submit_result =
   | Coalesced of { commit_at : int; ack_at : int }
   | Accepted of pending
 
+(* Live pendings sit in an intrusive doubly-linked list in submission
+   order (oldest first, matching the order conflict queries expect), so
+   retirement is an O(1) unlink driven by the event wheel instead of the
+   v1 [List.filter] rescan on every query. *)
+type pnode = {
+  pend : pending;
+  mutable pprev : pnode option;
+  mutable pnext : pnode option;
+}
+
 type t = {
   p : Params.t;
   core : int;
@@ -24,9 +34,13 @@ type t = {
   (* Queue-slot back-pressure (§5.2): a request may enqueue only once the
      request [flush_queue_depth] positions earlier was dequeued. *)
   admission : Admission.t option;  (* None when depth = 0 (no buffering) *)
-  (* All requests whose ack is still outstanding, newest last.  Doubles as
-     the flush counter (§5.2) and the §5.3/§5.4 conflict-check structure. *)
-  mutable pendings : pending list;
+  (* All requests whose ack is still outstanding, oldest first.  Doubles as
+     the flush counter (§5.2) and the §5.3/§5.4 conflict-check structure;
+     the wheel retires each node when the clock passes its [ack_at]. *)
+  mutable phead : pnode option;
+  mutable ptail : pnode option;
+  mutable pcount : int;
+  wheel : pnode Event_wheel.t;
   book : Flush_queue.t;  (** Bookkeeping mirror of queued entries for tests. *)
   stats : Stats.Registry.t;
 }
@@ -40,7 +54,10 @@ let create p ~core =
       (if p.Params.flush_queue_depth > 0 then
          Some (Admission.create ~capacity:p.Params.flush_queue_depth)
        else None);
-    pendings = [];
+    phead = None;
+    ptail = None;
+    pcount = 0;
+    wheel = Event_wheel.create ();
     book =
       Flush_queue.create
         ~name:(Printf.sprintf "fu.%d.q" core)
@@ -51,12 +68,54 @@ let create p ~core =
 let stats t = t.stats
 let note_skip_drop t = Stats.Registry.incr t.stats "skip_dropped"
 
+let append_pending t pend =
+  let n = { pend; pprev = t.ptail; pnext = None } in
+  (match t.ptail with
+   | Some tail -> tail.pnext <- Some n
+   | None -> t.phead <- Some n);
+  t.ptail <- Some n;
+  t.pcount <- t.pcount + 1;
+  ignore (Event_wheel.insert t.wheel ~at:pend.ack_at n)
+
+let unlink_pending t n =
+  (match n.pprev with
+   | Some p -> p.pnext <- n.pnext
+   | None -> t.phead <- n.pnext);
+  (match n.pnext with
+   | Some nx -> nx.pprev <- n.pprev
+   | None -> t.ptail <- n.pprev);
+  n.pprev <- None;
+  n.pnext <- None;
+  t.pcount <- t.pcount - 1
+
+(* Allocation-free fold over the live pendings, oldest first. *)
+let fold_pendings t ~init f =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.pend) n.pnext
+  in
+  go init t.phead
+
+let exists_pending t f =
+  let rec go = function
+    | None -> false
+    | Some n -> f n.pend || go n.pnext
+  in
+  go t.phead
+
+let first_pending t f =
+  let rec go = function
+    | None -> None
+    | Some n -> if f n.pend then Some n.pend else go n.pnext
+  in
+  go t.phead
+
 (* Retire completed requests from the conflict structures. *)
 let prune t ~now =
-  t.pendings <- List.filter (fun p -> p.ack_at > now) t.pendings;
+  Event_wheel.advance t.wheel ~now (fun n -> unlink_pending t n);
   let rec drop_booked () =
     match Flush_queue.peek t.book with
-    | Some e when not (List.exists (fun p -> p.entry == e && p.alloc_at > now) t.pendings) ->
+    | Some e when not (exists_pending t (fun p -> p.entry == e && p.alloc_at > now)) ->
       ignore (Flush_queue.dequeue t.book);
       drop_booked ()
     | Some _ | None -> ()
@@ -65,7 +124,7 @@ let prune t ~now =
 
 let find_pending t ~addr ~now =
   prune t ~now;
-  List.find_opt (fun p -> p.entry.Flush_queue.addr = addr) t.pendings
+  first_pending t (fun p -> p.entry.Flush_queue.addr = addr)
 
 (* The §5.3 coalescing partner: a request of the same kind to the same
    line, still PENDING IN THE FLUSH QUEUE (not yet dequeued into an FSHR —
@@ -77,13 +136,11 @@ let find_pending t ~addr ~now =
    behaviour §5.2 describes. *)
 let find_coalescible t ~addr ~kind ~last_line_change ~now =
   prune t ~now;
-  List.find_opt
-    (fun p ->
-      p.entry.Flush_queue.addr = addr
-      && p.entry.Flush_queue.kind = kind
-      && p.alloc_at > now
-      && p.entry.Flush_queue.enq_at >= last_line_change)
-    t.pendings
+  first_pending t (fun p ->
+    p.entry.Flush_queue.addr = addr
+    && p.entry.Flush_queue.kind = kind
+    && p.alloc_at > now
+    && p.entry.Flush_queue.enq_at >= last_line_change)
 
 (* Fig. 7 FSM states as trace events ([Invalid] is not a resident state). *)
 let trace_state = function
@@ -167,7 +224,7 @@ let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
   (match t.admission with
    | Some a -> Admission.release a ~at:pending.alloc_at
    | None -> ());
-  t.pendings <- t.pendings @ [ pending ];
+  append_pending t pending;
   Accepted pending
 
 let submit t ~addr ~kind ~hit ~dirty ~line_data ~last_line_change ~now ~apply_meta ~send =
@@ -222,12 +279,10 @@ let store_proceed_at t ~addr ~now =
 
 let block_until t ~addr ~now =
   prune t ~now;
-  List.fold_left
-    (fun acc p ->
-      if p.entry.Flush_queue.addr = addr && p.alloc_at <= now && p.release_at > now then
-        max acc p.release_at
-      else acc)
-    now t.pendings
+  fold_pendings t ~init:now (fun acc p ->
+    if p.entry.Flush_queue.addr = addr && p.alloc_at <= now && p.release_at > now then
+      max acc p.release_at
+    else acc)
 
 let probe_block_until t ~addr ~cap ~now =
   Flush_queue.probe_invalidate t.book ~addr ~cap;
@@ -239,11 +294,11 @@ let evict_block_until t ~addr ~now =
 
 let fence_ready_at t ~now =
   prune t ~now;
-  List.fold_left (fun acc p -> max acc p.ack_at) now t.pendings
+  fold_pendings t ~init:now (fun acc p -> max acc p.ack_at)
 
 let outstanding t ~now =
   prune t ~now;
-  List.length t.pendings
+  t.pcount
 
 let fshrs t = t.fshrs
 let queue_occupants t = match t.admission with Some a -> Admission.occupants a | None -> 0
@@ -253,7 +308,10 @@ let crash t =
      structure must come back empty, or the next run on this system would
      inherit phantom back-pressure (leaked FSHR units, stale queue-departure
      times, booked entries that never drain). *)
-  t.pendings <- [];
+  t.phead <- None;
+  t.ptail <- None;
+  t.pcount <- 0;
+  Event_wheel.clear t.wheel;
   let rec drain () =
     match Flush_queue.dequeue t.book with Some _ -> drain () | None -> ()
   in

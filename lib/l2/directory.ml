@@ -23,6 +23,19 @@ let owners_above t level =
   done;
   !acc
 
+(* Allocation-free variant for the probe hot paths: write the owning cores
+   (ascending, optionally excluding one) into the caller's reusable buffer
+   and return the count.  [buf] must have at least [n_cores] room. *)
+let owners_into t level ~exclude buf =
+  let n = ref 0 in
+  for i = 0 to Array.length t.owners - 1 do
+    if i <> exclude && Perm.compare t.owners.(i) level > 0 then begin
+      buf.(!n) <- i;
+      incr n
+    end
+  done;
+  !n
+
 let has_owners t = owners_above t Perm.Nothing <> []
 
 let check_invariants t =

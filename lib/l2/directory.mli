@@ -24,6 +24,12 @@ val trunk_owner : t -> int option
 val owners_above : t -> Perm.t -> int list
 (** Clients holding strictly more than the given level. *)
 
+val owners_into : t -> Perm.t -> exclude:int -> int array -> int
+(** Allocation-free {!owners_above} for the probe hot paths: write the
+    owning cores (ascending order, skipping [exclude]; pass [-1] to skip
+    none) into the caller's reusable buffer and return the count.  The
+    buffer must hold at least [n_cores] entries. *)
+
 val has_owners : t -> bool
 
 val check_invariants : t -> (unit, string) result

@@ -28,6 +28,11 @@ type t = {
   (* One manager port per client core; B-channel probes route through the
      port to whatever client agent is connected on the other side. *)
   ports : Port.t option array;
+  (* Reusable scratch for [Directory.owners_into]: the probe fan-out paths
+     fill this instead of allocating an owner list per request.  Safe to
+     share because a system's requests are processed one at a time and
+     probe handling never re-enters the directory walk. *)
+  probe_buf : int array;
   stats : Stats.Registry.t;
 }
 
@@ -40,6 +45,7 @@ let create p ~backend =
     banks = Resource.Banked.create ~banks:p.Params.l2_banks "l2-banks";
     backend;
     ports = Array.make p.Params.n_cores None;
+    probe_buf = Array.make p.Params.n_cores 0;
     stats = Stats.Registry.create ();
   }
 
@@ -71,39 +77,42 @@ let probe_one t ~core ~addr ~cap ~now =
     Port.probe port ~addr ~cap ~now:(now + t.p.Params.link_latency)
   | None -> invalid_arg (Printf.sprintf "Inclusive_cache: no client port for core %d" core)
 
-(* Probe [cores] in parallel, capping each to [cap]; merge any dirty data
-   into the directory payload.  Returns the time the last ProbeAck lands. *)
-let probe_all t ~addr ~cap ~cores ~now dir =
-  List.fold_left
-    (fun t_done core ->
-      let prev = Directory.owner_perm dir core in
-      let r = probe_one t ~core ~addr ~cap ~now in
-      (match r.dirty_data with
-       | Some d ->
-         Array.blit d 0 dir.Directory.data 0 (Array.length d);
-         dir.Directory.dirty <- true
-       | None -> ());
-      let next = if Perm.compare prev cap > 0 then cap else prev in
-      Directory.set_owner dir core next;
-      max t_done r.done_at)
-    now cores
+(* Probe the first [n] cores of [t.probe_buf] in parallel, capping each to
+   [cap]; merge any dirty data into the directory payload.  Returns the
+   time the last ProbeAck lands. *)
+let probe_all t ~addr ~cap ~n ~now dir =
+  let t_done = ref now in
+  for i = 0 to n - 1 do
+    let core = t.probe_buf.(i) in
+    let prev = Directory.owner_perm dir core in
+    let r = probe_one t ~core ~addr ~cap ~now in
+    (match r.dirty_data with
+     | Some d ->
+       Array.blit d 0 dir.Directory.data 0 (Array.length d);
+       dir.Directory.dirty <- true
+     | None -> ());
+    let next = if Perm.compare prev cap > 0 then cap else prev in
+    Directory.set_owner dir core next;
+    if r.done_at > !t_done then t_done := r.done_at
+  done;
+  !t_done
 
 (* Evict a valid L2 victim: revoke every L1 copy (inclusion), then push dirty
    data to DRAM.  The DRAM write proceeds off the critical path; the returned
    time is when the slot is vacated. *)
-let evict_victim t slot ~now =
-  let vaddr = Store.slot_addr t.store slot in
-  let dir = Store.payload_exn slot in
+let evict_victim t id ~now =
+  let vaddr = Store.slot_addr t.store id in
+  let dir = Store.payload t.store id in
   Stats.Registry.incr t.stats "evictions";
   l2_ev ~at:now ~addr:vaddr L2_evict;
-  let owners = Directory.owners_above dir Perm.Nothing in
-  let t_probed = probe_all t ~addr:vaddr ~cap:Perm.Nothing ~cores:owners ~now dir in
+  let n = Directory.owners_into dir Perm.Nothing ~exclude:(-1) t.probe_buf in
+  let t_probed = probe_all t ~addr:vaddr ~cap:Perm.Nothing ~n ~now dir in
   if dir.Directory.dirty then begin
     Stats.Registry.incr t.stats "dram_writebacks";
     l2_ev ~at:t_probed ~addr:vaddr L2_writeback;
     ignore (Backend.write_line t.backend ~addr:vaddr ~data:dir.Directory.data ~now:t_probed)
   end;
-  Store.invalidate slot;
+  Store.invalidate t.store id;
   t_probed
 
 let acquire t ~core ~addr ~grow ~now =
@@ -122,31 +131,34 @@ let acquire t ~core ~addr ~grow ~now =
       in
       let tm = start + t.p.Params.l2_tag_access in
       match Store.find t.store addr with
-      | Some slot ->
+      | id when id <> Store.miss ->
         Stats.Registry.incr t.stats "hits";
         l2_ev ~at:start ~addr L2_hit;
-        let dir = Store.payload_exn slot in
-        let to_probe =
+        let dir = Store.payload t.store id in
+        let n_probe =
           match target with
-          | Perm.Trunk ->
-            List.filter (fun c -> c <> core) (Directory.owners_above dir Perm.Nothing)
+          | Perm.Trunk -> Directory.owners_into dir Perm.Nothing ~exclude:core t.probe_buf
           | Perm.Branch | Perm.Nothing ->
             (match Directory.trunk_owner dir with
-             | Some c when c <> core -> [ c ]
-             | Some _ | None -> [])
+             | Some c when c <> core ->
+               t.probe_buf.(0) <- c;
+               1
+             | Some _ | None -> 0)
         in
         let cap = match target with Perm.Trunk -> Perm.Nothing | _ -> Perm.Branch in
-        let tm = probe_all t ~addr ~cap ~cores:to_probe ~now:tm dir in
+        let tm = probe_all t ~addr ~cap ~n:n_probe ~now:tm dir in
         let tm = bank_access t ~addr ~now:tm in
         Directory.set_owner dir core target;
-        Store.touch t.store slot ~now:tm;
+        Store.touch t.store id ~now:tm;
         result := (dir.Directory.dirty, Array.copy dir.Directory.data);
         mshr_free ~at:tm
-      | None ->
+      | _ ->
         Stats.Registry.incr t.stats "misses";
         l2_ev ~at:start ~addr L2_miss;
         let victim = Store.victim t.store addr in
-        let t_evict = if victim.Store.valid then evict_victim t victim ~now:tm else tm in
+        let t_evict =
+          if Store.is_valid t.store victim then evict_victim t victim ~now:tm else tm
+        in
         let data, t_data, dirty_below = Backend.read_line t.backend ~addr ~now:tm in
         (* A dirty memory-side copy means the line is not persisted: the
            L2 copy inherits the dirty bit so grants carry GrantDataDirty
@@ -191,8 +203,8 @@ let release t ~core ~addr ~shrink ~data ~now =
     sink_c t ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
       match Store.find t.store addr with
-      | Some slot ->
-        let dir = Store.payload_exn slot in
+      | id when id <> Store.miss ->
+        let dir = Store.payload t.store id in
         let tm =
           match data with
           | Some d ->
@@ -203,9 +215,9 @@ let release t ~core ~addr ~shrink ~data ~now =
           | None -> tm
         in
         Directory.set_owner dir core (Perm.shrink_to shrink);
-        Store.touch t.store slot ~now:tm;
+        Store.touch t.store id ~now:tm;
         tm
-      | None ->
+      | _ ->
         (* Inclusion guarantees the line is present whenever a client can
            release it; reaching this is a coherence bug. *)
         invalid_arg (Printf.sprintf "Inclusive_cache.release: %#x not present" addr))
@@ -221,8 +233,8 @@ let root_release t ~core ~addr ~kind ~data ~now =
     sink_c t ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
       match Store.find t.store addr with
-      | Some slot ->
-        let dir = Store.payload_exn slot in
+      | id when id <> Store.miss ->
+        let dir = Store.payload t.store id in
         (* The RootRelease doubles as the requester's own permission report:
            a flush implies it invalidated its copy, a clean keeps it. *)
         (match kind with
@@ -237,18 +249,19 @@ let root_release t ~core ~addr ~kind ~data ~now =
             tb
           | None -> tm
         in
-        let to_probe, cap =
+        let n_probe, cap =
           match kind with
           | Message.Wb_flush ->
-            ( List.filter (fun c -> c <> core) (Directory.owners_above dir Perm.Nothing),
-              Perm.Nothing )
+            Directory.owners_into dir Perm.Nothing ~exclude:core t.probe_buf, Perm.Nothing
           | Message.Wb_clean ->
             ( (match Directory.trunk_owner dir with
-               | Some c when c <> core -> [ c ]
-               | Some _ | None -> []),
+               | Some c when c <> core ->
+                 t.probe_buf.(0) <- c;
+                 1
+               | Some _ | None -> 0),
               Perm.Branch )
         in
-        let tm = probe_all t ~addr ~cap ~cores:to_probe ~now:tm dir in
+        let tm = probe_all t ~addr ~cap ~n:n_probe ~now:tm dir in
         let tm =
           if dir.Directory.dirty || not t.p.Params.l2_trivial_skip then begin
             Stats.Registry.incr t.stats "dram_writebacks";
@@ -268,10 +281,10 @@ let root_release t ~core ~addr ~kind ~data ~now =
           end
         in
         (match kind with
-         | Message.Wb_flush -> Store.invalidate slot
-         | Message.Wb_clean -> Store.touch t.store slot ~now:tm);
+         | Message.Wb_flush -> Store.invalidate t.store id
+         | Message.Wb_clean -> Store.touch t.store id ~now:tm);
         tm
-      | None -> (
+      | _ -> (
         (* Not present in L2: by inclusion no L1 holds it either, so there is
            nothing to write back above — but a memory-side cache may still
            hold it dirty, and data carried by the request is pushed
@@ -297,19 +310,17 @@ let root_inval t ~core ~addr ~now =
     sink_c t ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
       match Store.find t.store addr with
-      | Some slot ->
-        let dir = Store.payload_exn slot in
+      | id when id <> Store.miss ->
+        let dir = Store.payload t.store id in
         Directory.set_owner dir core Perm.Nothing;
-        let others =
-          List.filter (fun c -> c <> core) (Directory.owners_above dir Perm.Nothing)
-        in
+        let n = Directory.owners_into dir Perm.Nothing ~exclude:core t.probe_buf in
         (* Probe and revoke; any dirty data handed back is discarded with
            the line (CBO.INVAL forfeits unwritten data by definition). *)
-        let tm = probe_all t ~addr ~cap:Perm.Nothing ~cores:others ~now:tm dir in
-        Store.invalidate slot;
+        let tm = probe_all t ~addr ~cap:Perm.Nothing ~n ~now:tm dir in
+        Store.invalidate t.store id;
         Backend.discard_line t.backend ~addr;
         tm
-      | None ->
+      | _ ->
         Backend.discard_line t.backend ~addr;
         tm)
   in
@@ -317,23 +328,23 @@ let root_inval t ~core ~addr ~now =
 
 let dir_dirty t addr =
   match Store.find t.store (line t addr) with
-  | Some slot -> (Store.payload_exn slot).Directory.dirty
-  | None -> false
+  | id when id <> Store.miss -> (Store.payload t.store id).Directory.dirty
+  | _ -> false
 
-let present t addr = Option.is_some (Store.find t.store (line t addr))
+let present t addr = Store.find t.store (line t addr) <> Store.miss
 
 let owner_perm t ~core ~addr =
   match Store.find t.store (line t addr) with
-  | Some slot -> Directory.owner_perm (Store.payload_exn slot) core
-  | None -> Perm.Nothing
+  | id when id <> Store.miss -> Directory.owner_perm (Store.payload t.store id) core
+  | _ -> Perm.Nothing
 
 let peek_word t addr =
   let base = line t addr in
   match Store.find t.store base with
-  | Some slot ->
-    let dir = Store.payload_exn slot in
+  | id when id <> Store.miss ->
+    let dir = Store.payload t.store id in
     dir.Directory.data.(Geometry.offset_word t.p.Params.l2_geom addr)
-  | None -> Backend.peek_word t.backend addr
+  | _ -> Backend.peek_word t.backend addr
 
 let check_inclusion t ~l1_lines =
   let violation = ref None in
@@ -342,11 +353,11 @@ let check_inclusion t ~l1_lines =
       (fun (addr, perm) ->
         if !violation = None then begin
           match Store.find t.store (line t addr) with
-          | None ->
+          | id when id = Store.miss ->
             violation :=
               Some (Printf.sprintf "core %d holds %#x but L2 does not" core addr)
-          | Some slot ->
-            let dir = Store.payload_exn slot in
+          | id ->
+            let dir = Store.payload t.store id in
             if not (Perm.equal (Directory.owner_perm dir core) perm) then
               violation :=
                 Some
@@ -358,7 +369,7 @@ let check_inclusion t ~l1_lines =
   done;
   match !violation with Some msg -> Error msg | None -> Ok ()
 
-let iter_lines t f = Store.iter_valid t.store (fun addr slot -> f addr (Store.payload_exn slot))
+let iter_lines t f = Store.iter_valid t.store (fun addr id -> f addr (Store.payload t.store id))
 
 let mshrs t = t.mshrs
 let list_buffer_occupants t = Admission.occupants t.list_buffer

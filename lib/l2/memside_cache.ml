@@ -44,17 +44,17 @@ let bank_wait t ~addr ~now =
    path) and return the free slot. *)
 let free_slot t ~addr ~now =
   let victim = Store.victim t.store addr in
-  if victim.Store.valid then begin
+  if Store.is_valid t.store victim then begin
     Stats.Registry.incr t.stats "evictions";
     mem_ev t ~at:now ~addr:(Store.slot_addr t.store victim) Trace.Mem_evict;
-    let vline = Store.payload_exn victim in
+    let vline = Store.payload t.store victim in
     if vline.dirty then begin
       Stats.Registry.incr t.stats "dram_writebacks";
       ignore
         (Backend.write_line t.below ~addr:(Store.slot_addr t.store victim) ~data:vline.data
            ~now)
     end;
-    Store.invalidate victim
+    Store.invalidate t.store victim
   end;
   victim
 
@@ -63,18 +63,18 @@ let read_line t ~addr ~now =
   touch_clock t now;
   let t0 = bank t ~addr ~now:(now + t.access_latency) in
   match Store.find t.store addr with
-  | Some slot ->
+  | id when id <> Store.miss ->
     Stats.Registry.incr t.stats "hits";
     mem_ev t ~at:t0 ~addr Trace.Mem_hit;
-    Store.touch t.store slot ~now;
-    let line = Store.payload_exn slot in
+    Store.touch t.store id ~now;
+    let line = Store.payload t.store id in
     Array.copy line.data, t0, line.dirty
-  | None ->
+  | _ ->
     Stats.Registry.incr t.stats "misses";
     mem_ev t ~at:t0 ~addr Trace.Mem_miss;
     let data, t_dram, _ = Backend.read_line t.below ~addr ~now:t0 in
-    let slot = free_slot t ~addr ~now:t0 in
-    Store.fill t.store slot ~addr ~payload:{ dirty = false; data = Array.copy data } ~now;
+    let id = free_slot t ~addr ~now:t0 in
+    Store.fill t.store id ~addr ~payload:{ dirty = false; data = Array.copy data } ~now;
     Array.copy data, t_dram, false
 
 let write_line t ~addr ~data ~now =
@@ -82,14 +82,14 @@ let write_line t ~addr ~data ~now =
   touch_clock t now;
   let t0 = bank t ~addr ~now:(now + t.access_latency) in
   (match Store.find t.store addr with
-   | Some slot ->
-     let line = Store.payload_exn slot in
+   | id when id <> Store.miss ->
+     let line = Store.payload t.store id in
      Array.blit data 0 line.data 0 (Array.length data);
      line.dirty <- true;
-     Store.touch t.store slot ~now
-   | None ->
-     let slot = free_slot t ~addr ~now:t0 in
-     Store.fill t.store slot ~addr ~payload:{ dirty = true; data = Array.copy data } ~now);
+     Store.touch t.store id ~now
+   | _ ->
+     let id = free_slot t ~addr ~now:t0 in
+     Store.fill t.store id ~addr ~payload:{ dirty = true; data = Array.copy data } ~now);
   t0
 
 let persist_line t ~addr ~data ~now =
@@ -100,40 +100,40 @@ let persist_line t ~addr ~data ~now =
   (* Update (or bypass) the cached copy, leaving it clean; durability comes
      from the write-through. *)
   (match Store.find t.store addr with
-   | Some slot ->
-     let line = Store.payload_exn slot in
+   | id when id <> Store.miss ->
+     let line = Store.payload t.store id in
      Array.blit data 0 line.data 0 (Array.length data);
      line.dirty <- false
-   | None -> ());
+   | _ -> ());
   Backend.persist_line t.below ~addr ~data ~now:t0
 
 let persist_if_dirty t ~addr ~now =
   let addr = line_base t addr in
   match Store.find t.store addr with
-  | Some slot when (Store.payload_exn slot).dirty ->
-    persist_line t ~addr ~data:(Store.payload_exn slot).data ~now
-  | Some _ | None -> now
+  | id when id <> Store.miss && (Store.payload t.store id).dirty ->
+    persist_line t ~addr ~data:(Store.payload t.store id).data ~now
+  | _ -> now
 
 let discard_line t ~addr =
   match Store.find t.store (line_base t addr) with
-  | Some slot -> Store.invalidate slot
-  | None -> ()
+  | id when id <> Store.miss -> Store.invalidate t.store id
+  | _ -> ()
 
 let peek_word t addr =
   match Store.find t.store (line_base t addr) with
-  | Some slot -> (Store.payload_exn slot).data.(Geometry.offset_word t.geom addr)
-  | None -> Backend.peek_word t.below addr
+  | id when id <> Store.miss -> (Store.payload t.store id).data.(Geometry.offset_word t.geom addr)
+  | _ -> Backend.peek_word t.below addr
 
-let present t addr = Store.find t.store (line_base t addr) <> None
+let present t addr = Store.find t.store (line_base t addr) <> Store.miss
 
 let dirty t addr =
   match Store.find t.store (line_base t addr) with
-  | Some slot -> (Store.payload_exn slot).dirty
-  | None -> false
+  | id when id <> Store.miss -> (Store.payload t.store id).dirty
+  | _ -> false
 
 let iter_lines t f =
-  Store.iter_valid t.store (fun addr slot ->
-    let line = Store.payload_exn slot in
+  Store.iter_valid t.store (fun addr id ->
+    let line = Store.payload t.store id in
     f addr ~dirty:line.dirty ~data:line.data)
 
 let crash t =

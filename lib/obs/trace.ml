@@ -221,11 +221,16 @@ type t = {
   mutable dropped : int;  (* records overwritten after wraparound *)
   mutable next_id : int;  (* request-id generator *)
   filter : string list;  (* track prefixes to keep; [] = keep all *)
+  reqs_only : bool;
+      (* Record only [Req_start]/[Req_end] spans: [enabled ()] reports
+         [false] so every detail emission site skips both the guard body
+         and the event allocation, while the latency histograms still see
+         exactly the spans they would under full tracing. *)
 }
 
 let default_capacity = 1 lsl 16
 
-let create ?(capacity = default_capacity) ?(filter = []) () =
+let create ?(capacity = default_capacity) ?(filter = []) ?(reqs_only = false) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
   {
     capacity;
@@ -235,6 +240,7 @@ let create ?(capacity = default_capacity) ?(filter = []) () =
     dropped = 0;
     next_id = 0;
     filter;
+    reqs_only;
   }
 
 let capacity t = t.capacity
@@ -275,10 +281,11 @@ let fold t init f = List.fold_left f init (records t)
    domain this behaves exactly like the previous single global sink. *)
 let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let enabled () = match Domain.DLS.get current with Some _ -> true | None -> false
+let enabled () =
+  match Domain.DLS.get current with Some t -> not t.reqs_only | None -> false
 
-let start ?capacity ?filter () =
-  let t = create ?capacity ?filter () in
+let start ?capacity ?filter ?reqs_only () =
+  let t = create ?capacity ?filter ?reqs_only () in
   Domain.DLS.set current (Some t);
   t
 

@@ -113,9 +113,13 @@ type t
 val default_capacity : int
 (** 65536 records. *)
 
-val create : ?capacity:int -> ?filter:string list -> unit -> t
+val create : ?capacity:int -> ?filter:string list -> ?reqs_only:bool -> unit -> t
 (** A detached buffer (not installed as the sink).  [filter] is a list of
-    track prefixes to keep; empty keeps everything. *)
+    track prefixes to keep; empty keeps everything.  With [reqs_only],
+    only {!req_start}/{!req_end} spans are recorded once installed:
+    {!enabled} reports [false], so detail emission sites skip event
+    construction entirely — the cheap tracing mode the bench harness uses
+    for its latency histograms. *)
 
 val capacity : t -> int
 
@@ -137,10 +141,11 @@ val add : t -> at:int -> event -> unit
 (** {1 The installed sink} *)
 
 val enabled : unit -> bool
-(** True while a sink is installed.  Emission sites must guard event
-    construction with this so the disabled path allocates nothing. *)
+(** True while a sink that records detail events is installed ([false] for
+    a [reqs_only] sink).  Emission sites must guard event construction
+    with this so the disabled path allocates nothing. *)
 
-val start : ?capacity:int -> ?filter:string list -> unit -> t
+val start : ?capacity:int -> ?filter:string list -> ?reqs_only:bool -> unit -> t
 (** Install a fresh sink (replacing any previous one) and return it. *)
 
 val stop : unit -> t option

@@ -1,13 +1,20 @@
-(** Fixed-size domain pool for independent simulation jobs.
+(** Work-stealing domain pool for independent simulation jobs.
 
     The experiment drivers (figures, ablations, data-structure benches, the
-    serving engine's load sweeps) are grids of {e independent} simulations:
-    every job builds its own [System.create], its own [Rng] and its own
-    stats, so no simulator state crosses a domain boundary.  Workers pull
-    thunks off a mutex-protected queue and write each result into a
-    dedicated slot of the caller's result array; {!map} returns results in
-    submission order, which is what makes every table, CSV and JSON artifact
-    byte-identical to a sequential run regardless of the pool width.
+    serving engine's load sweeps, the crash campaign) are grids of
+    {e independent} simulations: every job builds its own [System.create],
+    its own [Rng] and its own stats, so no simulator state crosses a domain
+    boundary.
+
+    Engine v2: a {!map} over n items is cut into index-range chunks (about
+    four per worker by default, tunable via {!run_chunked}), the chunks are
+    dealt into one Chase–Lev deque per worker before the batch is
+    published, and workers pop their own deque then steal from siblings
+    when they run dry.  Every item's result lands in its own slot of a
+    result array and {!map} returns the slots in submission order — which
+    is what makes every table, CSV and JSON artifact byte-identical to a
+    sequential run regardless of pool width, chunk size, or steal
+    interleaving.
 
     Determinism contract for jobs:
     - a job must not read or write any state shared with another job (the
@@ -30,24 +37,48 @@ val default_jobs : unit -> int
 (** The [--jobs 0] resolution: [$SKIPIT_JOBS] when set to a positive
     integer, otherwise one per core capped at 8. *)
 
-val create : ?jobs:int -> unit -> t
-(** [jobs] defaults to {!default_jobs}; must be at least 1.  Width 1 spawns
-    no domains. *)
+val create : ?jobs:int -> ?deque_cap:int -> ?oversubscribe:bool -> unit -> t
+(** [jobs] defaults to {!default_jobs}; must be at least 1.  [jobs] is a
+    {e maximum}: the pool clamps its width to the host's
+    [Domain.recommended_domain_count] — oversubscribing a CPU-bound pool
+    only multiplies GC stop-the-world rendezvous cost (a measured 4-5x
+    slowdown at [--jobs 4] on a single-core host), and the output is
+    byte-identical at any width so clamping never changes results.  Pass
+    [~oversubscribe:true] to force the requested width anyway (the steal
+    determinism and sweep byte-equality tests do, to get real multi-domain
+    interleavings on any host).  Width 1 spawns no domains.
+
+    [deque_cap] is a test knob: seed at most that many chunks into each
+    worker's deque and pile the rest into worker 0's, forcing the steal
+    path even on batches that would otherwise split evenly. *)
 
 val width : t -> int
+(** The effective width (after clamping). *)
 
 val shutdown : t -> unit
-(** Stop accepting work, drain the queue and join all worker domains. *)
+(** Stop accepting work and join all worker domains. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?deque_cap:int -> ?oversubscribe:bool -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Map over the pool; results come back in list order.  The first failing
-    job (by submission order) re-raises in the caller. *)
+    job (by submission order) re-raises in the caller.  Equivalent to
+    {!run_chunked} with the default chunk size. *)
+
+val run_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} with an explicit chunk size: items are dispatched to workers
+    [chunk] at a time, amortizing per-job dispatch cost over the chunk.
+    [chunk] defaults to [n / (4 * width)] (at least 1); pass [~chunk:1]
+    for maximal balancing of coarse, uneven jobs. *)
 
 val run_jobs : t -> (unit -> 'a) list -> 'a list
-(** Run ready-made thunks, results in submission order. *)
+(** Run ready-made thunks, results in submission order.  Dispatches with
+    [~chunk:1] — ready-made thunks are coarse enough that dispatch is
+    already amortized. *)
 
 val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} with an optional pool: [None] is the sequential engine. *)
+
+val run_chunked_opt : ?chunk:int -> t option -> ('a -> 'b) -> 'a list -> 'b list
+(** {!run_chunked} with an optional pool: [None] is the sequential engine. *)

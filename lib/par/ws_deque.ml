@@ -1,0 +1,67 @@
+(* Batch-filled Chase–Lev work-stealing deque.
+
+   The pool's submission protocol makes the classic deque radically simpler
+   without giving up its concurrency structure: the submitting domain fills
+   [items] *before* publishing the batch (publication happens under the
+   pool's mutex, which gives the necessary happens-before), and during the
+   batch the array is read-only.  What remains of Chase–Lev is exactly its
+   index protocol — the owner takes from the bottom end, thieves CAS the
+   top forward — with none of the dynamic-growth or ABA hazards, because
+   no push ever races with a take.
+
+   Owner pops run in the common case with one atomic store and one atomic
+   load; a CAS is only needed for the last element, where owner and thieves
+   can race.  Thieves always CAS.  All atomics are OCaml [Atomic], i.e.
+   sequentially consistent, which is stronger than the fences the original
+   algorithm needs. *)
+
+type 'a t = {
+  mutable items : 'a array;
+  (* [top] is the next index a thief would steal; [bottom] is one past the
+     next index the owner would pop.  The live window is [top, bottom). *)
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let create () = { items = [||]; top = Atomic.make 0; bottom = Atomic.make 0 }
+
+(* Refill for a new batch.  Must only be called while no worker is running
+   the deque (the pool publishes the batch after every refill, under its
+   lock). *)
+let fill t items =
+  t.items <- items;
+  Atomic.set t.top 0;
+  Atomic.set t.bottom (Array.length items)
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner take, bottom end. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b > tp then Some t.items.(b)
+  else if b = tp then begin
+    (* Last element: win it against any thief with the same CAS thieves
+       use, then reset the deque to canonical empty. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some t.items.(b) else None
+  end
+  else begin
+    Atomic.set t.bottom tp;
+    None
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+(* Thief take, top end.  [Retry] means a concurrent take won the CAS; the
+   deque may or may not still hold work. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then Empty
+  else begin
+    let x = t.items.(tp) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Stolen x else Retry
+  end

@@ -1,0 +1,30 @@
+(** Batch-filled Chase–Lev work-stealing deque.
+
+    The owner takes from the bottom end with {!pop}; other domains take
+    from the top end with {!steal}.  {!fill} replaces the whole contents
+    and must only run while no domain is taking (the pool refills between
+    batches, under its lock, so publication of the new batch provides the
+    happens-before edge).  During a batch the item array is read-only:
+    this removes the growth/ABA machinery of the classic algorithm while
+    keeping its owner/thief index protocol. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a array -> unit
+(** Replace the contents.  Caller must guarantee quiescence (no concurrent
+    {!pop}/{!steal}); the pool does this between batches. *)
+
+val size : 'a t -> int
+(** Instantaneous live count; advisory under concurrency. *)
+
+val pop : 'a t -> 'a option
+(** Owner take (bottom end).  At most one domain may call [pop] per deque
+    at a time. *)
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+val steal : 'a t -> 'a steal_result
+(** Thief take (top end); any domain may call it.  [Retry] means a
+    concurrent take won the race — the caller should re-examine. *)

@@ -254,4 +254,4 @@ let run ?(params = Params.boom_default) cfg ~rate =
   }
 
 let sweep ?params ?pool cfg ~rates =
-  Pool.map_opt pool (fun rate -> run ?params cfg ~rate) rates
+  Pool.run_chunked_opt ~chunk:1 pool (fun rate -> run ?params cfg ~rate) rates

@@ -1,0 +1,154 @@
+(* Calendar event wheel: O(1) insert/cancel, amortized-O(1) advance.
+
+   The simulator's retirement problem — "drop every pending thing whose
+   deadline has passed" — was previously solved by rescanning a list on
+   every query ([List.filter] per call in [Flush_unit.prune]).  The wheel
+   turns that into time-indexed buckets: an event due at cycle [c] sits in
+   bucket [c land mask]; advancing the clock visits each elapsed bucket
+   once and fires the events whose due time matches the visited cycle
+   (events a full rotation or more ahead stay put and are skipped until
+   their rotation comes around).
+
+   The clock only moves forward: [advance ~now] with [now] at or before
+   the high-water mark fires nothing from the buckets.  Simulator callers
+   do present non-monotone [now] values (a cross-core probe carries the
+   probing core's clock), and the contract that makes this correct is the
+   overdue lane: an insert whose due time is already at or behind the
+   high-water mark goes to a separate overdue list, which every [advance]
+   scans against its own [now] — so a late-inserted event still fires at
+   the first call whose [now] reaches it, exactly as a filter-based
+   structure would.
+
+   Firing order: bucketed events fire in nondecreasing due order (the
+   wheel steps cycle by cycle); events sharing a due cycle fire in
+   unspecified (but deterministic) order; overdue events fire before any
+   bucketed event of the same [advance] call.
+
+   Two shortcuts keep long idle gaps cheap: when no bucketed event is
+   pending the clock jumps straight to [now], and a monotone lower bound
+   on the earliest pending due time ([min_due]) lets the wheel skip the
+   provably empty prefix of a large jump. *)
+
+type state = Bucketed | Overdue | Done
+
+type 'a node = { value : 'a; due : int; mutable state : state }
+
+type 'a t = {
+  buckets : 'a node list array;
+  mask : int;
+  mutable time : int;  (* high-water mark: all bucketed events <= time fired *)
+  mutable live : int;  (* pending bucketed nodes *)
+  mutable min_due : int;  (* lower bound on earliest pending bucketed due *)
+  mutable overdue : 'a node list;  (* inserted with due <= time at the time *)
+}
+
+let default_slots = 256
+
+let create ?(slots = default_slots) () =
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Event_wheel.create: slots must be a positive power of two";
+  {
+    buckets = Array.make slots [];
+    mask = slots - 1;
+    time = -1;
+    live = 0;
+    min_due = max_int;
+    overdue = [];
+  }
+
+let time t = t.time
+let live t = t.live + List.length (List.filter (fun n -> n.state = Overdue) t.overdue)
+let is_pending n = n.state <> Done
+
+let insert t ~at v =
+  if at <= t.time then begin
+    let n = { value = v; due = at; state = Overdue } in
+    t.overdue <- n :: t.overdue;
+    n
+  end
+  else begin
+    let n = { value = v; due = at; state = Bucketed } in
+    let b = at land t.mask in
+    t.buckets.(b) <- n :: t.buckets.(b);
+    t.live <- t.live + 1;
+    if at < t.min_due then t.min_due <- at;
+    n
+  end
+
+(* Idempotent; fired nodes are already [Done].  A cancelled bucketed node
+   stays in its bucket and is dropped when the bucket is next visited. *)
+let cancel t n =
+  match n.state with
+  | Done -> ()
+  | Overdue -> n.state <- Done
+  | Bucketed ->
+    n.state <- Done;
+    t.live <- t.live - 1
+
+let fire n f =
+  n.state <- Done;
+  f n.value
+
+(* Visit bucket for cycle [c]: fire pending nodes due exactly [c], drop
+   dead ones, keep future rotations. *)
+let visit_bucket t ~c f =
+  let b = c land t.mask in
+  match t.buckets.(b) with
+  | [] -> ()
+  | nodes ->
+    let keep = ref [] in
+    List.iter
+      (fun n ->
+        match n.state with
+        | Done -> ()
+        | Overdue -> assert false
+        | Bucketed ->
+          if n.due = c then begin
+            t.live <- t.live - 1;
+            fire n f
+          end
+          else keep := n :: !keep)
+      nodes;
+    t.buckets.(b) <- !keep
+
+let advance t ~now f =
+  (* Overdue lane first: fires against this call's [now] even when the
+     high-water mark does not move. *)
+  (match t.overdue with
+   | [] -> ()
+   | nodes ->
+     let keep = ref [] in
+     List.iter
+       (fun n ->
+         match n.state with
+         | Done -> ()
+         | Bucketed -> assert false
+         | Overdue -> if n.due <= now then fire n f else keep := n :: !keep)
+       nodes;
+     t.overdue <- !keep);
+  (* The high-water mark itself is the cursor: [time < now] is the loop
+     guard, so a [now] of [max_int] (fence/audit sentinels) cannot
+     overflow a cycle counter past it. *)
+  while t.time < now do
+    if t.live = 0 then t.time <- now
+    else begin
+      let c = t.time + 1 in
+      if c < t.min_due then
+        (* Provably empty prefix: skip to the earliest possible due. *)
+        t.time <- min now (t.min_due - 1)
+      else begin
+        visit_bucket t ~c f;
+        (* Every event due at or before [c] has now fired, so the bound can
+           be re-armed past it — this is what keeps repeated long jumps
+           cheap after the early events drain. *)
+        if t.min_due <= c then t.min_due <- c + 1;
+        t.time <- c
+      end
+    end
+  done
+
+let clear t =
+  Array.fill t.buckets 0 (Array.length t.buckets) [];
+  t.live <- 0;
+  t.min_due <- max_int;
+  t.overdue <- []

@@ -1,0 +1,56 @@
+(** Calendar event wheel: O(1) insert/cancel, amortized-O(1) advance.
+
+    Time-indexed buckets for the simulator's retirement problem ("drop
+    every pending thing whose deadline has passed"), replacing per-query
+    list rescans.  An event due at cycle [c] lives in bucket
+    [c mod slots]; {!advance} visits each elapsed bucket once and fires
+    the events whose due cycle was reached.  Events more than a rotation
+    ahead wait in place for their rotation.
+
+    The clock is a high-water mark and only moves forward, but callers may
+    present non-monotone [now] values (a cross-core probe carries the
+    probing core's clock): an insert whose due time is already at or
+    behind the mark goes to an overdue lane that every {!advance} scans
+    against its own [now], so a late insert still fires at the first call
+    whose [now] reaches its due time — exactly the semantics of a
+    filter-based structure.
+
+    Firing order: overdue events first, then bucketed events in
+    nondecreasing due order; order within one due cycle is deterministic
+    but unspecified. *)
+
+type 'a t
+
+type 'a node
+(** Handle for {!cancel}; owned by the wheel that created it. *)
+
+val create : ?slots:int -> unit -> 'a t
+(** [slots] must be a positive power of two (default 256).  More slots
+    spread dense schedules thinner; fewer make long jumps revisit events
+    ahead of their rotation more often. *)
+
+val time : 'a t -> int
+(** The high-water mark: every bucketed event due at or before it has
+    fired.  [-1] on a fresh wheel. *)
+
+val insert : 'a t -> at:int -> 'a -> 'a node
+(** Schedule [v] to fire once the clock reaches [at] (due times at or
+    behind {!time} fire on the first {!advance} whose [now] reaches
+    them). *)
+
+val cancel : 'a t -> 'a node -> unit
+(** Remove a pending event; idempotent, O(1) (already-fired nodes are
+    untouched). *)
+
+val is_pending : 'a node -> bool
+(** [true] until the node fires or is cancelled. *)
+
+val advance : 'a t -> now:int -> ('a -> unit) -> unit
+(** Fire every pending event due at or before [now] and raise {!time} to
+    at least [now].  The callback must not touch the wheel. *)
+
+val live : 'a t -> int
+(** Pending events (diagnostic; O(overdue)). *)
+
+val clear : 'a t -> unit
+(** Drop every pending event (crash reset). *)

@@ -25,10 +25,43 @@ module Channels = struct
     }
 end
 
+(* Per-channel counter cache for the beat hot path.  The registry key
+   strings are built once at port creation, and each [Stats.Counter.t] is
+   bound on its first increment — never earlier, so a port that sees no
+   stalls reports no [*_stalls] key, exactly as with per-call
+   [Registry.add] lookups.  After binding, a beat costs two field reads
+   and an integer add: no string concat, no hashtable probe, no
+   allocation. *)
+type chan_stats = {
+  beats_name : string;
+  stalls_name : string;
+  waits_name : string;
+  tchan : Trace.chan;
+  mutable beats : Stats.Counter.t option;
+  mutable stalls : Stats.Counter.t option;
+  mutable waits : Stats.Counter.t option;
+}
+
+let chan_stats chan tchan =
+  {
+    beats_name = chan ^ "_beats";
+    stalls_name = chan ^ "_stalls";
+    waits_name = chan ^ "_wait_cycles";
+    tchan;
+    beats = None;
+    stalls = None;
+    waits = None;
+  }
+
 type t = {
   name : string;
   channels : Channels.t;
   stats : Stats.Registry.t;
+  cs_a : chan_stats;
+  cs_c : chan_stats;
+  cs_d : chan_stats;
+  mutable probes : Stats.Counter.t option;  (* b_probes, bound lazily *)
+  mutable probe_beats : Stats.Counter.t option;  (* b_beats, bound lazily *)
   mutable manager : manager option;
   mutable client : client option;
 }
@@ -37,7 +70,18 @@ let create ?channels ~name () =
   let channels =
     match channels with Some c -> c | None -> Channels.create ~name
   in
-  { name; channels; stats = Stats.Registry.create (); manager = None; client = None }
+  {
+    name;
+    channels;
+    stats = Stats.Registry.create ();
+    cs_a = chan_stats "a" Trace.Ch_a;
+    cs_c = chan_stats "c" Trace.Ch_c;
+    cs_d = chan_stats "d" Trace.Ch_d;
+    probes = None;
+    probe_beats = None;
+    manager = None;
+    client = None;
+  }
 
 let name t = t.name
 let stats t = t.stats
@@ -64,25 +108,39 @@ let client_exn t =
 (* Occupy one channel's wires for [beats] cycles starting no earlier than
    [now]; a sender that finds the channel busy queues (stall), exactly how
    structural hazards surface in hardware. *)
-let occupy t res chan tchan ~now ~beats =
+let occupy t res cs ~now ~beats =
   let start, finish = Resource.acquire res ~now ~busy:beats in
-  Stats.Registry.add t.stats (chan ^ "_beats") beats;
+  (match cs.beats with
+   | Some c -> Stats.Counter.add c beats
+   | None ->
+     let c = Stats.Registry.counter t.stats cs.beats_name in
+     cs.beats <- Some c;
+     Stats.Counter.add c beats);
   if Trace.enabled () then
-    Trace.emit ~at:start (Trace.Channel { port = t.name; chan = tchan; op = Trace.Beats beats });
+    Trace.emit ~at:start
+      (Trace.Channel { port = t.name; chan = cs.tchan; op = Trace.Beats beats });
   if start > now then begin
-    Stats.Registry.incr t.stats (chan ^ "_stalls");
-    Stats.Registry.add t.stats (chan ^ "_wait_cycles") (start - now);
+    (match cs.stalls with
+     | Some c -> Stats.Counter.incr c
+     | None ->
+       let c = Stats.Registry.counter t.stats cs.stalls_name in
+       cs.stalls <- Some c;
+       Stats.Counter.incr c);
+    (match cs.waits with
+     | Some c -> Stats.Counter.add c (start - now)
+     | None ->
+       let c = Stats.Registry.counter t.stats cs.waits_name in
+       cs.waits <- Some c;
+       Stats.Counter.add c (start - now));
     if Trace.enabled () then
       Trace.emit ~at:now
-        (Trace.Channel { port = t.name; chan = tchan; op = Trace.Stall (start - now) })
+        (Trace.Channel { port = t.name; chan = cs.tchan; op = Trace.Stall (start - now) })
   end;
   finish
 
-let send_a t ~now = occupy t t.channels.Channels.a "a" Trace.Ch_a ~now ~beats:1
-let send_c t ~finish ~beats =
-  occupy t t.channels.Channels.c "c" Trace.Ch_c ~now:(finish - beats) ~beats
-let recv_d t ~finish ~beats =
-  occupy t t.channels.Channels.d "d" Trace.Ch_d ~now:(finish - beats) ~beats
+let send_a t ~now = occupy t t.channels.Channels.a t.cs_a ~now ~beats:1
+let send_c t ~finish ~beats = occupy t t.channels.Channels.c t.cs_c ~now:(finish - beats) ~beats
+let recv_d t ~finish ~beats = occupy t t.channels.Channels.d t.cs_d ~now:(finish - beats) ~beats
 
 let trace_msg t ~op ~addr ~now =
   if Trace.enabled () then Trace.emit ~at:now (Trace.Message { port = t.name; op; addr })
@@ -110,8 +168,18 @@ let root_inval t ~addr ~now =
 let peek_word t addr = (manager_exn t).peek_word addr
 
 let probe t ~addr ~cap ~now =
-  Stats.Registry.incr t.stats "b_probes";
-  Stats.Registry.add t.stats "b_beats" 1;
+  (match t.probes with
+   | Some c -> Stats.Counter.incr c
+   | None ->
+     let c = Stats.Registry.counter t.stats "b_probes" in
+     t.probes <- Some c;
+     Stats.Counter.incr c);
+  (match t.probe_beats with
+   | Some c -> Stats.Counter.incr c
+   | None ->
+     let c = Stats.Registry.counter t.stats "b_beats" in
+     t.probe_beats <- Some c;
+     Stats.Counter.incr c);
   if Trace.enabled () then begin
     Trace.emit ~at:now (Trace.Message { port = t.name; op = Trace.Msg_probe; addr });
     Trace.emit ~at:now (Trace.Channel { port = t.name; chan = Trace.Ch_b; op = Trace.Beats 1 })

@@ -183,7 +183,7 @@ let update_sweep ?params ?pool ~kind ~mode ~updates w =
       default_specs
   in
   let ys =
-    Pool.map_opt pool
+    Pool.run_chunked_opt ~chunk:1 pool
       (fun (spec, pct) ->
         throughput ?params ~kind ~mode ~spec { w with update_pct = pct })
       cells
@@ -198,7 +198,7 @@ let update_sweep ?params ?pool ~kind ~mode ~updates w =
 
 let flit_table_sweep ?params ?pool ~kind ~mode ~slots w =
   let ys =
-    Pool.map_opt pool
+    Pool.run_chunked_opt ~chunk:1 pool
       (fun n -> throughput ?params ~kind ~mode ~spec:(Flit_hash n) w)
       slots
   in

@@ -163,7 +163,7 @@ let fig14 ?(quick = false) ?pool ppf =
       kinds
   in
   let values =
-    Pool.map_opt pool
+    Pool.run_chunked_opt ~chunk:1 pool
       (fun (kind, mode, spec) ->
         Ds_bench.throughput ~kind ~mode ~spec (workload_for kind w0))
       cells

@@ -140,6 +140,29 @@ let test_probe_blocked_by_fshr () =
   Alcotest.(check bool) "probe completion after release" true
     (probe.Skipit_l2.Inclusive_cache.done_at >= pending.Skipit_l1.Flush_unit.release_at)
 
+let test_l1_hit_zero_alloc () =
+  (* The bench --profile gate pins the L1 hit path at zero minor-heap words
+     per operation; this is the unit-level pin.  Driven through [load_word]
+     directly — the Thread effect layer would charge its continuation
+     captures to the measurement. *)
+  let _, dc, a = fresh () in
+  ignore (Dcache.load_word dc ~addr:a ~now:0) (* fill *);
+  let now = Dcache.done_at dc in
+  (* Warm-up binds the lazily-created stat counters before measuring. *)
+  for _ = 1 to 100 do
+    ignore (Dcache.load_word dc ~addr:a ~now)
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Dcache.load_word dc ~addr:a ~now)
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* Slack covers only the boxing of [before] itself; any per-hit
+     allocation would show up as >= 20k words. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "0 minor words across 10k L1 hits (saw %.0f)" allocated)
+    true (allocated < 64.)
+
 let test_held_lines_inclusion () =
   let sys, dc, a = fresh () in
   ignore (Dcache.load dc ~addr:a ~now:0);
@@ -162,5 +185,6 @@ let tests =
       Alcotest.test_case "store freed by clean fill" `Quick test_store_proceeds_after_clean_fill;
       Alcotest.test_case "probe handling" `Quick test_probe_handling;
       Alcotest.test_case "probe blocked by FSHR (§5.4.1)" `Quick test_probe_blocked_by_fshr;
+      Alcotest.test_case "L1 hit allocates zero minor words" `Quick test_l1_hit_zero_alloc;
       Alcotest.test_case "held lines" `Quick test_held_lines_inclusion;
     ] )

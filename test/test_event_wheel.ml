@@ -1,0 +1,174 @@
+(* The calendar event wheel against a naive sorted-list model.
+
+   The wheel's contract (see event_wheel.mli): an inserted entry fires via
+   [advance ~now] exactly once, as soon as the high-water mark of the nows
+   seen so far reaches its due cycle — including entries inserted with
+   [due <= now] after the wheel has already advanced past them (the
+   overdue lane), and entries cancelled before firing never fire.  Within
+   one [advance], same-cycle firing order is unspecified, so the oracle
+   comparison is on sorted (due, payload) multisets. *)
+
+module Wheel = Skipit_sim.Event_wheel
+
+(* Naive model: a list of (due, payload, cancelled ref); [advance ~now]
+   fires every non-cancelled entry with due <= high-water mark. *)
+type model = { mutable entries : (int * int * bool ref) list; mutable hw : int }
+
+let model_create () = { entries = []; hw = -1 }
+
+let model_insert m ~at payload =
+  let c = ref false in
+  m.entries <- (at, payload, c) :: m.entries;
+  c
+
+let model_advance m ~now =
+  if now > m.hw then m.hw <- now;
+  let fired, rest =
+    List.partition (fun (due, _, c) -> (not !c) && due <= m.hw) m.entries
+  in
+  m.entries <- List.filter (fun (_, _, c) -> not !c) rest;
+  List.map (fun (due, p, _) -> due, p) fired
+
+(* A random interleaving of inserts, cancels and advances. *)
+type op = Insert of int (* due offset, possibly behind now *) | Cancel of int | Advance of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun d -> Insert d) (int_range (-8) 40));
+        (1, map (fun i -> Cancel i) (int_range 0 30));
+        (2, map (fun d -> Advance d) (int_range 0 12));
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Insert d -> Printf.sprintf "I%d" d
+             | Cancel i -> Printf.sprintf "C%d" i
+             | Advance d -> Printf.sprintf "A%d" d)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 120) op_gen)
+
+let sorted l = List.sort compare l
+
+let run_script ~slots ops =
+  let w = Wheel.create ~slots () in
+  let m = model_create () in
+  let now = ref 0 in
+  let wheel_fired = ref [] in
+  let live_wheel = ref [] in
+  (* insertion-order ids *)
+  let live_model = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert d ->
+        let due = max 0 (!now + d) in
+        let payload = (due * 1000) + List.length !live_wheel in
+        let node = Wheel.insert w ~at:due payload in
+        let cancel = model_insert m ~at:due payload in
+        live_wheel := (node, payload) :: !live_wheel;
+        live_model := (cancel, payload) :: !live_model
+      | Cancel i ->
+        let n = List.length !live_wheel in
+        if n > 0 then begin
+          let j = i mod n in
+          let node, _ = List.nth !live_wheel j in
+          let cancel, _ = List.nth !live_model j in
+          Wheel.cancel w node;
+          cancel := true
+        end
+      | Advance d ->
+        (* [at] trails the task counter [now] by an accumulating d/3 slack,
+           so later inserts land both ahead of and behind the wheel's
+           high-water mark — the latter exercising the overdue lane. *)
+        let at = !now + d - (d / 3) in
+        now := max !now (!now + d);
+        Wheel.advance w ~now:at (fun p -> wheel_fired := p :: !wheel_fired);
+        let fired_model = model_advance m ~now:at in
+        let fired_wheel = !wheel_fired in
+        wheel_fired := [];
+        let fw = sorted (List.map (fun p -> p / 1000, p) fired_wheel) in
+        let fm = sorted fired_model in
+        if fw <> fm then ok := false)
+    ops;
+  (* Drain: everything still pending fires by max_int-ish horizon. *)
+  Wheel.advance w ~now:(1 lsl 30) (fun p -> wheel_fired := p :: !wheel_fired);
+  let fm = sorted (model_advance m ~now:(1 lsl 30)) in
+  let fw = sorted (List.map (fun p -> p / 1000, p) !wheel_fired) in
+  !ok && fw = fm
+
+let prop_wheel_matches_model =
+  QCheck.Test.make ~name:"event wheel matches sorted-list model" ~count:500 ops_arb
+    (fun ops -> run_script ~slots:8 ops)
+
+let prop_wheel_matches_model_wide =
+  QCheck.Test.make ~name:"event wheel matches model (256 slots)" ~count:200 ops_arb
+    (fun ops -> run_script ~slots:256 ops)
+
+(* Directed cases for the corners the qcheck script reaches rarely. *)
+
+let test_fire_once_and_order () =
+  let w = Wheel.create ~slots:4 () in
+  let fired = ref [] in
+  ignore (Wheel.insert w ~at:5 'a');
+  ignore (Wheel.insert w ~at:3 'b');
+  ignore (Wheel.insert w ~at:9 'c');
+  Wheel.advance w ~now:4 (fun c -> fired := c :: !fired);
+  Alcotest.(check (list char)) "due<=4" [ 'b' ] (List.rev !fired);
+  Wheel.advance w ~now:4 (fun c -> fired := c :: !fired);
+  Alcotest.(check (list char)) "no refire" [ 'b' ] (List.rev !fired);
+  Wheel.advance w ~now:100 (fun c -> fired := c :: !fired);
+  Alcotest.(check (list char)) "rest in due order" [ 'b'; 'a'; 'c' ] (List.rev !fired)
+
+let test_overdue_insert_fires () =
+  (* Insert behind the high-water mark: fires on the next advance even if
+     now does not move. *)
+  let w = Wheel.create ~slots:4 () in
+  Wheel.advance w ~now:50 (fun _ -> ());
+  ignore (Wheel.insert w ~at:10 `Late);
+  let fired = ref 0 in
+  Wheel.advance w ~now:50 (fun _ -> incr fired);
+  Alcotest.(check int) "overdue entry fired" 1 !fired
+
+let test_cancel_suppresses () =
+  let w = Wheel.create ~slots:4 () in
+  let n1 = Wheel.insert w ~at:7 1 in
+  let n2 = Wheel.insert w ~at:7 2 in
+  Wheel.cancel w n1;
+  Wheel.cancel w n1;
+  (* idempotent *)
+  let fired = ref [] in
+  Wheel.advance w ~now:7 (fun p -> fired := p :: !fired);
+  Alcotest.(check (list int)) "only live entry fired" [ 2 ] !fired;
+  ignore n2
+
+let test_distant_due_skips () =
+  (* A due far past the wheel's span exercises the min-due fast-forward
+     (the cursor must not walk 2^20 buckets one by one). *)
+  let w = Wheel.create ~slots:4 () in
+  ignore (Wheel.insert w ~at:(1 lsl 20) ());
+  let fired = ref 0 in
+  let t0 = Sys.time () in
+  Wheel.advance w ~now:((1 lsl 20) - 1) (fun () -> incr fired);
+  Alcotest.(check int) "not yet due" 0 !fired;
+  Wheel.advance w ~now:(1 lsl 20) (fun () -> incr fired);
+  Alcotest.(check int) "fires at its cycle" 1 !fired;
+  Alcotest.(check bool) "advance is O(live), not O(cycles)" true
+    (Sys.time () -. t0 < 0.5)
+
+let tests =
+  ( "event_wheel",
+    [
+      Alcotest.test_case "fires once, in due order" `Quick test_fire_once_and_order;
+      Alcotest.test_case "overdue insert fires" `Quick test_overdue_insert_fires;
+      Alcotest.test_case "cancel suppresses (idempotent)" `Quick test_cancel_suppresses;
+      Alcotest.test_case "distant due uses min-due skip" `Quick test_distant_due_skips;
+      QCheck_alcotest.to_alcotest prop_wheel_matches_model;
+      QCheck_alcotest.to_alcotest prop_wheel_matches_model_wide;
+    ] )

@@ -24,7 +24,7 @@ let render f =
 (* == Pool mechanics ===================================================== *)
 
 let test_map_order () =
-  Pool.with_pool ~jobs:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
     let xs = List.init 100 Fun.id in
     Alcotest.(check (list int))
       "results in submission order"
@@ -32,23 +32,23 @@ let test_map_order () =
       (Pool.map pool (fun x -> x * x) xs))
 
 let test_map_empty_and_width () =
-  Pool.with_pool ~jobs:3 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:3 (fun pool ->
     Alcotest.(check int) "width" 3 (Pool.width pool);
     Alcotest.(check (list int)) "empty" [] (Pool.map pool Fun.id []));
-  Pool.with_pool ~jobs:1 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:1 (fun pool ->
     Alcotest.(check (list int)) "width 1 runs inline" [ 1; 2 ] (Pool.map pool Fun.id [ 1; 2 ]))
 
 exception Boom of int
 
 let test_exception_propagates () =
-  Pool.with_pool ~jobs:2 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
     Alcotest.check_raises "job exception re-raised" (Boom 3) (fun () ->
       ignore (Pool.map pool (fun x -> if x = 3 then raise (Boom 3) else x) [ 1; 2; 3; 4 ])))
 
 let test_nested_map_runs_inline () =
   (* A job that maps on its own pool must not deadlock waiting for a worker
      slot it occupies itself. *)
-  Pool.with_pool ~jobs:2 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
     let r =
       Pool.map pool
         (fun x -> List.fold_left ( + ) 0 (Pool.map pool (fun y -> x * y) [ 1; 2; 3 ]))
@@ -59,7 +59,7 @@ let test_nested_map_runs_inline () =
 let test_pool_reuse () =
   (* The same pool serves several batches (the CLI reuses one pool across
      every figure of a run). *)
-  Pool.with_pool ~jobs:2 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
     for i = 1 to 5 do
       Alcotest.(check (list int))
         (Printf.sprintf "batch %d" i)
@@ -72,7 +72,7 @@ let test_pool_reuse () =
 let test_trace_sink_is_domain_local () =
   (* Jobs tracing on pool domains never touch the caller's sink. *)
   Alcotest.(check bool) "main sink off" false (Trace.enabled ());
-  Pool.with_pool ~jobs:2 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
     let lengths =
       Pool.map pool
         (fun i ->
@@ -90,12 +90,14 @@ let test_trace_sink_is_domain_local () =
 
 (* == Determinism of the experiment drivers ============================== *)
 
-let figure_output name ~jobs =
+let figure_output ?deque_cap name ~jobs =
   match Figures.by_name name with
   | None -> Alcotest.failf "unknown figure %s" name
   | Some f ->
     if jobs = 1 then render (fun ppf -> f ~quick:true ppf)
-    else Pool.with_pool ~jobs (fun pool -> render (fun ppf -> f ~quick:true ~pool ppf))
+    else
+      Pool.with_pool ~oversubscribe:true ?deque_cap ~jobs (fun pool ->
+        render (fun ppf -> f ~quick:true ~pool ppf))
 
 let test_figures_deterministic () =
   List.iter
@@ -109,12 +111,30 @@ let test_figures_deterministic () =
       Alcotest.(check bool) (name ^ " non-empty") true (String.length seq > 0))
     [ "scalar"; "fig9"; "fig13"; "fig15" ]
 
+let test_steal_path_deterministic () =
+  (* Byte-identical output across widths even when every worker's local
+     deque holds at most one chunk (~deque_cap:1), so nearly all work moves
+     by stealing from other domains — the reduction must reassemble results
+     in submission order no matter which domain ran which chunk. *)
+  List.iter
+    (fun name ->
+      let seq = figure_output name ~jobs:1 in
+      List.iter
+        (fun jobs ->
+          let par = figure_output ~deque_cap:1 name ~jobs in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s --jobs %d with forced steals byte-identical" name jobs)
+            true
+            (String.equal seq par))
+        [ 2; 8 ])
+    [ "fig9"; "fig13" ]
+
 let test_ablation_deterministic () =
   let section pool = render (fun ppf ->
     Series.pp_table ~x_name:"bytes" ppf (Ablation.skip_decomposition ?pool ()))
   in
   let seq = section None in
-  let par = Pool.with_pool ~jobs:4 (fun pool -> section (Some pool)) in
+  let par = Pool.with_pool ~oversubscribe:true ~jobs:4 (fun pool -> section (Some pool)) in
   Alcotest.(check bool) "skip decomposition identical under pool" true (String.equal seq par)
 
 let test_prepared_split () =
@@ -122,7 +142,7 @@ let test_prepared_split () =
      list back to its own reducer. *)
   let prep label xs = { Micro.jobs = List.map (fun x () -> x) xs; reduce = (fun ys -> label, ys) } in
   let r =
-    Pool.with_pool ~jobs:3 (fun pool ->
+    Pool.with_pool ~oversubscribe:true ~jobs:3 (fun pool ->
       Micro.run_prepared ~pool [ prep "a" [ 1.; 2. ]; prep "b" [ 3. ]; prep "c" [] ])
   in
   Alcotest.(check (list (pair string (list (float 0.)))))
@@ -141,7 +161,7 @@ let test_golden_cycles_under_pool () =
       cycles
   in
   let cycles =
-    Pool.with_pool ~jobs:3 (fun pool ->
+    Pool.with_pool ~oversubscribe:true ~jobs:3 (fun pool ->
       Pool.map pool run [ "producer_consumer"; "redundant_flush"; "fig5_semantics" ])
   in
   Alcotest.(check (list int)) "golden cycles 915/1120/127 under the pool"
@@ -157,6 +177,7 @@ let tests =
       Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
       Alcotest.test_case "trace sink is domain-local" `Quick test_trace_sink_is_domain_local;
       Alcotest.test_case "figures byte-identical at any width" `Slow test_figures_deterministic;
+      Alcotest.test_case "steal path byte-identical (deque_cap 1)" `Slow test_steal_path_deterministic;
       Alcotest.test_case "ablation byte-identical under pool" `Slow test_ablation_deterministic;
       Alcotest.test_case "run_prepared slices results" `Quick test_prepared_split;
       Alcotest.test_case "golden cycles under the pool" `Quick test_golden_cycles_under_pool;

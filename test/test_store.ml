@@ -9,13 +9,13 @@ let addr_for ~set ~tag = Geometry.addr_of tiny ~tag ~index:set
 let test_miss_then_hit () =
   let s = Store.create tiny in
   let a = addr_for ~set:1 ~tag:5 in
-  Alcotest.(check bool) "initially miss" true (Store.find s a = None);
-  let slot = Store.victim s a in
-  Store.fill s slot ~addr:a ~payload:"x" ~now:0;
-  (match Store.find s a with
-   | Some slot -> Alcotest.(check string) "payload" "x" (Store.payload_exn slot)
-   | None -> Alcotest.fail "expected hit");
-  Alcotest.(check int) "slot addr" a (Store.slot_addr s slot)
+  Alcotest.(check bool) "initially miss" true (Store.find s a = Store.miss);
+  let id = Store.victim s a in
+  Store.fill s id ~addr:a ~payload:"x" ~now:0;
+  let found = Store.find s a in
+  Alcotest.(check bool) "hit" true (found <> Store.miss);
+  Alcotest.(check string) "payload" "x" (Store.payload s found);
+  Alcotest.(check int) "slot addr" a (Store.slot_addr s id)
 
 let test_lru_victim () =
   let s = Store.create tiny in
@@ -23,7 +23,7 @@ let test_lru_victim () =
   Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
   Store.fill s (Store.victim s b) ~addr:b ~payload:"b" ~now:1;
   (* Touch [a] so [b] becomes LRU. *)
-  (match Store.find s a with Some slot -> Store.touch s slot ~now:5 | None -> assert false);
+  Store.touch s (Store.find s a) ~now:5;
   let c = addr_for ~set:0 ~tag:3 in
   let victim = Store.victim s c in
   Alcotest.(check int) "victim is LRU (b)" b (Store.slot_addr s victim)
@@ -34,14 +34,14 @@ let test_invalid_way_preferred () =
   Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
   let b = addr_for ~set:2 ~tag:2 in
   let v = Store.victim s b in
-  Alcotest.(check bool) "free way chosen before eviction" false v.Store.valid
+  Alcotest.(check bool) "free way chosen before eviction" false (Store.is_valid s v)
 
 let test_invalidate () =
   let s = Store.create tiny in
   let a = addr_for ~set:3 ~tag:7 in
   Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
-  (match Store.find s a with Some slot -> Store.invalidate slot | None -> assert false);
-  Alcotest.(check bool) "gone" true (Store.find s a = None);
+  Store.invalidate s (Store.find s a);
+  Alcotest.(check bool) "gone" true (Store.find s a = Store.miss);
   Alcotest.(check int) "count" 0 (Store.count_valid s)
 
 let test_iter_and_invalidate_all () =
@@ -61,7 +61,7 @@ let test_tag_aliasing () =
   let s = Store.create tiny in
   let a = addr_for ~set:1 ~tag:1 and b = addr_for ~set:1 ~tag:2 in
   Store.fill s (Store.victim s a) ~addr:a ~payload:"a" ~now:0;
-  Alcotest.(check bool) "b still misses" true (Store.find s b = None)
+  Alcotest.(check bool) "b still misses" true (Store.find s b = Store.miss)
 
 let test_random_replacement () =
   let rng = Skipit_sim.Rng.create ~seed:9 in
@@ -77,17 +77,23 @@ let test_random_replacement () =
   done;
   Alcotest.(check bool) "both ways eventually chosen" true (Hashtbl.length seen = 2)
 
+let test_payload_of_invalid_raises () =
+  let s = Store.create tiny in
+  let a = addr_for ~set:0 ~tag:1 in
+  let id = Store.victim s a in
+  Alcotest.check_raises "payload of invalid slot" (Invalid_argument "Store.payload: invalid slot")
+    (fun () -> ignore (Store.payload s id))
+
 let prop_fill_find =
   QCheck.Test.make ~name:"fill then find returns the slot" ~count:300
     QCheck.(int_range 0 0xFFFF)
   @@ fun line_no ->
   let s = Store.create tiny in
   let addr = line_no * 64 in
-  let slot = Store.victim s addr in
-  Store.fill s slot ~addr ~payload:line_no ~now:0;
-  match Store.find s addr with
-  | Some found -> Store.payload_exn found = line_no && Store.slot_addr s found = addr
-  | None -> false
+  let id = Store.victim s addr in
+  Store.fill s id ~addr ~payload:line_no ~now:0;
+  let found = Store.find s addr in
+  found <> Store.miss && Store.payload s found = line_no && Store.slot_addr s found = addr
 
 let tests =
   ( "store",
@@ -99,5 +105,6 @@ let tests =
       Alcotest.test_case "iter + invalidate_all" `Quick test_iter_and_invalidate_all;
       Alcotest.test_case "tag aliasing" `Quick test_tag_aliasing;
       Alcotest.test_case "random replacement" `Quick test_random_replacement;
+      Alcotest.test_case "payload of invalid raises" `Quick test_payload_of_invalid_raises;
       QCheck_alcotest.to_alcotest prop_fill_find;
     ] )

@@ -1,14 +1,22 @@
 (* Perf-regression gate over BENCH_results.json.
 
-   Usage: bench_gate BASELINE FRESH [REPORT]
+   Usage: bench_gate [--min-speedup X] [--max-serial-regress Y] BASELINE FRESH [REPORT]
 
    Compares the committed baseline against a freshly generated file.  Every
    simulated quantity — per-workload cycles, checksums, latency summaries
    and the stats counters — is deterministic by construction, so the gate
    demands exact equality for them.  Host-dependent fields (wall_ms,
-   wall_ms_serial, speedup_vs_serial, jobs) are ignored except for a very
-   generous sanity bound on per-workload wall_ms (10x either way, floored
-   at 1 ms, catches only pathological blowups, never scheduler noise).
+   wall_ms_serial, jobs) are ignored except for a very generous sanity
+   bound on per-workload wall_ms (10x either way, floored at 1 ms, catches
+   only pathological blowups, never scheduler noise).
+
+   Two optional hard perf gates (the execution-engine-v2 contract):
+
+   - [--min-speedup X]: fail unless the fresh file's "speedup_vs_serial"
+     (pinned-baseline serial wall over this run's wall, computed by the
+     bench) is at least X.
+   - [--max-serial-regress Y]: fail if the fresh "wall_ms_workloads"
+     exceeds the baseline file's by more than the fraction Y (0.20 = 20%).
 
    Writes a human-readable diff report to REPORT (default
    bench_gate_report.txt) and exits 1 when any gated field drifts, so CI
@@ -215,14 +223,35 @@ let read_file path =
   close_in ic;
   s
 
+let usage () =
+  prerr_endline
+    "usage: bench_gate [--min-speedup X] [--max-serial-regress Y] BASELINE FRESH [REPORT]";
+  exit 2
+
 let () =
+  let min_speedup = ref None and max_serial_regress = ref None in
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--min-speedup" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> min_speedup := Some f; parse_args rest
+      | None -> usage ())
+    | "--max-serial-regress" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> max_serial_regress := Some f; parse_args rest
+      | None -> usage ())
+    | a :: rest ->
+      if String.length a > 1 && a.[0] = '-' then usage ();
+      positional := a :: !positional;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
   let baseline_path, fresh_path, report_path =
-    match Array.to_list Sys.argv with
-    | [ _; b; f ] -> b, f, "bench_gate_report.txt"
-    | [ _; b; f; r ] -> b, f, r
-    | _ ->
-      prerr_endline "usage: bench_gate BASELINE FRESH [REPORT]";
-      exit 2
+    match List.rev !positional with
+    | [ b; f ] -> b, f, "bench_gate_report.txt"
+    | [ b; f; r ] -> b, f, r
+    | _ -> usage ()
   in
   let load path =
     try parse (read_file path) with
@@ -246,6 +275,30 @@ let () =
       if not (List.mem_assoc name bws) then
         drift "workload %s appeared in fresh run, absent from baseline" name)
     fws;
+  (match !min_speedup with
+   | None -> ()
+   | Some floor -> (
+     match Option.bind (member "speedup_vs_serial" fresh) to_num with
+     | None -> drift "speedup gate: fresh run has no speedup_vs_serial field"
+     | Some s ->
+       if s < floor then
+         drift "speedup gate: speedup_vs_serial %.2f below required %.2f" s floor
+       else note "speedup gate: speedup_vs_serial %.2f >= %.2f" s floor));
+  (match !max_serial_regress with
+   | None -> ()
+   | Some frac -> (
+     match
+       ( Option.bind (member "wall_ms_workloads" base) to_num,
+         Option.bind (member "wall_ms_workloads" fresh) to_num )
+     with
+     | Some b, Some f when b > 0. ->
+       let limit = b *. (1. +. frac) in
+       if f > limit then
+         drift
+           "serial-regress gate: wall_ms_workloads %.2f exceeds baseline %.2f by more             than %.0f%% (limit %.2f)"
+           f b (frac *. 100.) limit
+       else note "serial-regress gate: wall_ms_workloads %.2f within %.0f%% of %.2f" f (frac *. 100.) b
+     | _ -> drift "serial-regress gate: wall_ms_workloads missing from baseline or fresh"));
   let drifts = List.rev !drifts and notes = List.rev !notes in
   let oc = open_out report_path in
   Printf.fprintf oc "bench_gate: %s vs %s\n" baseline_path fresh_path;
