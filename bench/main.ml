@@ -206,6 +206,8 @@ type workload_result = {
   cycles : int;
   checksums : int array;
   latency : (string * Latency.summary) list;
+  attribution : (string * int) list;
+      (* per-stage critical-path cycles; non-empty only for serve points *)
   stats : (string * int) list;
   mutable wall_ms : float;
   mutable gc : gc_delta option;
@@ -248,6 +250,7 @@ let run_trace_workload name ~skip_it =
            cycles;
            checksums;
            latency;
+           attribution = [];
            stats = S.stats_report sys;
            wall_ms = 0.;
            gc = None;
@@ -280,6 +283,7 @@ let run_scaling_workload ~skip_it =
     cycles;
     checksums = [||];
     latency;
+    attribution = [];
     stats = S.stats_report sys;
     wall_ms = 0.;
     gc = None;
@@ -291,13 +295,16 @@ let run_scaling_workload ~skip_it =
    group-commit win (higher achieved throughput, lower tail at rate 16+). *)
 let run_serve_workload ~batch ~rate =
   let module Engine = Skipit_serve.Engine in
-  let cfg = { Engine.default with Engine.requests = 600; batch } in
+  let cfg = { Engine.default with Engine.requests = 600; batch; telemetry = true } in
   let point, latency = with_latency (fun () -> Engine.run cfg ~rate) in
   {
     w_name = Printf.sprintf "serve_hash_r%.0f_b%d" rate batch;
     cycles = point.Engine.elapsed;
     checksums = [| point.Engine.served; point.Engine.shed |];
     latency;
+    (* The per-stage breakdown lands in the JSON so the perf gate pins
+       where the cycles go, not just how many there are. *)
+    attribution = point.Engine.attribution;
     stats =
       [
         "served", point.Engine.served;
@@ -309,6 +316,8 @@ let run_serve_workload ~batch ~rate =
         "fences", point.Engine.fences;
         ( "achieved_milli",
           int_of_float (Float.round (point.Engine.achieved *. 1000.)) );
+        "attr_trimmed", point.Engine.attr_trimmed;
+        "attr_conserved", (if point.Engine.attr_conserved then 1 else 0);
       ];
     wall_ms = 0.;
     gc = None;
@@ -383,10 +392,18 @@ let json_of_results ~timing results =
           Buffer.add_string buf
             (Printf.sprintf
                "\"%s\": {\"count\": %d, \"mean\": %.2f, \"p50\": %.1f, \"p95\": %.1f, \
-                \"p99\": %.1f, \"max\": %.1f}"
+                \"p99\": %.1f, \"p999\": %.1f, \"max\": %.1f}"
                cls s.Latency.count s.Latency.mean s.Latency.p50 s.Latency.p95
-               s.Latency.p99 s.Latency.max))
+               s.Latency.p99 s.Latency.p999 s.Latency.max))
         r.latency;
+      if r.attribution <> [] then begin
+        Buffer.add_string buf "},\n      \"attribution\": {";
+        List.iteri
+          (fun j (stage, c) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "\"%s\": %d" stage c))
+          r.attribution
+      end;
       (match r.gc with
        | Some g ->
          Buffer.add_string buf

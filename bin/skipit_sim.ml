@@ -60,15 +60,20 @@ let parse_filter = function
     in
     match parts with [] -> None | l -> Some l)
 
-(* Trace [f], then export the Perfetto JSON and print the latency table. *)
+(* Trace [f], then export the Perfetto JSON and print the latency table.
+   The ring-buffer accounting prints as a stats-style group so overflow is
+   visible in `stats`-flavoured output, not just the export warning. *)
 let run_traced ?capacity ~out ~filter f =
   let tr = Trace.start ?capacity ?filter:(parse_filter filter) () in
   Fun.protect ~finally:(fun () -> ignore (Trace.stop ())) f;
   Perfetto.write_file out tr;
   with_ppf (fun ppf -> Latency.pp ppf (Latency.of_trace tr));
+  Printf.printf "\n[trace]\n  %-26s %d\n  %-26s %d\n  %-26s %d\n" "events"
+    (Trace.length tr) "capacity" (Trace.capacity tr) "dropped" (Trace.dropped tr);
   if Trace.dropped tr > 0 then
     Printf.printf
-      "trace: %d event(s) dropped after the ring filled; narrow --trace-filter\n"
+      "trace: %d event(s) dropped after the ring filled; narrow --trace-filter or \
+       raise --trace-capacity\n"
       (Trace.dropped tr);
   Printf.printf "trace: wrote %s (%d events, %d tracks)\n" out (Trace.length tr)
     (List.length (Perfetto.tracks tr))
@@ -512,8 +517,22 @@ let serve_cmd =
   let seed = Arg.(value & opt int Engine.default.Engine.seed & info [ "seed" ] ~doc:"Workload seed.") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of a table.") in
+  let telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Record per-stage cycle attribution and windowed metrics \
+                 during every run and write the telemetry JSON to FILE \
+                 ('-' for stdout).  Simulated cycles are bit-identical with \
+                 this on or off, and the document is byte-identical at any \
+                 --jobs width.")
+  in
+  let window =
+    Arg.(value & opt int Engine.default.Engine.window
+         & info [ "window" ] ~docv:"CYCLES"
+           ~doc:"Metrics window width in simulated cycles.")
+  in
   let run structure mode strategy arrival rates quick batch depth clients requests cores
-      update seed csv json jobs =
+      update seed csv json telemetry window jobs =
     let cfg =
       {
         Engine.default with
@@ -528,6 +547,8 @@ let serve_cmd =
         cores;
         update_pct = update;
         seed;
+        telemetry = telemetry <> None;
+        window;
       }
     in
     (match Engine.validate cfg with
@@ -544,7 +565,16 @@ let serve_cmd =
         else begin
           Report.pp_config ppf cfg;
           Report.pp_table ppf points
-        end)
+        end);
+    match telemetry with
+    | None -> ()
+    | Some "-" -> print_string (Report.telemetry_json cfg points)
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Report.telemetry_json cfg points);
+      close_out oc;
+      Printf.printf "telemetry: wrote %s (%d point%s)\n" file (List.length points)
+        (if List.length points = 1 then "" else "s")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -552,7 +582,167 @@ let serve_cmd =
              structure with group-committed persists, bounded admission and \
              load shedding; prints the throughput-latency sweep")
     Term.(const run $ structure $ mode $ strategy $ arrival $ rates $ quick $ batch
-          $ depth $ clients $ requests $ cores $ update $ seed $ csv $ json $ jobs_arg)
+          $ depth $ clients $ requests $ cores $ update $ seed $ csv $ json $ telemetry
+          $ window $ jobs_arg)
+
+let telemetry_cmd =
+  let module Engine = Skipit_serve.Engine in
+  let module Report = Skipit_serve.Report in
+  let module Metrics = Skipit_obs.Metrics in
+  let rate =
+    Arg.(value & opt float 16.
+         & info [ "rate" ] ~docv:"R" ~doc:"Offered load in operations per 1000 cycles.")
+  in
+  let requests =
+    Arg.(value & opt int Engine.default.Engine.requests
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve.")
+  in
+  let batch =
+    Arg.(value & opt int Engine.default.Engine.batch
+         & info [ "batch" ] ~docv:"N" ~doc:"Group-commit epoch size.")
+  in
+  let depth =
+    Arg.(value & opt int Engine.default.Engine.depth
+         & info [ "depth" ] ~docv:"N" ~doc:"Waiting-room capacity.")
+  in
+  let clients =
+    Arg.(value & opt int Engine.default.Engine.clients
+         & info [ "clients" ] ~docv:"N" ~doc:"Independent open-loop sessions.")
+  in
+  let cores =
+    Arg.(value & opt int Engine.default.Engine.cores
+         & info [ "cores" ] ~docv:"N" ~doc:"Serving cores.")
+  in
+  let update =
+    Arg.(value & opt int Engine.default.Engine.update_pct
+         & info [ "update" ] ~docv:"PCT" ~doc:"Update percentage.")
+  in
+  let seed =
+    Arg.(value & opt int Engine.default.Engine.seed & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let window =
+    Arg.(value & opt int Engine.default.Engine.window
+         & info [ "window" ] ~docv:"CYCLES" ~doc:"Metrics window width in simulated cycles.")
+  in
+  let out_json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the full telemetry document (latency, attribution, metrics) \
+                 as JSON ('-' for stdout).")
+  in
+  let out_prom =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE"
+           ~doc:"Write the metrics registry as Prometheus-style text ('-' for stdout).")
+  in
+  let out_csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Write the metrics registry as CSV ('-' for stdout).")
+  in
+  let out_perfetto =
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"FILE"
+           ~doc:"Also trace the run and write Chrome trace-event JSON with the \
+                 metrics as counter tracks (open in ui.perfetto.dev).")
+  in
+  let write ~what dest content =
+    match dest with
+    | "-" -> print_string content
+    | file ->
+      let oc = open_out file in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "telemetry: wrote %s (%s)\n" file what
+  in
+  let run rate requests batch depth clients cores update seed window out_json out_prom
+      out_csv out_perfetto =
+    let cfg =
+      {
+        Engine.default with
+        Engine.requests;
+        batch;
+        depth;
+        clients;
+        cores;
+        update_pct = update;
+        seed;
+        telemetry = true;
+        window;
+      }
+    in
+    (match Engine.validate cfg with
+     | Ok () -> ()
+     | Error e ->
+       prerr_endline ("telemetry: " ^ e);
+       exit 2);
+    let tr =
+      match out_perfetto with
+      | None -> None
+      | Some _ -> Some (Trace.start ~capacity:(1 lsl 21) ())
+    in
+    let point = Engine.run cfg ~rate in
+    (match tr with Some _ -> ignore (Trace.stop ()) | None -> ());
+    (* Console summary: the CO-corrected distribution next to what a naive
+       (dequeue-stamped) recorder would have reported, then where the
+       cycles went. *)
+    let pp_summary name = function
+      | Some (s : Latency.summary) ->
+        Printf.printf "%-22s p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f  max %.0f\n" name
+          s.Latency.p50 s.Latency.p95 s.Latency.p99 s.Latency.p999 s.Latency.max
+      | None -> ()
+    in
+    Printf.printf "rate %.1f: served %d, shed %d (of %d)\n" rate point.Engine.served
+      point.Engine.shed point.Engine.n;
+    pp_summary "latency (intended):" point.Engine.latency;
+    pp_summary "latency (dequeue):" point.Engine.dequeue_latency;
+    (match point.Engine.gap with
+     | Some g ->
+       Printf.printf "%-22s p50 %.0f  p99 %.0f  p99.9 %.0f\n" "co gap (cycles):"
+         g.Latency.gap_p50 g.Latency.gap_p99 g.Latency.gap_p999
+     | None -> ());
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 point.Engine.attribution in
+    if total > 0 then begin
+      Printf.printf "attribution over %d request(s), %d cycle(s):\n"
+        point.Engine.attr_requests total;
+      List.iter
+        (fun (name, c) ->
+          if c > 0 then
+            Printf.printf "  %-14s %10d  %5.1f%%\n" name c
+              (100. *. float_of_int c /. float_of_int total))
+        point.Engine.attribution;
+      Printf.printf "conservation: %s (%d cycle(s) trimmed)\n"
+        (if point.Engine.attr_conserved then "ok" else "VIOLATED")
+        point.Engine.attr_trimmed
+    end;
+    (match out_json with
+     | None -> ()
+     | Some dest -> write ~what:"telemetry JSON" dest (Report.telemetry_json cfg [ point ]));
+    (match point.Engine.metrics with
+     | None -> ()
+     | Some m ->
+       (match out_prom with
+        | None -> ()
+        | Some dest -> write ~what:"prometheus text" dest (Metrics.to_prometheus m));
+       (match out_csv with
+        | None -> ()
+        | Some dest -> write ~what:"metrics CSV" dest (Metrics.to_csv m)));
+    match out_perfetto, tr, point.Engine.metrics with
+    | Some dest, Some tr, Some m ->
+      Perfetto.write_file ~counters:(Metrics.counter_tracks m) dest tr;
+      Printf.printf "telemetry: wrote %s (%d events + %d counter tracks)\n" dest
+        (Trace.length tr)
+        (List.length (Metrics.counter_tracks m))
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:"Serve one offered-load point with cycle-accounting telemetry on: \
+             per-stage critical-path attribution, windowed metrics, and \
+             coordinated-omission-correct latency, exportable as JSON, \
+             Prometheus text, CSV, or Perfetto counter tracks")
+    Term.(const run $ rate $ requests $ batch $ depth $ clients $ cores $ update $ seed
+          $ window $ out_json $ out_prom $ out_csv $ out_perfetto)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -565,5 +755,5 @@ let () =
        (Cmd.group ~default info
           [
             figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd; trace_cmd; audit_cmd;
-            serve_cmd;
+            serve_cmd; telemetry_cmd;
           ]))

@@ -1,6 +1,7 @@
 module Dcache = Skipit_l1.Dcache
 module Flush_unit = Skipit_l1.Flush_unit
 module Params = Skipit_cache.Params
+module Attr = Skipit_obs.Attribution
 open Skipit_tilelink
 
 type t = {
@@ -36,14 +37,21 @@ let exec t instr =
     t.clock <- Dcache.done_at t.dcache;
     value
   | Instr.Store { addr; value } ->
-    let drain_at = Dcache.store t.dcache ~addr ~value ~now:t.clock in
     if t.async_stores then begin
       (* §3.2: the store retires once the STQ holds it; it drains in the
-         background and only fences (or a full STQ) expose its latency. *)
+         background and only fences (or a full STQ) expose its latency —
+         so the drain's future-dated hierarchy marks are shielded from the
+         attribution cursor and the visible STQ-commit cost is charged to
+         the L1 stage instead. *)
+      let saved = Attr.suspend () in
+      let drain_at = Dcache.store t.dcache ~addr ~value ~now:t.clock in
+      Attr.restore saved;
       let commit = Store_queue.insert t.stq ~now:t.clock ~drain_at in
-      t.clock <- commit + t.store_commit_cost
+      t.clock <- commit + t.store_commit_cost;
+      Attr.activate ~core:(Dcache.core t.dcache);
+      Attr.mark Attr.L1_hit ~at:t.clock
     end
-    else t.clock <- drain_at;
+    else t.clock <- Dcache.store t.dcache ~addr ~value ~now:t.clock;
     0
   | Instr.Cas { addr; expected; desired } ->
     let ok = Dcache.cas_word t.dcache ~addr ~expected ~desired ~now:t.clock in
@@ -67,6 +75,7 @@ let exec t instr =
     let flushes_done = Dcache.fence t.dcache ~now:t.clock in
     let stores_done = Store_queue.drained_at t.stq ~now:t.clock in
     t.clock <- max flushes_done stores_done;
+    Attr.mark Attr.Fence ~at:t.clock;
     0
   | Instr.Delay n ->
     if n < 0 then invalid_arg "Lsu.exec: negative delay";

@@ -2,6 +2,8 @@ open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
 module Trace = Skipit_obs.Trace
+module Attr = Skipit_obs.Attribution
+module Metrics = Skipit_obs.Metrics
 
 (* Metadata/state snapshot handed to tests; the live state is
    struct-of-arrays (below), so this record is built on demand. *)
@@ -117,8 +119,12 @@ let evict_slot t id ~now =
       let t_buf = Resource.acquire_finish t.wbu ~now:t0 ~busy:(beats t) in
       let t_sent = channel_c t ~finish:t_buf ~beats:(beats t) in
       let shrink = Perm.shrink_for ~from:perm ~cap:Perm.Nothing in
+      (* The L2-side ack is off the critical path: its future-dated L2/DRAM
+         completion times must not advance the attribution cursor. *)
+      let saved = Attr.suspend () in
       ignore
         (Port.release t.port ~addr:vaddr ~shrink ~data:(Some (copy_line t id)) ~now:t_sent);
+      Attr.restore saved;
       Trace.req_end ~at:t_sent rid;
       t_sent
     end
@@ -126,7 +132,9 @@ let evict_slot t id ~now =
       Stats.Registry.incr t.stats "evictions_clean";
       l1_ev t ~at:t0 ~addr:vaddr Trace.Evict_clean;
       let shrink = Perm.shrink_for ~from:perm ~cap:Perm.Nothing in
+      let saved = Attr.suspend () in
       ignore (Port.release t.port ~addr:vaddr ~shrink ~data:None ~now:t0);
+      Attr.restore saved;
       t0 + 1
     end
   in
@@ -146,6 +154,8 @@ let refill t ~addr ~grow ~now =
       if Trace.enabled () then
         Trace.emit ~at:start
           (Trace.Resource { comp = Lazy.force mshr_comp; idx; op = Trace.Res_alloc });
+      Attr.mark Attr.Mshr ~at:start;
+      if Metrics.enabled () then Metrics.alloc (Lazy.force mshr_comp) ~at:start;
       let id, t_slot =
         match find_line t addr with
         | id when id <> Store.miss ->
@@ -159,6 +169,7 @@ let refill t ~addr ~grow ~now =
           in
           victim, t_free
       in
+      Attr.mark Attr.Mshr ~at:t_slot;
       let t_sent = Port.send_a t.port ~now:t_slot in
       let grant = Port.acquire t.port ~addr ~grow ~now:t_sent in
       (* Grant data shares the D channel with every other response into
@@ -174,18 +185,22 @@ let refill t ~addr ~grow ~now =
       if Trace.enabled () then
         Trace.emit ~at:grant.Port.done_at
           (Trace.Resource { comp = Lazy.force mshr_comp; idx; op = Trace.Res_free });
+      Attr.mark Attr.Mshr ~at:grant.Port.done_at;
+      if Metrics.enabled () then Metrics.free (Lazy.force mshr_comp) ~at:grant.Port.done_at;
       grant.Port.done_at)
   in
   assert (!installed <> Store.miss);
   !installed, finish
 
 let rec load_word t ~addr ~now =
+  Attr.activate ~core:t.core;
   match find_line t addr with
   | id when id <> Store.miss ->
     Stats.Counter.incr t.c_load_hits;
     l1_ev t ~at:now ~addr Trace.Load_hit;
     Store.touch t.store_arr id ~now;
     t.done_at <- now + t.p.Params.l1_load_to_use;
+    Attr.mark Attr.L1_hit ~at:t.done_at;
     word t id (word_off t addr)
   | _ -> (
     let base = line_base t addr in
@@ -195,10 +210,12 @@ let rec load_word t ~addr ~now =
       Stats.Registry.incr t.stats "load_forwards";
       l1_ev t ~at:now ~addr Trace.Load_forward;
       t.done_at <- tb + t.p.Params.l1_load_to_use;
+      Attr.mark Attr.Fshr ~at:t.done_at;
       Port.peek_word t.port addr
     | Flush_unit.Load_wait tw ->
       Stats.Registry.incr t.stats "load_nacks";
       l1_ev t ~at:now ~addr Trace.Load_nack;
+      Attr.mark Attr.Fshr ~at:(tw + t.p.Params.nack_retry_delay);
       load_word t ~addr ~now:(tw + t.p.Params.nack_retry_delay)
     | Flush_unit.Load_no_conflict ->
       Stats.Counter.incr t.c_load_misses;
@@ -207,6 +224,7 @@ let rec load_word t ~addr ~now =
       let id, t_done = refill t ~addr ~grow:Perm.N_to_B ~now in
       Trace.req_end ~at:t_done rid;
       t.done_at <- t_done + t.p.Params.l1_load_to_use;
+      Attr.mark Attr.L1_hit ~at:t.done_at;
       word t id (word_off t addr))
 
 let load t ~addr ~now =
@@ -217,12 +235,14 @@ let load t ~addr ~now =
    writeback conditions; returns the slot id and the cycle the write may
    retire. *)
 let writable_line t ~addr ~now =
+  Attr.activate ~core:t.core;
   let base = line_base t addr in
   let now =
     match Flush_unit.store_proceed_at t.flush ~addr:base ~now with
     | Some tw when tw > now ->
       Stats.Registry.incr t.stats "store_nacks";
       l1_ev t ~at:now ~addr Trace.Store_nack;
+      Attr.mark Attr.Fshr ~at:tw;
       tw
     | Some _ | None -> now
   in
@@ -231,6 +251,7 @@ let writable_line t ~addr ~now =
     Stats.Counter.incr t.c_store_hits;
     l1_ev t ~at:now ~addr Trace.Store_hit;
     Store.touch t.store_arr id ~now;
+    Attr.mark Attr.L1_hit ~at:(now + t.p.Params.l1_store_commit);
     id, now + t.p.Params.l1_store_commit
   | id when id <> Store.miss ->
     (* Branch → Trunk upgrade; data is re-granted (no AcquirePerm, §3.3). *)
@@ -239,6 +260,7 @@ let writable_line t ~addr ~now =
     let rid = Trace.req_start ~at:now ~cls:Trace.Cls_store_miss ~core:t.core ~addr in
     let id, t_done = refill t ~addr ~grow:Perm.B_to_T ~now in
     Trace.req_end ~at:t_done rid;
+    Attr.mark Attr.L1_hit ~at:(t_done + t.p.Params.l1_store_commit);
     id, t_done + t.p.Params.l1_store_commit
   | _ ->
     Stats.Counter.incr t.c_store_misses;
@@ -246,6 +268,7 @@ let writable_line t ~addr ~now =
     let rid = Trace.req_start ~at:now ~cls:Trace.Cls_store_miss ~core:t.core ~addr in
     let id, t_done = refill t ~addr ~grow:Perm.N_to_T ~now in
     Trace.req_end ~at:t_done rid;
+    Attr.mark Attr.L1_hit ~at:(t_done + t.p.Params.l1_store_commit);
     id, t_done + t.p.Params.l1_store_commit
 
 let store t ~addr ~value ~now =
@@ -281,6 +304,7 @@ type cbo_result = {
 }
 
 let cbo t ~addr ~kind ~now =
+  Attr.activate ~core:t.core;
   let base = line_base t addr in
   let cls =
     match kind with
@@ -300,6 +324,7 @@ let cbo t ~addr ~kind ~now =
     Flush_unit.note_skip_drop t.flush;
     l1_ev t ~at:t_access ~addr:base Trace.Skip_drop;
     Trace.req_end ~at:t_access rid;
+    Attr.mark Attr.L1_hit ~at:t_access;
     { commit_at = t_access; ack_at = t_access; dropped = `Skip_bit }
   end
   else begin
@@ -334,13 +359,16 @@ let cbo t ~addr ~kind ~now =
     | Flush_unit.Coalesced { commit_at; ack_at } ->
       l1_ev t ~at:commit_at ~addr:base Trace.Cbo_coalesced;
       Trace.req_end ~at:ack_at rid;
+      Attr.mark Attr.Flushq_wait ~at:commit_at;
       { commit_at; ack_at; dropped = `Coalesced }
     | Flush_unit.Accepted p ->
       Trace.req_end ~at:p.Flush_unit.ack_at rid;
+      Attr.mark Attr.Flushq_wait ~at:p.Flush_unit.commit_at;
       { commit_at = p.Flush_unit.commit_at; ack_at = p.Flush_unit.ack_at; dropped = `Executed }
   end
 
 let cbo_inval t ~addr ~now =
+  Attr.activate ~core:t.core;
   let base = line_base t addr in
   Stats.Registry.incr t.stats "cbo_invals";
   (* Wait out any pending writeback of the line (its FSHR owns the
@@ -352,6 +380,7 @@ let cbo_inval t ~addr ~now =
     | None -> now
   in
   let t0 = t0 + t.p.Params.l1_meta_access in
+  Attr.mark Attr.Fshr ~at:t0;
   (match find_line t base with
    | id when id <> Store.miss -> Store.invalidate t.store_arr id
    | _ -> ());
@@ -367,7 +396,11 @@ let cbo_zero t ~addr ~now =
   note_change t ~addr:base ~now:t_done;
   t_done
 
-let fence t ~now = Flush_unit.fence_ready_at t.flush ~now + t.p.Params.fence_base_cost
+let fence t ~now =
+  Attr.activate ~core:t.core;
+  let t_done = Flush_unit.fence_ready_at t.flush ~now + t.p.Params.fence_base_cost in
+  Attr.mark Attr.Fence ~at:t_done;
+  t_done
 
 let handle_probe t ~addr ~cap ~now =
   let base = line_base t addr in

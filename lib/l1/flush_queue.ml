@@ -1,5 +1,6 @@
 open Skipit_tilelink
 module Trace = Skipit_obs.Trace
+module Metrics = Skipit_obs.Metrics
 
 type entry = {
   addr : int;
@@ -34,6 +35,7 @@ let enqueue t entry =
       Trace.emit ~at:entry.enq_at
         (Trace.Flushq
            { name = t.name; op = Trace.Q_enqueue; addr = entry.addr; kind = trace_kind entry.kind });
+    if Metrics.enabled () then Metrics.count (t.name ^ ".enqueues") ~at:entry.enq_at;
     true
   end
 

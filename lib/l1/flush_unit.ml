@@ -2,6 +2,8 @@ open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
 module Trace = Skipit_obs.Trace
+module Attr = Skipit_obs.Attribution
+module Metrics = Skipit_obs.Metrics
 
 type pending = {
   entry : Flush_queue.entry;
@@ -159,6 +161,7 @@ let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
   let enq_at =
     match t.admission with Some a -> Admission.admit a ~now | None -> now
   in
+  Attr.mark Attr.Flushq_wait ~at:enq_at;
   let plan = { Fshr_fsm.hit; dirty; kind } in
   let entry =
     { Flush_queue.addr; kind; hit; dirty; enq_at; coalesced = 0 }
@@ -175,8 +178,16 @@ let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
   let meta_write = ref None in
   let release_time = ref 0 in
   let ack_time = ref 0 in
+  (* The FSHR walk (and the root-release it sends) drains in the background
+     after the CBO commits at [enq_at]; its future-dated completion times
+     must not advance the attribution cursor of the issuing request. *)
+  let saved_frame = Attr.suspend () in
   let _, fshr_alloc_at, _ =
     Resource.acquire_dyn_idx t.fshrs ~now:enq_at (fun ~idx alloc_at ->
+      if Metrics.enabled () then begin
+        Metrics.alloc (Printf.sprintf "fu.%d.fshr" t.core) ~at:alloc_at;
+        Metrics.count (Printf.sprintf "fu.%d.dequeues" t.core) ~at:alloc_at
+      end;
       if Trace.enabled () then begin
         Trace.emit ~at:alloc_at
           (Trace.Flushq
@@ -207,8 +218,11 @@ let submit_fresh t ~addr ~kind ~hit ~dirty ~line_data ~now ~apply_meta ~send =
       Stats.Registry.incr t.stats (if data = None then "wb_without_data" else "wb_with_data");
       ack_time := send ~data ~now:!tm;
       if Trace.enabled () then fshr_ev ~at:!ack_time ~idx Trace.Fshr_free;
+      if Metrics.enabled () then
+        Metrics.free (Printf.sprintf "fu.%d.fshr" t.core) ~at:!ack_time;
       !ack_time)
   in
+  Attr.restore saved_frame;
   let pending =
     {
       entry;

@@ -2,6 +2,8 @@ open Skipit_sim
 open Skipit_tilelink
 open Skipit_cache
 module Trace = Skipit_obs.Trace
+module Attr = Skipit_obs.Attribution
+module Metrics = Skipit_obs.Metrics
 
 type probe_result = Port.probe_result = {
   dirty_data : int array option;
@@ -110,7 +112,11 @@ let evict_victim t id ~now =
   if dir.Directory.dirty then begin
     Stats.Registry.incr t.stats "dram_writebacks";
     l2_ev ~at:t_probed ~addr:vaddr L2_writeback;
-    ignore (Backend.write_line t.backend ~addr:vaddr ~data:dir.Directory.data ~now:t_probed)
+    (* DRAM write proceeds off the critical path: keep its future-dated
+       completion out of the attribution cursor. *)
+    let saved = Attr.suspend () in
+    ignore (Backend.write_line t.backend ~addr:vaddr ~data:dir.Directory.data ~now:t_probed);
+    Attr.restore saved
   end;
   Store.invalidate t.store id;
   t_probed
@@ -124,9 +130,12 @@ let acquire t ~core ~addr ~grow ~now =
     Resource.acquire_dyn_idx t.mshrs ~now:arrive (fun ~idx start ->
       if Trace.enabled () then
         Trace.emit ~at:start (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_alloc });
+      Attr.mark Attr.L2 ~at:start;
+      if Metrics.enabled () then Metrics.alloc "l2.mshr" ~at:start;
       let mshr_free ~at =
         if Trace.enabled () then
           Trace.emit ~at (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_free });
+        if Metrics.enabled () then Metrics.free "l2.mshr" ~at;
         at
       in
       let tm = start + t.p.Params.l2_tag_access in
@@ -151,6 +160,7 @@ let acquire t ~core ~addr ~grow ~now =
         Directory.set_owner dir core target;
         Store.touch t.store id ~now:tm;
         result := (dir.Directory.dirty, Array.copy dir.Directory.data);
+        Attr.mark Attr.L2 ~at:tm;
         mshr_free ~at:tm
       | _ ->
         Stats.Registry.incr t.stats "misses";
@@ -159,6 +169,7 @@ let acquire t ~core ~addr ~grow ~now =
         let t_evict =
           if Store.is_valid t.store victim then evict_victim t victim ~now:tm else tm
         in
+        Attr.mark Attr.L2 ~at:t_evict;
         let data, t_data, dirty_below = Backend.read_line t.backend ~addr ~now:tm in
         (* A dirty memory-side copy means the line is not persisted: the
            L2 copy inherits the dirty bit so grants carry GrantDataDirty
@@ -172,6 +183,7 @@ let acquire t ~core ~addr ~grow ~now =
         let t_fill = max t_evict t_data in
         Store.fill t.store victim ~addr ~payload:dir ~now:t_fill;
         result := (dirty_below, Array.copy data);
+        Attr.mark Attr.L2 ~at:t_fill;
         mshr_free ~at:t_fill)
   in
   let l2_dirty, data = !result in
@@ -187,9 +199,13 @@ let sink_c t ~arrive f =
     Resource.acquire_dyn_idx t.mshrs ~now:admitted (fun ~idx start ->
       if Trace.enabled () then
         Trace.emit ~at:start (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_alloc });
+      Attr.mark Attr.L2 ~at:start;
+      if Metrics.enabled () then Metrics.alloc "l2.mshr" ~at:start;
       let fin = f start in
       if Trace.enabled () then
         Trace.emit ~at:fin (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_free });
+      Attr.mark Attr.L2 ~at:fin;
+      if Metrics.enabled () then Metrics.free "l2.mshr" ~at:fin;
       fin)
   in
   Admission.release t.list_buffer ~at:start;

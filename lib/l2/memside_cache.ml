@@ -1,6 +1,7 @@
 open Skipit_sim
 open Skipit_cache
 module Trace = Skipit_obs.Trace
+module Attr = Skipit_obs.Attribution
 
 type line = { mutable dirty : bool; data : int array }
 
@@ -50,9 +51,12 @@ let free_slot t ~addr ~now =
     let vline = Store.payload t.store victim in
     if vline.dirty then begin
       Stats.Registry.incr t.stats "dram_writebacks";
+      (* Off the critical path — shield the attribution cursor. *)
+      let saved = Attr.suspend () in
       ignore
         (Backend.write_line t.below ~addr:(Store.slot_addr t.store victim) ~data:vline.data
-           ~now)
+           ~now);
+      Attr.restore saved
     end;
     Store.invalidate t.store victim
   end;
@@ -68,6 +72,7 @@ let read_line t ~addr ~now =
     mem_ev t ~at:t0 ~addr Trace.Mem_hit;
     Store.touch t.store id ~now;
     let line = Store.payload t.store id in
+    Attr.mark Attr.Dram ~at:t0;
     Array.copy line.data, t0, line.dirty
   | _ ->
     Stats.Registry.incr t.stats "misses";

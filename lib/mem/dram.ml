@@ -1,5 +1,7 @@
 open Skipit_sim
 module Trace = Skipit_obs.Trace
+module Attr = Skipit_obs.Attribution
+module Metrics = Skipit_obs.Metrics
 
 type t = {
   backing : Backing.t;
@@ -36,6 +38,8 @@ let read_line t ~addr ~now =
   t.reads <- t.reads + 1;
   let start = Resource.acquire_start t.channels ~now ~busy:t.occupancy in
   if Trace.enabled () then Trace.emit ~at:start (Trace.Dram { op = Trace.Dram_read; addr });
+  if Metrics.enabled () then Metrics.count "dram.reads" ~at:start;
+  Attr.mark Attr.Dram ~at:(start + t.read_latency);
   let data = Backing.read_line t.backing ~line_bytes:t.line_bytes addr in
   data, start + t.read_latency
 
@@ -43,8 +47,10 @@ let write_line t ~addr ~data ~now =
   t.writes <- t.writes + 1;
   let start = Resource.acquire_start t.channels ~now ~busy:t.occupancy in
   if Trace.enabled () then Trace.emit ~at:start (Trace.Dram { op = Trace.Dram_write; addr });
+  if Metrics.enabled () then Metrics.count "dram.writes" ~at:start;
   Backing.write_line t.backing ~line_bytes:t.line_bytes addr data;
   let durable_at = start + t.write_latency in
+  Attr.mark Attr.Dram ~at:durable_at;
   (match t.log with
    | Some log -> Persist_log.record log ~addr ~time:durable_at
    | None -> ());

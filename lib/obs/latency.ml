@@ -46,7 +46,15 @@ let of_trace trace =
 
 (* == Percentile summaries =============================================== *)
 
-type summary = { count : int; mean : float; p50 : float; p95 : float; p99 : float; max : float }
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
 
 let summarize s =
   if Sample.is_empty s then None
@@ -58,8 +66,21 @@ let summarize s =
         p50 = Sample.percentile s 50.;
         p95 = Sample.percentile s 95.;
         p99 = Sample.percentile s 99.;
+        p999 = Sample.percentile s 99.9;
         max = Sample.max s;
       }
+
+(* Recorded-vs-intended gap: how much a dequeue-stamped (coordinated-
+   omission-blind) summary understates the intended-arrival-stamped truth
+   at each tail percentile. *)
+type gap = { gap_p50 : float; gap_p99 : float; gap_p999 : float }
+
+let gap ~intended ~recorded =
+  {
+    gap_p50 = intended.p50 -. recorded.p50;
+    gap_p99 = intended.p99 -. recorded.p99;
+    gap_p999 = intended.p999 -. recorded.p999;
+  }
 
 let summaries t =
   List.filter_map
@@ -67,12 +88,12 @@ let summaries t =
     t.by_class
 
 let pp ppf t =
-  let row name { count; mean; p50; p95; p99; max } =
-    Format.fprintf ppf "%-12s %8d %10.1f %8.0f %8.0f %8.0f %8.0f@," name count mean p50 p95
-      p99 max
+  let row name { count; mean; p50; p95; p99; p999; max } =
+    Format.fprintf ppf "%-12s %8d %10.1f %8.0f %8.0f %8.0f %8.0f %8.0f@," name count mean
+      p50 p95 p99 p999 max
   in
-  Format.fprintf ppf "@[<v>%-12s %8s %10s %8s %8s %8s %8s@," "class" "count" "mean" "p50"
-    "p95" "p99" "max";
+  Format.fprintf ppf "@[<v>%-12s %8s %10s %8s %8s %8s %8s %8s@," "class" "count" "mean"
+    "p50" "p95" "p99" "p99.9" "max";
   List.iter (fun (name, s) -> row name s) (summaries t);
   (match summarize t.all with Some s -> row "overall" s | None -> ());
   if t.unmatched_starts > 0 || t.unmatched_ends > 0 then

@@ -20,10 +20,24 @@ val overall : t -> Sample.t
 val unmatched_starts : t -> int
 val unmatched_ends : t -> int
 
-type summary = { count : int; mean : float; p50 : float; p95 : float; p99 : float; max : float }
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
 
 val summarize : Sample.t -> summary option
 (** [None] for an empty sample. *)
+
+type gap = { gap_p50 : float; gap_p99 : float; gap_p999 : float }
+
+val gap : intended:summary -> recorded:summary -> gap
+(** How much a dequeue-stamped (coordinated-omission-blind) latency summary
+    understates the intended-arrival-stamped one at each tail percentile. *)
 
 val summaries : t -> (string * summary) list
 (** Per-class summaries for the non-empty classes, in class order. *)

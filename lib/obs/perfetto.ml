@@ -76,7 +76,21 @@ let entries trace =
 let tracks trace =
   List.sort_uniq String.compare (List.map (fun e -> e.track) (entries trace))
 
-let to_buffer buf trace =
+(* Counter tracks ("C" phase, process-scoped): one series per name, points
+   already in (cycle, value) order from Metrics.counter_tracks. *)
+let emit_counters buf counters =
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (ts, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\n{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":0,\"args\":{\"value\":%d}}"
+               (escape name) ts v))
+        points)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) counters)
+
+let to_buffer ?(counters = []) buf trace =
   let entries = entries trace in
   let tracks = List.sort_uniq String.compare (List.map (fun e -> e.track) entries) in
   let tid_of = Hashtbl.create 16 in
@@ -112,15 +126,27 @@ let to_buffer buf trace =
                (escape e.name) e.ts tid args)
       end)
     entries;
+  emit_counters buf counters;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n"
 
-let to_string trace =
+let to_string ?counters trace =
   let buf = Buffer.create 65536 in
-  to_buffer buf trace;
+  to_buffer ?counters buf trace;
   Buffer.contents buf
 
-let write_channel oc trace = output_string oc (to_string trace)
+let write_channel ?counters oc trace = output_string oc (to_string ?counters trace)
 
-let write_file path trace =
+(* Ring wraparound means the export is silently missing the oldest events;
+   say so on stderr instead of letting a truncated trace pass for a full
+   one. *)
+let warn_dropped trace =
+  let d = Trace.dropped trace in
+  if d > 0 then
+    Printf.eprintf
+      "perfetto: ring buffer wrapped during recording: %d event(s) dropped (capacity %d); export is truncated — raise the trace capacity\n%!"
+      d (Trace.capacity trace)
+
+let write_file ?counters path trace =
+  warn_dropped trace;
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc trace)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel ?counters oc trace)

@@ -10,7 +10,14 @@
 val tracks : Trace.t -> string list
 (** Distinct track names the trace would render, sorted. *)
 
-val to_string : Trace.t -> string
-val to_buffer : Buffer.t -> Trace.t -> unit
-val write_channel : out_channel -> Trace.t -> unit
-val write_file : string -> Trace.t -> unit
+(** [?counters] adds Perfetto counter tracks ("C" phase): one series per
+    name with [(cycle, value)] points — the shape {!Metrics.counter_tracks}
+    produces. *)
+
+val to_string : ?counters:(string * (int * int) list) list -> Trace.t -> string
+val to_buffer : ?counters:(string * (int * int) list) list -> Buffer.t -> Trace.t -> unit
+val write_channel : ?counters:(string * (int * int) list) list -> out_channel -> Trace.t -> unit
+
+val write_file : ?counters:(string * (int * int) list) list -> string -> Trace.t -> unit
+(** Also warns on stderr when the ring buffer wrapped during recording
+    (the export is missing its oldest events). *)

@@ -8,6 +8,8 @@ module Admission = Skipit_sim.Admission
 module Sample = Skipit_sim.Stats.Sample
 module Trace = Skipit_obs.Trace
 module Latency = Skipit_obs.Latency
+module Attr = Skipit_obs.Attribution
+module Metrics = Skipit_obs.Metrics
 module Pool = Skipit_par.Pool
 module Ds_bench = Skipit_workload.Ds_bench
 
@@ -25,6 +27,8 @@ type config = {
   update_pct : int;
   prefill : int;
   seed : int;
+  telemetry : bool;
+  window : int;
 }
 
 let default =
@@ -42,6 +46,8 @@ let default =
     update_pct = 20;
     prefill = 512;
     seed = 11;
+    telemetry = false;
+    window = Metrics.default_window;
   }
 
 let validate cfg =
@@ -55,6 +61,7 @@ let validate cfg =
   >>= fun () -> check (cfg.key_range <= 0) "key-range must be positive"
   >>= fun () -> check (cfg.update_pct < 0 || cfg.update_pct > 100) "update-pct must be in [0,100]"
   >>= fun () -> check (cfg.prefill < 0) "prefill must be non-negative"
+  >>= fun () -> check (cfg.window <= 0) "window must be positive"
   >>= fun () ->
   check
     (not (Ds_bench.compatible cfg.kind cfg.spec))
@@ -68,6 +75,8 @@ type point = {
   shed : int;
   n : int;
   latency : Latency.summary option;
+  dequeue_latency : Latency.summary option;
+  gap : Latency.gap option;
   elapsed : int;
   epochs : int;
   flushes : int;
@@ -75,6 +84,11 @@ type point = {
   passthrough : int;
   fences : int;
   leaked : int;
+  attribution : (string * int) list;
+  attr_requests : int;
+  attr_trimmed : int;
+  attr_conserved : bool;
+  metrics : Metrics.t option;
 }
 
 let shed_fraction p = if p.n = 0 then 0. else float_of_int p.shed /. float_of_int p.n
@@ -139,14 +153,24 @@ let run ?(params = Params.boom_default) cfg ~rate =
   let shed = ref 0 in
   let served = ref 0 in
   let lat = Sample.create () in
+  let dlat = Sample.create () in
   let t_end = ref t0 in
+  (* Telemetry sinks are installed for the serving window only (the prefill
+     is untimed) and live on this domain, so a sweep's pool jobs never share
+     state and output is byte-identical at any --jobs width.  Recording
+     never alters simulated timing: cycles are identical on/off. *)
+  let attr = if cfg.telemetry then Some (Attr.start ~cores:cfg.cores ~keep_records:true ()) else None in
+  let mx = if cfg.telemetry then Some (Metrics.start ~window:cfg.window ()) else None in
   let drain () =
     let continue = ref true in
     while !continue do
       match Queue.peek_opt admitted_fifo with
       | Some j when completions.(j) >= 0 ->
         ignore (Queue.pop admitted_fifo);
-        Admission.release adm ~at:completions.(j)
+        Admission.release adm ~at:completions.(j);
+        (match mx with
+         | Some m -> Metrics.occupancy_free m "serve.admission" ~at:completions.(j)
+         | None -> ())
       | _ -> continue := false
     done
   in
@@ -160,14 +184,32 @@ let run ?(params = Params.boom_default) cfg ~rate =
           let n_members = ref 0 in
           let commit_epoch () =
             if !n_members > 0 then begin
+              let commit_start = T.now () in
               Batcher.commit b;
               let t = T.now () in
               if t > !t_end then t_end := t;
               List.iter
-                (fun (i, rid) ->
+                (fun (i, rid, frame, issued) ->
                   completions.(i) <- t;
                   Sample.add_int lat (t - arrival i);
+                  Sample.add_int dlat (t - issued);
                   Trace.req_end ~at:t rid;
+                  (match frame, attr with
+                   | Some fr, Some a ->
+                     (* The wait for the epoch to close, then the shared
+                        commit work (flush replay + fence), charged to every
+                        member; the frame closes exactly at the latency
+                        sample's completion stamp, so stage cycles sum to
+                        the recorded span. *)
+                     Attr.mark_frame fr Attr.Commit_wait ~at:commit_start;
+                     Attr.mark_frame fr Attr.Fence ~at:t;
+                     Attr.close a fr ~at:t
+                   | _ -> ());
+                  (match mx with
+                   | Some m ->
+                     Metrics.counter_incr m "serve.served" ~at:t;
+                     Metrics.histogram_observe m "serve.latency" ~at:t (t - arrival i)
+                   | None -> ());
                   incr served)
                 (List.rev !members);
               members := [];
@@ -195,6 +237,9 @@ let run ?(params = Params.boom_default) cfg ~rate =
                    instant. *)
                 if Admission.peek_entry adm ~now:at > at then begin
                   incr shed;
+                  (match mx with
+                   | Some m -> Metrics.counter_incr m "serve.shed" ~at
+                   | None -> ());
                   (* Backpressure signal: free this worker's own slots
                      before the next claim. *)
                   commit_epoch ()
@@ -206,12 +251,31 @@ let run ?(params = Params.boom_default) cfg ~rate =
                   let rid =
                     Trace.req_start ~at ~cls:Trace.Cls_serve ~core ~addr:r.Arrival.key
                   in
+                  (* The frame opens at the *intended* arrival, so queueing
+                     behind a backlogged server (coordinated omission) is
+                     charged to Adm_wait rather than silently dropped. *)
+                  let issued = T.now () in
+                  let frame =
+                    match attr with
+                    | Some _ ->
+                      let fr = Attr.frame ~at in
+                      Attr.mark_frame fr Attr.Adm_wait ~at:issued;
+                      Attr.bind ~core (Some fr);
+                      Some fr
+                    | None -> None
+                  in
+                  (match mx with
+                   | Some m ->
+                     Metrics.counter_incr m "serve.admitted" ~at;
+                     Metrics.occupancy_alloc m "serve.admission" ~at
+                   | None -> ());
                   let pctx = Batcher.pctx b in
                   (match r.Arrival.op with
                    | Arrival.Insert -> ignore (h.Ops.insert pctx r.Arrival.key)
                    | Arrival.Delete -> ignore (h.Ops.delete pctx r.Arrival.key)
                    | Arrival.Contains -> ignore (h.Ops.contains pctx r.Arrival.key));
-                  members := (i, rid) :: !members;
+                  if attr <> None then Attr.bind ~core None;
+                  members := (i, rid, frame, issued) :: !members;
                   incr n_members;
                   if !n_members >= batch then commit_epoch ()
                 end;
@@ -224,6 +288,10 @@ let run ?(params = Params.boom_default) cfg ~rate =
   in
   ignore (T.run sys (List.init cfg.cores worker));
   drain ();
+  (if cfg.telemetry then begin
+     ignore (Attr.stop () : Attr.t option);
+     ignore (Metrics.stop () : Metrics.t option)
+   end);
   let elapsed = !t_end - t0 in
   let epochs = ref 0 and flushes = ref 0 and deferred = ref 0 in
   let passthrough = ref 0 and fences = ref 0 in
@@ -236,6 +304,13 @@ let run ?(params = Params.boom_default) cfg ~rate =
       passthrough := !passthrough + s.Batcher.passthrough;
       fences := !fences + s.Batcher.fences)
     batchers;
+  let latency = Latency.summarize lat in
+  let dequeue_latency = Latency.summarize dlat in
+  let gap =
+    match latency, dequeue_latency with
+    | Some i, Some r -> Some (Latency.gap ~intended:i ~recorded:r)
+    | _ -> None
+  in
   {
     offered = rate;
     achieved =
@@ -243,7 +318,9 @@ let run ?(params = Params.boom_default) cfg ~rate =
     served = !served;
     shed = !shed;
     n;
-    latency = Latency.summarize lat;
+    latency;
+    dequeue_latency;
+    gap;
     elapsed;
     epochs = !epochs;
     flushes = !flushes;
@@ -251,6 +328,11 @@ let run ?(params = Params.boom_default) cfg ~rate =
     passthrough = !passthrough;
     fences = !fences;
     leaked = Admission.occupants adm;
+    attribution = (match attr with Some a -> Attr.totals a | None -> []);
+    attr_requests = (match attr with Some a -> Attr.requests a | None -> 0);
+    attr_trimmed = (match attr with Some a -> Attr.trimmed a | None -> 0);
+    attr_conserved = (match attr with Some a -> Attr.conserved a | None -> true);
+    metrics = mx;
   }
 
 let sweep ?params ?pool cfg ~rates =

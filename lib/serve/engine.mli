@@ -28,6 +28,11 @@ type config = {
   update_pct : int;
   prefill : int;
   seed : int;
+  telemetry : bool;
+      (** Install per-run attribution + metrics sinks for the serving
+          window.  Recording never alters simulated timing: cycles and
+          checksums are bit-identical on or off. *)
+  window : int;  (** Metrics window width in simulated cycles. *)
 }
 
 val default : config
@@ -45,7 +50,14 @@ type point = {
   shed : int;
   n : int;
   latency : Skipit_obs.Latency.summary option;
-      (** Enqueue to persist-complete, cycles; [None] when nothing was
+      (** {e Intended}-arrival to persist-complete, cycles — the
+          coordinated-omission-correct distribution; [None] when nothing
+          was served. *)
+  dequeue_latency : Skipit_obs.Latency.summary option;
+      (** Issue (dequeue) to persist-complete — what a naive recorder
+          would report.  Under saturating load this understates tails. *)
+  gap : Skipit_obs.Latency.gap option;
+      (** Recorded-vs-intended percentile gap; [None] when nothing was
           served. *)
   elapsed : int;  (** Serving-window cycles (first arrival to last commit). *)
   epochs : int;
@@ -54,6 +66,20 @@ type point = {
   passthrough : int;  (** Persist points forwarded per-operation. *)
   fences : int;  (** Epoch fences issued. *)
   leaked : int;  (** Admission occupants after the run — always 0. *)
+  attribution : (string * int) list;
+      (** Exclusive per-stage cycle totals over all served requests, in
+          stage order; empty unless [telemetry].  Stage cycles of each
+          request sum to its intended-arrival→persist-complete span. *)
+  attr_requests : int;  (** Requests attributed (= served when telemetry). *)
+  attr_trimmed : int;
+      (** Requests whose stage marks overshot their completion and were
+          trimmed — should be 0; nonzero flags a hook charging
+          off-critical-path work. *)
+  attr_conserved : bool;
+      (** Every attributed request's stage cycles summed exactly to its
+          span. *)
+  metrics : Skipit_obs.Metrics.t option;
+      (** The run's windowed metrics registry, when [telemetry]. *)
 }
 
 val shed_fraction : point -> float

@@ -26,32 +26,61 @@ let lat_cols (p : Engine.point) =
     ( Printf.sprintf "%.0f" s.Latency.p50,
       Printf.sprintf "%.0f" s.Latency.p95,
       Printf.sprintf "%.0f" s.Latency.p99,
+      Printf.sprintf "%.0f" s.Latency.p999,
       Printf.sprintf "%.0f" s.Latency.max )
-  | None -> "-", "-", "-", "-"
+  | None -> "-", "-", "-", "-", "-"
 
 let pp_table ppf points =
-  Format.fprintf ppf "%8s %9s %7s %7s %7s %8s %8s %8s %8s %7s %8s@," "offered"
-    "achieved" "served" "shed" "shed%" "p50" "p95" "p99" "max" "epochs" "wb";
+  Format.fprintf ppf "%8s %9s %7s %7s %7s %8s %8s %8s %8s %8s %7s %8s@," "offered"
+    "achieved" "served" "shed" "shed%" "p50" "p95" "p99" "p99.9" "max" "epochs" "wb";
   List.iter
     (fun (p : Engine.point) ->
-      let p50, p95, p99, pmax = lat_cols p in
-      Format.fprintf ppf "%8.1f %9.2f %7d %7d %6.1f%% %8s %8s %8s %8s %7d %8d@,"
+      let p50, p95, p99, p999, pmax = lat_cols p in
+      Format.fprintf ppf "%8.1f %9.2f %7d %7d %6.1f%% %8s %8s %8s %8s %8s %7d %8d@,"
         p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
         (100. *. Engine.shed_fraction p)
-        p50 p95 p99 pmax p.Engine.epochs p.Engine.flushes)
+        p50 p95 p99 p999 pmax p.Engine.epochs p.Engine.flushes)
     points
 
 let pp_csv ppf points =
   Format.fprintf ppf
-    "offered,achieved,served,shed,shed_fraction,p50,p95,p99,max,elapsed,epochs,flushes,deferred,passthrough,fences@,";
+    "offered,achieved,served,shed,shed_fraction,p50,p95,p99,p999,max,elapsed,epochs,flushes,deferred,passthrough,fences@,";
   List.iter
     (fun (p : Engine.point) ->
-      let p50, p95, p99, pmax = lat_cols p in
-      Format.fprintf ppf "%.3f,%.3f,%d,%d,%.4f,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d@,"
+      let p50, p95, p99, p999, pmax = lat_cols p in
+      Format.fprintf ppf "%.3f,%.3f,%d,%d,%.4f,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d@,"
         p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
-        (Engine.shed_fraction p) p50 p95 p99 pmax p.Engine.elapsed p.Engine.epochs
+        (Engine.shed_fraction p) p50 p95 p99 p999 pmax p.Engine.elapsed p.Engine.epochs
         p.Engine.flushes p.Engine.deferred p.Engine.passthrough p.Engine.fences)
     points
+
+let summary_json name (s : Latency.summary) =
+  Printf.sprintf
+    ", \"%s\": {\"count\": %d, \"mean\": %.2f, \"p50\": %.1f, \"p95\": %.1f, \
+     \"p99\": %.1f, \"p999\": %.1f, \"max\": %.1f}"
+    name s.Latency.count s.Latency.mean s.Latency.p50 s.Latency.p95 s.Latency.p99
+    s.Latency.p999 s.Latency.max
+
+let attribution_json (p : Engine.point) =
+  match p.Engine.attribution with
+  | [] -> ""
+  | stages ->
+    let fields =
+      String.concat ", "
+        (List.map (fun (name, c) -> Printf.sprintf "\"%s\": %d" name c) stages)
+    in
+    Printf.sprintf
+      ", \"attribution\": {%s}, \"attr_requests\": %d, \"attr_trimmed\": %d, \
+       \"attr_conserved\": %b"
+      fields p.Engine.attr_requests p.Engine.attr_trimmed p.Engine.attr_conserved
+
+let gap_json (p : Engine.point) =
+  match p.Engine.gap with
+  | None -> ""
+  | Some g ->
+    Printf.sprintf
+      ", \"co_gap\": {\"p50\": %.1f, \"p99\": %.1f, \"p999\": %.1f}"
+      g.Latency.gap_p50 g.Latency.gap_p99 g.Latency.gap_p999
 
 let to_json (cfg : Engine.config) points =
   let buf = Buffer.create 2048 in
@@ -82,13 +111,53 @@ let to_json (cfg : Engine.config) points =
            (Engine.shed_fraction p) p.Engine.elapsed p.Engine.epochs p.Engine.flushes
            p.Engine.deferred p.Engine.passthrough p.Engine.fences);
       (match p.Engine.latency with
-       | Some s ->
-         add
-           (Printf.sprintf
-              ", \"latency\": {\"count\": %d, \"mean\": %.2f, \"p50\": %.1f, \"p95\": \
-               %.1f, \"p99\": %.1f, \"max\": %.1f}"
-              s.Latency.count s.Latency.mean s.Latency.p50 s.Latency.p95 s.Latency.p99
-              s.Latency.max)
+       | Some s -> add (summary_json "latency" s)
+       | None -> ());
+      (match p.Engine.dequeue_latency with
+       | Some s -> add (summary_json "dequeue_latency" s)
+       | None -> ());
+      add (gap_json p);
+      add (attribution_json p);
+      add "}")
+    points;
+  add "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* A telemetry dump is the sweep JSON plus, per point, the run's windowed
+   metrics registry.  Everything is simulated-cycle keyed, so the document
+   is byte-identical at any --jobs width. *)
+let telemetry_json (cfg : Engine.config) points =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add
+    (Printf.sprintf
+       "  \"config\": {\"structure\": \"%s\", \"mode\": \"%s\", \"strategy\": \"%s\", \
+        \"arrival\": \"%s\", \"clients\": %d, \"requests\": %d, \"batch\": %d, \
+        \"depth\": %d, \"cores\": %d, \"seed\": %d, \"window\": %d},\n"
+       (Ops.kind_name cfg.Engine.kind)
+       (Pctx.mode_name cfg.Engine.mode)
+       (Ds_bench.spec_name cfg.Engine.spec)
+       (Arrival.process_name cfg.Engine.process)
+       cfg.Engine.clients cfg.Engine.requests cfg.Engine.batch cfg.Engine.depth
+       cfg.Engine.cores cfg.Engine.seed cfg.Engine.window);
+  add "  \"points\": [\n";
+  List.iteri
+    (fun i (p : Engine.point) ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf "    {\"offered\": %.3f, \"served\": %d, \"shed\": %d"
+           p.Engine.offered p.Engine.served p.Engine.shed);
+      (match p.Engine.latency with
+       | Some s -> add (summary_json "latency" s)
+       | None -> ());
+      (match p.Engine.dequeue_latency with
+       | Some s -> add (summary_json "dequeue_latency" s)
+       | None -> ());
+      add (gap_json p);
+      add (attribution_json p);
+      (match p.Engine.metrics with
+       | Some m -> add (", \"metrics\": " ^ Skipit_obs.Metrics.to_json m)
        | None -> ());
       add "}")
     points;

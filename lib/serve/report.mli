@@ -17,4 +17,11 @@ val pp_csv : Format.formatter -> Engine.point list -> unit
 
 val to_json : Engine.config -> Engine.point list -> string
 (** A self-contained JSON document: the configuration plus one object per
-    sweep point. *)
+    sweep point.  Points carry CO-corrected latency (with p99.9), dequeue
+    latency, the recorded-vs-intended gap, and — when the run had telemetry
+    on — the per-stage cycle attribution. *)
+
+val telemetry_json : Engine.config -> Engine.point list -> string
+(** The telemetry dump behind [serve --telemetry]: {!to_json}'s per-point
+    fields plus each run's windowed metrics registry
+    ({!Skipit_obs.Metrics.to_json}). *)

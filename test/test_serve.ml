@@ -232,6 +232,65 @@ let test_group_commit_beats_per_op () =
   Alcotest.(check bool) "per-op run batches nothing" true (b1.Engine.epochs = 0);
   Alcotest.(check bool) "grouped run commits epochs" true (b8.Engine.epochs > 0)
 
+(* == Telemetry: CO-correct latency and conservation ===================== *)
+
+let test_telemetry_co_latency_and_conservation () =
+  (* Saturating load: the backlog makes intended-arrival latency strictly
+     dominate the dequeue-stamped latency a coordinated-omission-blind
+     recorder would report. *)
+  let p = Engine.run { spike_cfg with Engine.telemetry = true } ~rate:60. in
+  let intended = Option.get p.Engine.latency in
+  let dequeue = Option.get p.Engine.dequeue_latency in
+  let module L = Skipit_obs.Latency in
+  Alcotest.(check int) "same sample count" intended.L.count dequeue.L.count;
+  List.iter
+    (fun (name, i, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "intended %s %.1f >= dequeue %.1f" name i d)
+        true (i >= d))
+    [
+      "mean", intended.L.mean, dequeue.L.mean;
+      "p50", intended.L.p50, dequeue.L.p50;
+      "p99", intended.L.p99, dequeue.L.p99;
+      "p99.9", intended.L.p999, dequeue.L.p999;
+      "max", intended.L.max, dequeue.L.max;
+    ];
+  (match p.Engine.gap with
+   | None -> Alcotest.fail "gap missing"
+   | Some g ->
+     Alcotest.(check bool) "saturation opens a visible CO gap at p99" true
+       (g.L.gap_p99 > 0.));
+  (* Attribution: every served request decomposed, stage cycles summing
+     exactly to its intended-arrival -> persist-complete span. *)
+  Alcotest.(check int) "every served request attributed" p.Engine.served
+    p.Engine.attr_requests;
+  Alcotest.(check bool) "stage cycles conserve each request's span" true
+    p.Engine.attr_conserved;
+  Alcotest.(check int) "no off-critical-path cycles trimmed" 0 p.Engine.attr_trimmed;
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 p.Engine.attribution in
+  Alcotest.(check bool) "attribution non-trivial" true (total > 0);
+  Alcotest.(check bool) "saturated: admission wait dominates" true
+    (List.assoc "adm_wait" p.Engine.attribution > total / 2)
+
+let test_telemetry_leaves_simulation_untouched () =
+  (* The whole point of the enabled() guards: cycles, counts and latency
+     percentiles are bit-identical with telemetry on or off. *)
+  let rate = 16. in
+  let off = Engine.run spike_cfg ~rate in
+  let on = Engine.run { spike_cfg with Engine.telemetry = true } ~rate in
+  Alcotest.(check int) "served identical" off.Engine.served on.Engine.served;
+  Alcotest.(check int) "shed identical" off.Engine.shed on.Engine.shed;
+  Alcotest.(check int) "elapsed identical" off.Engine.elapsed on.Engine.elapsed;
+  Alcotest.(check int) "flushes identical" off.Engine.flushes on.Engine.flushes;
+  let s l = Option.get l.Engine.latency in
+  let module L = Skipit_obs.Latency in
+  Alcotest.(check (list (float 0.)))
+    "latency summary identical"
+    [ (s off).L.mean; (s off).L.p50; (s off).L.p99; (s off).L.p999; (s off).L.max ]
+    [ (s on).L.mean; (s on).L.p50; (s on).L.p99; (s on).L.p999; (s on).L.max ];
+  Alcotest.(check bool) "off-run records no attribution" true
+    (off.Engine.attribution = [] && off.Engine.metrics = None)
+
 (* == Sweep determinism under the pool =================================== *)
 
 let render f =
@@ -274,6 +333,10 @@ let tests =
         test_batcher_manual_and_ungrouped_fall_back;
       Alcotest.test_case "load spike conserves requests and slots" `Quick test_spike_conservation;
       Alcotest.test_case "group commit beats per-op persists" `Quick test_group_commit_beats_per_op;
+      Alcotest.test_case "CO-correct latency and conservation" `Quick
+        test_telemetry_co_latency_and_conservation;
+      Alcotest.test_case "telemetry leaves simulation untouched" `Quick
+        test_telemetry_leaves_simulation_untouched;
       Alcotest.test_case "sweep byte-identical at any width" `Slow
         test_sweep_byte_identical_across_jobs;
     ] )

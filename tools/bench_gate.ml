@@ -1,14 +1,22 @@
 (* Perf-regression gate over BENCH_results.json.
 
-   Usage: bench_gate [--min-speedup X] [--max-serial-regress Y] BASELINE FRESH [REPORT]
+   Usage: bench_gate [--min-speedup X] [--max-serial-regress Y]
+                     [--allow-missing] BASELINE FRESH [REPORT]
 
    Compares the committed baseline against a freshly generated file.  Every
    simulated quantity — per-workload cycles, checksums, latency summaries
-   and the stats counters — is deterministic by construction, so the gate
-   demands exact equality for them.  Host-dependent fields (wall_ms,
-   wall_ms_serial, jobs) are ignored except for a very generous sanity
-   bound on per-workload wall_ms (10x either way, floored at 1 ms, catches
-   only pathological blowups, never scheduler noise).
+   (through p99.9), per-stage cycle attribution, and the stats counters —
+   is deterministic by construction, so the gate demands exact equality for
+   them.  Host-dependent fields (wall_ms, wall_ms_serial, jobs) are ignored
+   except for a very generous sanity bound on per-workload wall_ms (10x
+   either way, floored at 1 ms, catches only pathological blowups, never
+   scheduler noise).
+
+   [--allow-missing] relaxes one direction: a gated key present in the
+   fresh run but absent from the baseline is noted, not failed — the
+   escape hatch for rolling the schema forward (new telemetry fields)
+   against a baseline generated before they existed.  Keys the baseline
+   has MUST still match exactly.
 
    Two optional hard perf gates (the execution-engine-v2 contract):
 
@@ -182,13 +190,34 @@ let rec equal_json a b =
          xs ys
   | _ -> false
 
+let allow_missing = ref false
+
+(* Subset comparison for --allow-missing: every key the baseline has must
+   exist in the fresh run and match; keys only the fresh run has (new
+   telemetry fields, at any nesting depth) are fine. *)
+let rec subset_json b f =
+  match b, f with
+  | Obj xs, Obj ys ->
+    List.for_all
+      (fun (k, v) ->
+        match List.assoc_opt k ys with Some w -> subset_json v w | None -> false)
+      xs
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 subset_json xs ys
+  | _ -> equal_json b f
+
 let compare_exact ~where key base fresh =
   match base, fresh with
   | None, None -> ()
   | Some b, None -> drift "%s: %s missing from fresh run (baseline %s)" where key (render b)
-  | None, Some f -> drift "%s: %s appeared in fresh run (%s), absent from baseline" where key (render f)
+  | None, Some f ->
+    if !allow_missing then
+      note "%s: %s new in fresh run (%s), absent from baseline (--allow-missing)" where
+        key (render f)
+    else drift "%s: %s appeared in fresh run (%s), absent from baseline" where key (render f)
   | Some b, Some f ->
-    if not (equal_json b f) then
+    let same = if !allow_missing then subset_json b f else equal_json b f in
+    if not same then
       drift "%s: %s drifted: baseline %s, fresh %s" where key (render b) (render f)
 
 let compare_wall ~where base fresh =
@@ -203,7 +232,7 @@ let compare_workload name base fresh =
   let where = "workload " ^ name in
   List.iter
     (fun key -> compare_exact ~where key (member key base) (member key fresh))
-    [ "cycles"; "checksums"; "latency"; "stats" ];
+    [ "cycles"; "checksums"; "latency"; "attribution"; "stats" ];
   compare_wall ~where
     (Option.bind (member "wall_ms" base) to_num)
     (Option.bind (member "wall_ms" fresh) to_num)
@@ -225,7 +254,8 @@ let read_file path =
 
 let usage () =
   prerr_endline
-    "usage: bench_gate [--min-speedup X] [--max-serial-regress Y] BASELINE FRESH [REPORT]";
+    "usage: bench_gate [--min-speedup X] [--max-serial-regress Y] [--allow-missing] \
+     BASELINE FRESH [REPORT]";
   exit 2
 
 let () =
@@ -241,6 +271,9 @@ let () =
       match float_of_string_opt v with
       | Some f -> max_serial_regress := Some f; parse_args rest
       | None -> usage ())
+    | "--allow-missing" :: rest ->
+      allow_missing := true;
+      parse_args rest
     | a :: rest ->
       if String.length a > 1 && a.[0] = '-' then usage ();
       positional := a :: !positional;
