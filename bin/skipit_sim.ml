@@ -36,6 +36,24 @@ let with_jobs jobs f =
   if jobs <= 1 then f None else Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 (* ------------------------------------------------------------------ *)
+(* Hierarchy shape shared by the simulation commands.                 *)
+
+let l2_banks_arg =
+  Arg.(value & opt int 1
+       & info [ "l2-banks" ] ~docv:"N"
+         ~doc:"Address-interleaved NUCA L2 banks, each with its own MSHRs, \
+               directory and request queue (power of two; 1 = the paper's \
+               monolithic L2).")
+
+let banked_bus_arg =
+  Arg.(value & flag & info [ "banked-bus" ]
+       ~doc:"Wire the clients to the L2 over one bus per bank \
+             (address-interleaved) instead of a full crossbar.")
+
+let topology_of ~shared_bus ~banked_bus =
+  if banked_bus then `Banked_bus else if shared_bus then `Shared_bus else `Crossbar
+
+(* ------------------------------------------------------------------ *)
 (* Tracing plumbing shared by the stats/run/trace commands.           *)
 
 let trace_out_arg =
@@ -81,10 +99,35 @@ let run_traced ?capacity ~out ~filter f =
 let maybe_traced ~out ~filter f =
   match out with None -> f () | Some out -> run_traced ~out ~filter f
 
+(* Order names with digit runs compared numerically, so the per-bank groups
+   read "l2.bank.2" before "l2.bank.10". *)
+let natural_compare a b =
+  let la = String.length a and lb = String.length b in
+  let is_digit c = c >= '0' && c <= '9' in
+  let digits s i l =
+    let j = ref i in
+    while !j < l && is_digit s.[!j] do incr j done;
+    !j
+  in
+  let rec go i j =
+    if i >= la || j >= lb then compare (la - i) (lb - j)
+    else if is_digit a.[i] && is_digit b.[j] then begin
+      let i' = digits a i la and j' = digits b j lb in
+      let na = int_of_string (String.sub a i (i' - i)) in
+      let nb = int_of_string (String.sub b j (j' - j)) in
+      if na <> nb then compare na nb else go i' j'
+    end
+    else if a.[i] <> b.[j] then Char.compare a.[i] b.[j]
+    else go (i + 1) (j + 1)
+  in
+  go 0 0
+
 (* Print a stats report grouped by component ("l1.0.load_hits" sits in the
-   "l1.0" block as "load_hits").  The report is sorted by name, so members
-   of one component are already contiguous. *)
+   "l1.0" block as "load_hits"; "l2.bank.3.hits" under "[l2.bank.3]").
+   Natural-ordering the names keeps each component's members contiguous
+   and the banks in index order. *)
 let print_grouped_stats report =
+  let report = List.sort (fun (a, _) (b, _) -> natural_compare a b) report in
   let split name =
     match String.rindex_opt name '.' with
     | Some i -> String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1)
@@ -113,14 +156,31 @@ let figure_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Fewer repetitions and sweep points.")
   in
-  let run name quick jobs =
+  let cores =
+    Arg.(value & opt (some int) None
+         & info [ "cores" ] ~docv:"N"
+           ~doc:"Scale the platform to N cores; the thread sweeps then extend \
+                 in powers of two up to N (default: the paper's platform).")
+  in
+  let run name quick jobs cores l2_banks banked_bus =
+    (* Only override the figure's own platform when the shape flags are
+       used, so default invocations stay byte-identical. *)
+    let params =
+      if cores = None && l2_banks = 1 && not banked_bus then None
+      else
+        Some
+          (C.platform ?cores ~l2_banks
+             ~topology:(topology_of ~shared_bus:false ~banked_bus)
+             ())
+    in
     match Figures.by_name name with
-    | Some f -> with_jobs jobs (fun pool -> with_ppf (fun ppf -> f ~quick ?pool ppf))
+    | Some f ->
+      with_jobs jobs (fun pool -> with_ppf (fun ppf -> f ~quick ?pool ?params ppf))
     | None -> prerr_endline ("unknown figure " ^ name)
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's evaluation figures")
-    Term.(const run $ figure $ quick $ jobs_arg)
+    Term.(const run $ figure $ quick $ jobs_arg $ cores $ l2_banks_arg $ banked_bus_arg)
 
 let stats_cmd =
   let threads =
@@ -134,12 +194,13 @@ let stats_cmd =
     Arg.(value & flag & info [ "shared-bus" ]
          ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
   in
-  let run threads lines skip_it shared_bus trace_out trace_filter _jobs =
+  let run threads lines skip_it shared_bus l2_banks banked_bus trace_out trace_filter
+      _jobs =
     (* --jobs is accepted for CLI uniformity; this command runs a single
        simulation, which is one job. *)
     maybe_traced ~out:trace_out ~filter:trace_filter (fun () ->
-      let topology = if shared_bus then `Shared_bus else `Crossbar in
-      let sys = S.create (C.platform ~cores:threads ~skip_it ~topology ()) in
+      let topology = topology_of ~shared_bus ~banked_bus in
+      let sys = S.create (C.platform ~cores:threads ~skip_it ~topology ~l2_banks ()) in
       S.emit_trace_meta sys;
       let base = Skipit_mem.Allocator.alloc (S.allocator sys) ~align:64 (lines * 64) in
       let module T = Skipit_core.Thread in
@@ -163,8 +224,8 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Run a store+double-flush loop and dump all counters")
-    Term.(const run $ threads $ lines $ skip_it $ shared_bus $ trace_out_arg
-          $ trace_filter_arg $ jobs_arg)
+    Term.(const run $ threads $ lines $ skip_it $ shared_bus $ l2_banks_arg
+          $ banked_bus_arg $ trace_out_arg $ trace_filter_arg $ jobs_arg)
 
 let sweep_cmd =
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Simulated cores.") in
@@ -224,10 +285,10 @@ let shared_bus_arg =
   Arg.(value & flag & info [ "shared-bus" ]
        ~doc:"Wire all L1 ports onto one shared bus instead of a crossbar.")
 
-let run_program ~file ~cores ~skip_it ~shared_bus ~stats =
+let run_program ~file ~cores ~skip_it ~shared_bus ~l2_banks ~banked_bus ~stats =
   let program, cores = load_program file cores in
-  let topology = if shared_bus then `Shared_bus else `Crossbar in
-  let sys = S.create (C.platform ~cores ~skip_it ~topology ()) in
+  let topology = topology_of ~shared_bus ~banked_bus in
+  let sys = S.create (C.platform ~cores ~skip_it ~topology ~l2_banks ()) in
   S.emit_trace_meta sys;
   let cycles, checksums = Skipit_workload.Trace_program.run sys program in
   Printf.printf "elapsed: %d cycles\n" cycles;
@@ -236,15 +297,16 @@ let run_program ~file ~cores ~skip_it ~shared_bus ~stats =
 
 let run_cmd =
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump all counters after the run.") in
-  let run file cores skip_it stats shared_bus trace_out trace_filter _jobs =
+  let run file cores skip_it stats shared_bus l2_banks banked_bus trace_out trace_filter
+      _jobs =
     (* --jobs accepted for uniformity; a trace program is a single job. *)
     maybe_traced ~out:trace_out ~filter:trace_filter (fun () ->
-      run_program ~file ~cores ~skip_it ~shared_bus ~stats)
+      run_program ~file ~cores ~skip_it ~shared_bus ~l2_banks ~banked_bus ~stats)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a text trace program (see examples/traces/)")
     Term.(const run $ program_arg $ cores_arg $ skip_it_arg $ stats $ shared_bus_arg
-          $ trace_out_arg $ trace_filter_arg $ jobs_arg)
+          $ l2_banks_arg $ banked_bus_arg $ trace_out_arg $ trace_filter_arg $ jobs_arg)
 
 let trace_cmd =
   let out =
@@ -257,17 +319,17 @@ let trace_cmd =
          & info [ "trace-capacity" ] ~docv:"N"
            ~doc:"Ring-buffer capacity in events; the oldest events are dropped beyond it.")
   in
-  let run file cores skip_it shared_bus out filter capacity _jobs =
+  let run file cores skip_it shared_bus l2_banks banked_bus out filter capacity _jobs =
     (* --jobs accepted for uniformity; a traced run is a single job. *)
     run_traced ~capacity ~out ~filter (fun () ->
-      run_program ~file ~cores ~skip_it ~shared_bus ~stats:false)
+      run_program ~file ~cores ~skip_it ~shared_bus ~l2_banks ~banked_bus ~stats:false)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a trace program with event tracing on: write a Perfetto \
              timeline and print per-class latency percentiles")
-    Term.(const run $ program_arg $ cores_arg $ skip_it_arg $ shared_bus_arg $ out
-          $ trace_filter_arg $ capacity $ jobs_arg)
+    Term.(const run $ program_arg $ cores_arg $ skip_it_arg $ shared_bus_arg
+          $ l2_banks_arg $ banked_bus_arg $ out $ trace_filter_arg $ capacity $ jobs_arg)
 
 let ablate_cmd =
   let run jobs =
@@ -350,13 +412,13 @@ let audit_cmd =
          & info [ "repro-out" ] ~docv:"FILE"
            ~doc:"Where to write the shrunk reproducer when a spec fails.")
   in
-  let replay file =
+  let replay ~l2_banks file =
     match Campaign.read_reproducer file with
     | Error e ->
       prerr_endline ("reproducer error: " ^ e);
       exit 1
     | Ok f ->
-      let t = Campaign.run_trial f.Campaign.spec ~crash_at:f.Campaign.crash_at in
+      let t = Campaign.run_trial ~l2_banks f.Campaign.spec ~crash_at:f.Campaign.crash_at in
       Printf.printf "replay %s crash_at=%s: %d persists, %d op(s) completed\n"
         (Campaign.spec_name f.Campaign.spec)
         (match f.Campaign.crash_at with Some b -> string_of_int b | None -> "-")
@@ -367,9 +429,9 @@ let audit_cmd =
         exit 1
       end
   in
-  let run seed ops budget structures modes strategies fault repro repro_out jobs =
+  let run seed ops budget structures modes strategies fault repro repro_out l2_banks jobs =
     match repro with
-    | Some file -> replay file
+    | Some file -> replay ~l2_banks file
     | None ->
       let structures = Option.value structures ~default:Campaign.all_structures in
       let modes = Option.value modes ~default:Skipit_persist.Pctx.all_modes in
@@ -394,7 +456,7 @@ let audit_cmd =
       Printf.printf "audit campaign: %d spec(s), seed %d, %d op(s), boundary budget %d\n%!"
         (List.length specs) seed ops budget;
       let reports =
-        with_jobs jobs (fun pool -> Campaign.run_campaign ?pool ~budget specs)
+        with_jobs jobs (fun pool -> Campaign.run_campaign ?pool ~budget ~l2_banks specs)
       in
       let failed = ref 0 in
       List.iter
@@ -428,7 +490,7 @@ let audit_cmd =
              crashed at persist boundaries, repaired and checked for durable \
              linearizability plus hierarchy invariants")
     Term.(const run $ seed $ ops $ budget $ structures $ modes $ strategies $ fault
-          $ repro $ repro_out $ jobs_arg)
+          $ repro $ repro_out $ l2_banks_arg $ jobs_arg)
 
 let serve_cmd =
   let module Engine = Skipit_serve.Engine in
@@ -532,7 +594,7 @@ let serve_cmd =
            ~doc:"Metrics window width in simulated cycles.")
   in
   let run structure mode strategy arrival rates quick batch depth clients requests cores
-      update seed csv json telemetry window jobs =
+      update seed csv json telemetry window l2_banks jobs =
     let cfg =
       {
         Engine.default with
@@ -557,7 +619,10 @@ let serve_cmd =
        prerr_endline ("serve: " ^ e);
        exit 2);
     let rates = match rates with Some rs -> rs | None -> Report.default_rates ~quick in
-    let points = with_jobs jobs (fun pool -> Engine.sweep ?pool cfg ~rates) in
+    let params =
+      if l2_banks = 1 then None else Some (C.Params.with_l2_banks C.default l2_banks)
+    in
+    let points = with_jobs jobs (fun pool -> Engine.sweep ?params ?pool cfg ~rates) in
     if json then print_string (Report.to_json cfg points)
     else
       with_ppf (fun ppf ->
@@ -583,7 +648,7 @@ let serve_cmd =
              load shedding; prints the throughput-latency sweep")
     Term.(const run $ structure $ mode $ strategy $ arrival $ rates $ quick $ batch
           $ depth $ clients $ requests $ cores $ update $ seed $ csv $ json $ telemetry
-          $ window $ jobs_arg)
+          $ window $ l2_banks_arg $ jobs_arg)
 
 let telemetry_cmd =
   let module Engine = Skipit_serve.Engine in
@@ -655,8 +720,8 @@ let telemetry_cmd =
       close_out oc;
       Printf.printf "telemetry: wrote %s (%s)\n" file what
   in
-  let run rate requests batch depth clients cores update seed window out_json out_prom
-      out_csv out_perfetto =
+  let run rate requests batch depth clients cores update seed window l2_banks out_json
+      out_prom out_csv out_perfetto =
     let cfg =
       {
         Engine.default with
@@ -681,7 +746,10 @@ let telemetry_cmd =
       | None -> None
       | Some _ -> Some (Trace.start ~capacity:(1 lsl 21) ())
     in
-    let point = Engine.run cfg ~rate in
+    let params =
+      if l2_banks = 1 then None else Some (C.Params.with_l2_banks C.default l2_banks)
+    in
+    let point = Engine.run ?params cfg ~rate in
     (match tr with Some _ -> ignore (Trace.stop ()) | None -> ());
     (* Console summary: the CO-corrected distribution next to what a naive
        (dequeue-stamped) recorder would have reported, then where the
@@ -742,7 +810,7 @@ let telemetry_cmd =
              coordinated-omission-correct latency, exportable as JSON, \
              Prometheus text, CSV, or Perfetto counter tracks")
     Term.(const run $ rate $ requests $ batch $ depth $ clients $ cores $ update $ seed
-          $ window $ out_json $ out_prom $ out_csv $ out_perfetto)
+          $ window $ l2_banks_arg $ out_json $ out_prom $ out_csv $ out_perfetto)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

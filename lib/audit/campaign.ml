@@ -151,9 +151,9 @@ type trial = {
   violations : string list;
 }
 
-let build_system spec =
+let build_system ?(l2_banks = 1) spec =
   let params =
-    { (C.tiny ~cores:1 ()) with Params.skip_it = wants_skip_it_hw spec.strategy }
+    { (C.tiny ~cores:1 ()) with Params.skip_it = wants_skip_it_hw spec.strategy; l2_banks }
   in
   S.create params
 
@@ -243,8 +243,8 @@ let verify_queue q p sys ops ~completed =
          | _ -> "");
     ]
 
-let run_trial ?(audit_every = 400) spec ~crash_at =
-  let sys = build_system spec in
+let run_trial ?(audit_every = 400) ?l2_banks spec ~crash_at =
+  let sys = build_system ?l2_banks spec in
   let strategy = apply_fault spec.fault (realize_strategy spec) in
   (* Crash boundaries count persist-point *calls*, not persist-log events:
      a fault that elides the writeback must not also elide the boundary
@@ -377,8 +377,8 @@ let boundaries ~persists ~budget ~seed =
     List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) picks [])
   end
 
-let run_spec ?pool ?(budget = 20) spec =
-  let full = run_trial spec ~crash_at:None in
+let run_spec ?pool ?(budget = 20) ?l2_banks spec =
+  let full = run_trial ?l2_banks spec ~crash_at:None in
   match full.violations with
   | _ :: _ ->
     {
@@ -392,7 +392,7 @@ let run_spec ?pool ?(budget = 20) spec =
     let bs = boundaries ~persists:full.persists ~budget ~seed:spec.seed in
     let trials =
       Pool.run_chunked_opt ~chunk:1 pool
-        (fun b -> b, run_trial spec ~crash_at:(Some b))
+        (fun b -> b, run_trial ?l2_banks spec ~crash_at:(Some b))
         bs
     in
     let failure =
@@ -405,11 +405,11 @@ let run_spec ?pool ?(budget = 20) spec =
     in
     { spec; persists = full.persists; boundaries_tested = List.length bs; failure }
 
-let run_campaign ?pool ?budget specs =
+let run_campaign ?pool ?budget ?l2_banks specs =
   (* Parallelism lives inside each spec (its crash boundaries fan out over
      the pool); specs run in sequence so reports stay in submission order
      with bounded memory. *)
-  List.map (fun spec -> run_spec ?pool ?budget spec) specs
+  List.map (fun spec -> run_spec ?pool ?budget ?l2_banks spec) specs
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking.                                                         *)

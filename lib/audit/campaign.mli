@@ -65,11 +65,13 @@ type trial = {
   violations : string list;  (** Durability oracle + invariant violations. *)
 }
 
-val run_trial : ?audit_every:int -> spec -> crash_at:int option -> trial
+val run_trial : ?audit_every:int -> ?l2_banks:int -> spec -> crash_at:int option -> trial
 (** One simulation: build a fresh system, run the generated op schedule,
     optionally crash at persist-point boundary [crash_at] (stop once that
     many persist-point calls have returned), repair, audit, verify.
-    [audit_every] (default 400) attaches the periodic {!Auditor}. *)
+    [audit_every] (default 400) attaches the periodic {!Auditor};
+    [l2_banks] (default 1) runs the trial on a banked NUCA L2, exercising
+    the crash/repair path across every bank. *)
 
 type failure = { spec : spec; crash_at : int option; completed : int; violations : string list }
 
@@ -80,14 +82,14 @@ type report = {
   failure : failure option;  (** First failing crash point, if any. *)
 }
 
-val run_spec : ?pool:Pool.t -> ?budget:int -> spec -> report
+val run_spec : ?pool:Pool.t -> ?budget:int -> ?l2_banks:int -> spec -> report
 (** Test one spec: an uncrashed run first (oracle + invariants at quiesce),
     then up to [budget] (default 20) crash boundaries — enumerated
     exhaustively when the run has that few persists, otherwise the first,
     the last and RNG-sampled interior boundaries.  Crash trials fan out
     over [pool]. *)
 
-val run_campaign : ?pool:Pool.t -> ?budget:int -> spec list -> report list
+val run_campaign : ?pool:Pool.t -> ?budget:int -> ?l2_banks:int -> spec list -> report list
 
 val shrink : failure -> failure
 (** Minimise a failing crash point: truncate the schedule to the in-flight

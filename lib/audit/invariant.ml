@@ -164,7 +164,7 @@ let check_conservation ctx =
     widen (Dcache.wbu dc);
     widen (Flush_unit.fshrs (Dcache.flush_unit dc))
   done;
-  widen (L2.mshrs l2);
+  Array.iter widen (L2.mshr_files l2);
   widen (Dram.channels (S.dram sys));
   let h = !horizon in
   for core = 0 to S.n_cores sys - 1 do

@@ -23,12 +23,15 @@ type t = {
   l2_mshrs : int;
   l2_list_buffer : int;
   l2_banks : int;
-  l2_bank_busy : int;
+  l2_slices : int;
+  l2_slice_busy : int;
   l2_tag_access : int;
   dram_channels : int;
   dram_read_latency : int;
   dram_write_latency : int;
   dram_occupancy : int;
+  mem_max_inflight : int;
+  mem_burst_beat_cost : int;
   fence_base_cost : int;
   cas_extra : int;
   nack_retry_delay : int;
@@ -40,7 +43,7 @@ type t = {
   l1_replacement : [ `Lru | `Random ];
   async_stores : bool;
   stq_entries : int;
-  topology : [ `Crossbar | `Shared_bus ];
+  topology : [ `Crossbar | `Shared_bus | `Banked_bus ];
 }
 
 let boom_default =
@@ -64,13 +67,23 @@ let boom_default =
        free parameter). *)
     l2_mshrs = 64;
     l2_list_buffer = 16;
-    l2_banks = 8;
-    l2_bank_busy = 4;
+    (* NUCA banks: 1 = the monolithic L2 of the paper's platform.  Each
+       bank replicates the MSHR file / ListBuffer / directory, so >1 both
+       multiplies control capacity and removes the shared-structure
+       serialisation Fig. 9 saturates on. *)
+    l2_banks = 1;
+    l2_slices = 8;
+    l2_slice_busy = 4;
     l2_tag_access = 8;
     dram_channels = 8;
     dram_read_latency = 60;
     dram_write_latency = 55;
     dram_occupancy = 2;
+    (* AXI-style memory-side transaction model: 0 = unlimited in-flight
+       transactions and free burst beats (the pre-burst-model behaviour,
+       timing-neutral). *)
+    mem_max_inflight = 0;
+    mem_burst_beat_cost = 0;
     fence_base_cost = 5;
     cas_extra = 4;
     nack_retry_delay = 4;
@@ -88,6 +101,10 @@ let boom_default =
 let with_cores t n = { t with n_cores = n }
 let with_skip_it t b = { t with skip_it = b }
 let with_topology t topology = { t with topology }
+let with_l2_banks t n = { t with l2_banks = n }
+
+let with_mem_burst t ~max_inflight ~beat_cost =
+  { t with mem_max_inflight = max_inflight; mem_burst_beat_cost = beat_cost }
 
 let with_l3 t =
   {
@@ -109,6 +126,8 @@ let data_beats t = line_bytes t / t.bus_bytes
 let fill_buffer_cycles t =
   if t.wide_data_array then t.l1_fill_buffer_wide else t.l1_fill_buffer_narrow
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
 let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if t.n_cores <= 0 then err "n_cores must be positive"
@@ -118,8 +137,13 @@ let validate t =
   else if t.l1_mshrs <= 0 || t.n_fshrs <= 0 then err "MSHR/FSHR counts must be positive"
   else if t.flush_queue_depth < 0 then err "flush queue depth must be non-negative"
   else if t.stq_entries <= 0 then err "STQ must have at least one entry"
-  else if t.l2_mshrs <= 0 || t.l2_banks <= 0 || t.dram_channels <= 0 then
+  else if t.l2_mshrs <= 0 || t.l2_slices <= 0 || t.dram_channels <= 0 then
     err "L2/DRAM structure counts must be positive"
+  else if not (is_pow2 t.l2_banks) then err "l2_banks must be a power of two"
+  else if t.l2_banks > t.l2_geom.Geometry.sets then
+    err "l2_banks must not exceed L2 set count"
+  else if t.mem_max_inflight < 0 || t.mem_burst_beat_cost < 0 then
+    err "memory burst parameters must be non-negative"
   else
     match t.l3 with
     | Some l3 when l3.l3_geom.Geometry.line_bytes <> line_bytes t ->

@@ -37,19 +37,31 @@ type t = {
   (* Interconnect *)
   link_latency : int;  (** One-way header latency L1↔L2. *)
   (* L2 structures *)
-  l2_mshrs : int;
+  l2_mshrs : int;  (** Per NUCA bank. *)
   l2_list_buffer : int;
-      (** ListBuffer entries in front of the L2 MSHRs (§3.4): channel-C
-          requests that cannot get an MSHR wait here; a full buffer pushes
-          back on the senders. *)
+      (** ListBuffer entries in front of the L2 MSHRs (§3.4), per NUCA
+          bank: channel-C requests that cannot get an MSHR wait here; a
+          full buffer pushes back on the senders. *)
   l2_banks : int;
-  l2_bank_busy : int;  (** BankedStore occupancy per line access. *)
+      (** Address-interleaved NUCA banks (line-address mod [l2_banks]).
+          1 (default) = the paper's monolithic inclusive L2; each extra
+          bank carries its own MSHR file, ListBuffer, directory and
+          BankedStore slices.  Must be a power of two ≤ L2 sets. *)
+  l2_slices : int;  (** BankedStore data slices per NUCA bank. *)
+  l2_slice_busy : int;  (** BankedStore slice occupancy per line access. *)
   l2_tag_access : int;  (** Directory lookup/update. *)
   (* Memory *)
   dram_channels : int;
   dram_read_latency : int;
   dram_write_latency : int;
   dram_occupancy : int;  (** Channel occupancy per line transfer. *)
+  mem_max_inflight : int;
+      (** AXI-style cap on outstanding memory-side transactions per
+          channel-set (read/write IDs in flight); 0 = unlimited (the
+          pre-burst-model behaviour). *)
+  mem_burst_beat_cost : int;
+      (** Extra cycles per data beat of a memory-side burst (a line moves
+          as [data_beats] beats); 0 = free beats (timing-neutral). *)
   (* Core *)
   fence_base_cost : int;
   cas_extra : int;  (** Extra cycles an AMO/CAS pays over a plain store hit. *)
@@ -77,12 +89,14 @@ type t = {
           core until the cache completes them (the stricter model, as an
           ablation). *)
   stq_entries : int;  (** Store-queue capacity (32 in SonicBOOM, Fig. 2). *)
-  topology : [ `Crossbar | `Shared_bus ];
+  topology : [ `Crossbar | `Shared_bus | `Banked_bus ];
       (** Interconnect shape between the L1 clients and the LLC.
           [`Crossbar] (the default, and what the SiFive generator elaborates
           for a BOOM tile) gives every L1↔L2 port private channel wiring;
           [`Shared_bus] makes all client ports contend for one set of A/C/D
-          channels — an ablation for small SoCs. *)
+          channels — an ablation for small SoCs; [`Banked_bus] gives each
+          NUCA bank one shared set of channels that all clients contend
+          for — the per-bank crossbar of a banked LLC. *)
 }
 
 val boom_default : t
@@ -92,8 +106,14 @@ val boom_default : t
 val with_cores : t -> int -> t
 val with_skip_it : t -> bool -> t
 
-val with_topology : t -> [ `Crossbar | `Shared_bus ] -> t
+val with_topology : t -> [ `Crossbar | `Shared_bus | `Banked_bus ] -> t
 (** Select the client↔LLC interconnect shape. *)
+
+val with_l2_banks : t -> int -> t
+(** Set the NUCA bank count (power of two ≤ L2 sets). *)
+
+val with_mem_burst : t -> max_inflight:int -> beat_cost:int -> t
+(** Configure the memory-side AXI burst model. *)
 
 val with_l3 : t -> t
 (** Add a 4 MiB 16-way memory-side L3 (the deeper-hierarchy experiment). *)
@@ -109,4 +129,4 @@ val fill_buffer_cycles : t -> int
 
 val validate : t -> (unit, string) result
 (** Sanity-check cross-field constraints (L1/L2 line sizes equal, positive
-    capacities, bus divides line, ...). *)
+    capacities, bus divides line, [l2_banks] a power of two ≤ sets, ...). *)

@@ -3,8 +3,8 @@ module Geometry = Skipit_cache.Geometry
 
 let default = Params.boom_default
 
-let platform ?(cores = 2) ?(skip_it = false) ?(topology = `Crossbar) () =
-  { Params.boom_default with Params.n_cores = cores; skip_it; topology }
+let platform ?(cores = 2) ?(skip_it = false) ?(topology = `Crossbar) ?(l2_banks = 1) () =
+  { Params.boom_default with Params.n_cores = cores; skip_it; topology; l2_banks }
 
 let tiny ?(cores = 2) () =
   {

@@ -13,11 +13,17 @@ val default : Params.t
 (** Single-core SonicBOOM with the paper's cache sizes, Skip It off. *)
 
 val platform :
-  ?cores:int -> ?skip_it:bool -> ?topology:[ `Crossbar | `Shared_bus ] -> unit -> Params.t
+  ?cores:int ->
+  ?skip_it:bool ->
+  ?topology:[ `Crossbar | `Shared_bus | `Banked_bus ] ->
+  ?l2_banks:int ->
+  unit ->
+  Params.t
 (** The §7.1 SoC: 32 KiB 8-way L1 per core, shared 512 KiB inclusive L2,
     64 B lines, 16 B bus, 8 FSHRs, 8-deep flush queue.  [topology] selects
     the client↔L2 interconnect wiring (default [`Crossbar], the SiFive
-    elaboration). *)
+    elaboration); [l2_banks] the NUCA bank count (default 1, the paper's
+    monolithic L2). *)
 
 val tiny : ?cores:int -> unit -> Params.t
 (** A deliberately small hierarchy (2 KiB L1 / 8 KiB L2) that forces

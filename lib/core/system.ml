@@ -48,35 +48,52 @@ let create params =
   let beats = Params.data_beats params in
   (* Memory side of the L2: either DRAM directly behind one counted port, or
      an L3 whose own downstream port fronts DRAM — every boundary counted. *)
+  let max_inflight = params.Params.mem_max_inflight in
+  let burst_beat_cost = params.Params.mem_burst_beat_cost in
   let l3, backend, memside_ports =
     match params.Params.l3 with
     | Some cfg ->
-      let dram_port = Skipit_l2.Backend.of_dram ~name:"l3.dram" ~beats_per_line:beats dram in
+      let dram_port =
+        Skipit_l2.Backend.of_dram ~name:"l3.dram" ~beats_per_line:beats ~max_inflight
+          ~burst_beat_cost dram
+      in
       let m =
         Memside.create ~name:"l2.l3" ~geom:cfg.Params.l3_geom
           ~access_latency:cfg.Params.l3_latency ~banks:cfg.Params.l3_banks
-          ~bank_busy:cfg.Params.l3_bank_busy ~below:dram_port ~beats_per_line:beats ()
+          ~bank_busy:cfg.Params.l3_bank_busy ~below:dram_port ~beats_per_line:beats
+          ~max_inflight ~burst_beat_cost ()
       in
       let b = Memside.backend m in
       Some m, b, [ b; dram_port ]
     | None ->
-      let b = Skipit_l2.Backend.of_dram ~name:"l2.mem" ~beats_per_line:beats dram in
+      let b =
+        Skipit_l2.Backend.of_dram ~name:"l2.mem" ~beats_per_line:beats ~max_inflight
+          ~burst_beat_cost dram
+      in
       None, b, [ b ]
   in
   let l2 = L2.create params ~backend in
   (* Client-side topology: a crossbar gives each L1<->L2 port private channel
-     wires; a shared bus threads one wire set through every port. *)
-  let shared_channels =
-    match params.Params.topology with
-    | `Shared_bus -> Some (Port.Channels.create ~name:"bus")
-    | `Crossbar -> None
-  in
+     wires; a shared bus threads one wire set through every port; a banked
+     bus gives each NUCA bank one wire set that every client contends for
+     (messages route by line address, matching the L2's interleave). *)
+  let line_bytes = Params.line_bytes params in
   let ports =
-    Array.init params.Params.n_cores (fun core ->
-      let name = Printf.sprintf "l1.%d" core in
-      match shared_channels with
-      | Some channels -> Port.create ~channels ~name ()
-      | None -> Port.create ~name ())
+    match params.Params.topology with
+    | `Crossbar ->
+      Array.init params.Params.n_cores (fun core ->
+        Port.create ~name:(Printf.sprintf "l1.%d" core) ())
+    | `Shared_bus ->
+      let channels = Port.Channels.create ~name:"bus" in
+      Array.init params.Params.n_cores (fun core ->
+        Port.create ~channels ~name:(Printf.sprintf "l1.%d" core) ())
+    | `Banked_bus ->
+      let bank_channels =
+        Array.init params.Params.l2_banks (fun i ->
+          Port.Channels.create ~name:(Printf.sprintf "bus.b%d" i))
+      in
+      Array.init params.Params.n_cores (fun core ->
+        Port.create ~bank_channels ~line_bytes ~name:(Printf.sprintf "l1.%d" core) ())
   in
   Array.iteri (fun core port -> L2.connect_client l2 ~core port) ports;
   let dcaches =
@@ -230,7 +247,11 @@ let emit_trace_meta t =
       (fun b -> meta ("port." ^ Skipit_l2.Backend.name b) "memside port")
       t.memside_ports;
     meta "l2" "shared inclusive L2";
-    meta "l2.mshr" "L2 MSHRs";
+    if L2.n_banks t.l2 = 1 then meta "l2.mshr" "L2 MSHRs"
+    else
+      for i = 0 to L2.n_banks t.l2 - 1 do
+        meta (Printf.sprintf "l2.bank.%d.mshr" i) (Printf.sprintf "L2 bank %d MSHRs" i)
+      done;
     (match t.l3 with Some _ -> meta "l2.l3" "memory-side L3" | None -> ());
     meta "dram" "DRAM (persistence domain)"
   end
@@ -247,6 +268,10 @@ let stats_report t =
     (fun i dc -> push (Printf.sprintf "fu.%d" i) (Flush_unit.stats (Dcache.flush_unit dc)))
     t.dcaches;
   push "l2" (L2.stats t.l2);
+  if L2.n_banks t.l2 > 1 then
+    Array.iteri
+      (fun i reg -> push (Printf.sprintf "l2.bank.%d" i) reg)
+      (L2.bank_stats t.l2);
   (match t.l3 with Some m -> push "l3" (Memside.stats m) | None -> ());
   (* Per-port beat/stall/occupancy counters at every hierarchy boundary. *)
   Array.iter (fun p -> push ("port." ^ Port.name p) (Port.stats p)) t.ports;

@@ -88,8 +88,8 @@ let blit_line t id src = Array.blit src 0 t.data (id * t.wpl) t.wpl
 (* Serialize [beats] of an outgoing/incoming message on a shared channel
    whose serialization time is already part of [finish]: contention-free
    sends cost nothing extra, concurrent senders queue. *)
-let channel_c t ~finish ~beats = Port.send_c t.port ~finish ~beats
-let channel_d t ~finish ~beats = Port.recv_d t.port ~finish ~beats
+let channel_c t ~addr ~finish ~beats = Port.send_c t.port ~addr ~finish ~beats
+let channel_d t ~addr ~finish ~beats = Port.recv_d t.port ~addr ~finish ~beats
 
 let l1_ev t ~at ~addr op =
   if Trace.enabled () then Trace.emit ~at (Trace.L1 { core = t.core; op; addr })
@@ -117,7 +117,7 @@ let evict_slot t id ~now =
       l1_ev t ~at:t0 ~addr:vaddr Trace.Evict_dirty;
       let rid = Trace.req_start ~at:t0 ~cls:Trace.Cls_writeback ~core:t.core ~addr:vaddr in
       let t_buf = Resource.acquire_finish t.wbu ~now:t0 ~busy:(beats t) in
-      let t_sent = channel_c t ~finish:t_buf ~beats:(beats t) in
+      let t_sent = channel_c t ~addr:vaddr ~finish:t_buf ~beats:(beats t) in
       let shrink = Perm.shrink_for ~from:perm ~cap:Perm.Nothing in
       (* The L2-side ack is off the critical path: its future-dated L2/DRAM
          completion times must not advance the attribution cursor. *)
@@ -170,12 +170,12 @@ let refill t ~addr ~grow ~now =
           victim, t_free
       in
       Attr.mark Attr.Mshr ~at:t_slot;
-      let t_sent = Port.send_a t.port ~now:t_slot in
+      let t_sent = Port.send_a t.port ~addr ~now:t_slot in
       let grant = Port.acquire t.port ~addr ~grow ~now:t_sent in
       (* Grant data shares the D channel with every other response into
          this core. *)
       let grant =
-        { grant with Port.done_at = channel_d t ~finish:grant.Port.done_at ~beats:(beats t) }
+        { grant with Port.done_at = channel_d t ~addr ~finish:grant.Port.done_at ~beats:(beats t) }
       in
       Store.fill t.store_arr id ~addr ~payload:() ~now:grant.Port.done_at;
       set_meta t id
@@ -341,7 +341,7 @@ let cbo t ~addr ~kind ~now =
       (* The FSHR's beats are its own serialization; arbitrate them onto
          the shared C channel before the message travels. *)
       let nbeats = if data = None then 1 else beats t in
-      let sent = channel_c t ~finish:now ~beats:nbeats in
+      let sent = channel_c t ~addr:base ~finish:now ~beats:nbeats in
       Port.root_release t.port ~addr:base ~kind ~data ~now:sent
     in
     let result =
@@ -426,7 +426,7 @@ let handle_probe t ~addr ~cap ~now =
          end);
       note_change t ~addr:base ~now:t0;
       let wire = if dirty_data = None then 1 else beats t in
-      let sent = channel_c t ~finish:(t0 + meta + wire) ~beats:wire in
+      let sent = channel_c t ~addr:base ~finish:(t0 + meta + wire) ~beats:wire in
       { Port.dirty_data; done_at = sent + t.p.Params.link_latency }
     end
     else { Port.dirty_data = None; done_at = t0 + meta + 1 + t.p.Params.link_latency }

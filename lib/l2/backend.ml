@@ -14,8 +14,9 @@ let discard_line = Port.Memside.discard_line
 let peek_word = Port.Memside.peek_word
 let crash = Port.Memside.crash
 
-let of_dram ?(name = "dram") ~beats_per_line dram =
-  Port.Memside.create ~name ~beats_per_line (fun stats ->
+let of_dram ?(name = "dram") ~beats_per_line ?(max_inflight = 0) ?(burst_beat_cost = 0)
+    dram =
+  Port.Memside.create ~name ~beats_per_line ~max_inflight ~burst_beat_cost (fun stats ->
     {
       Port.Memside.read_line =
         (fun ~addr ~now ->

@@ -14,6 +14,8 @@ type t = Skipit_tilelink.Port.Memside.t
 val create :
   name:string ->
   beats_per_line:int ->
+  ?max_inflight:int ->
+  ?burst_beat_cost:int ->
   (Skipit_sim.Stats.Registry.t -> Skipit_tilelink.Port.Memside.ops) ->
   t
 
@@ -30,8 +32,16 @@ val discard_line : t -> addr:int -> unit
 val peek_word : t -> int -> int
 val crash : t -> unit
 
-val of_dram : ?name:string -> beats_per_line:int -> Skipit_mem.Dram.t -> t
+val of_dram :
+  ?name:string ->
+  beats_per_line:int ->
+  ?max_inflight:int ->
+  ?burst_beat_cost:int ->
+  Skipit_mem.Dram.t ->
+  t
 (** DRAM is the persistence domain itself: [write_line] = [persist_line],
     [persist_if_dirty] and [discard_line] are no-ops, nothing is volatile.
     Channel-queueing inside the DRAM controller is reported as the port's
-    stall/wait counters. *)
+    stall/wait counters.  [max_inflight] / [burst_beat_cost] configure the
+    AXI-style outstanding-transaction/burst model of
+    {!Skipit_tilelink.Port.Memside.create} (defaults timing-neutral). *)

@@ -17,15 +17,38 @@ type grant = Port.grant = {
   done_at : int;
 }
 
-type t = {
-  p : Params.t;
-  store : Directory.t Store.t;
+(* One NUCA bank: a full slice of the inclusive LLC's control and data
+   structures.  Lines are interleaved across banks by an XOR-fold of the
+   line number (see [fold] below), and each bank's tag store runs on
+   {e compressed} addresses — the bank bits are folded out of the line
+   number — so that
+   per-bank set indexing and tags partition the monolithic store exactly:
+   at [l2_banks = 1] every structure, name and timing is bit-identical to
+   the unbanked cache. *)
+type bank = {
+  b_idx : int;
+  store : Directory.t Store.t;  (* compressed-address tag store *)
   mshrs : Resource.t;
   (* The ListBuffer (§3.4): channel-C requests that cannot get an MSHR wait
      here; when it is full the sender stalls until the oldest waiter is
      scheduled. *)
   list_buffer : Admission.t;
-  banks : Resource.Banked.t;
+  slices : Resource.Banked.t;  (* BankedStore data slices *)
+  b_stats : Stats.Registry.t;  (* per-bank counters, exported when banked *)
+  mshr_comp : string;  (* trace/metrics component for this bank's MSHRs *)
+}
+
+type t = {
+  p : Params.t;
+  n_banks : int;
+  bank_shift : int;  (* log2 n_banks *)
+  slice_shift : int;  (* log2 l2_slices, for the banked slice hash *)
+  slice_mask : int;  (* l2_slices - 1 when banked and pow2, else 0 = no hash *)
+  lb : int;  (* line bytes *)
+  (* First attribution mark of every L2 transaction: the wait to get into
+     the owning bank's MSHR/ListBuffer is a bank conflict when banked. *)
+  acq_stage : Attr.stage;
+  banks : bank array;
   backend : Backend.t;
   (* One manager port per client core; B-channel probes route through the
      port to whatever client agent is connected on the other side. *)
@@ -35,16 +58,48 @@ type t = {
      share because a system's requests are processed one at a time and
      probe handling never re-enters the directory walk. *)
   probe_buf : int array;
-  stats : Stats.Registry.t;
+  stats : Stats.Registry.t;  (* aggregate across banks *)
 }
 
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
 let create p ~backend =
+  let n = p.Params.l2_banks in
+  let g = p.Params.l2_geom in
+  let bank_geom =
+    if n = 1 then g
+    else
+      Geometry.v
+        ~size_bytes:(g.Geometry.size_bytes / n)
+        ~ways:g.Geometry.ways ~line_bytes:g.Geometry.line_bytes
+  in
   {
     p;
-    store = Store.create p.Params.l2_geom;
-    mshrs = Resource.create ~count:p.Params.l2_mshrs "l2-mshrs";
-    list_buffer = Admission.create ~capacity:p.Params.l2_list_buffer;
-    banks = Resource.Banked.create ~banks:p.Params.l2_banks "l2-banks";
+    n_banks = n;
+    bank_shift = log2 n;
+    slice_shift = log2 p.Params.l2_slices;
+    slice_mask =
+      (let s = p.Params.l2_slices in
+       if n > 1 && s > 1 && s land (s - 1) = 0 then s - 1 else 0);
+    lb = g.Geometry.line_bytes;
+    acq_stage = (if n > 1 then Attr.Bank_wait else Attr.L2);
+    banks =
+      Array.init n (fun i ->
+        {
+          b_idx = i;
+          store = Store.create bank_geom;
+          mshrs =
+            Resource.create ~count:p.Params.l2_mshrs
+              (if n = 1 then "l2-mshrs" else Printf.sprintf "l2.bank%d-mshrs" i);
+          list_buffer = Admission.create ~capacity:p.Params.l2_list_buffer;
+          slices =
+            Resource.Banked.create ~banks:p.Params.l2_slices
+              (if n = 1 then "l2-banks" else Printf.sprintf "l2.bank%d-slices" i);
+          b_stats = Stats.Registry.create ();
+          mshr_comp = (if n = 1 then "l2.mshr" else Printf.sprintf "l2.bank.%d.mshr" i);
+        });
     backend;
     ports = Array.make p.Params.n_cores None;
     probe_buf = Array.make p.Params.n_cores 0;
@@ -54,27 +109,75 @@ let create p ~backend =
 let stats t = t.stats
 let backend t = t.backend
 let client_port t ~core = t.ports.(core)
+let n_banks t = t.n_banks
+let bank_stats t = Array.map (fun b -> b.b_stats) t.banks
+let mshr_files t = Array.map (fun b -> b.mshrs) t.banks
 
 let line t addr = Geometry.line_base t.p.Params.l2_geom addr
-let line_bytes t = Params.line_bytes t.p
 let beats t = Params.data_beats t.p
+
+(* Line-address interleaving and the compressed per-bank address space.
+   The bank index XOR-folds the whole line number in [bank_shift]-wide
+   chunks: plain low-bit interleaving leaves power-of-two-strided access
+   patterns (e.g. one contiguous region per core) hammering one bank in
+   lockstep, while folding the upper bits in decorrelates them — the usual
+   NUCA bank hash.  [compress] shifts the low bank-field out of the line
+   number; [decompress] recovers it from the bank index and the fold of the
+   surviving upper bits (fold(line) = low xor fold(high), so
+   low = b_idx xor fold(high)) — with one bank all three are the identity. *)
+let fold ~shift ~mask line =
+  let h = ref 0 and x = ref line in
+  while !x <> 0 do
+    h := !h lxor (!x land mask);
+    x := !x lsr shift
+  done;
+  !h
+
+let fold_hash t line = fold ~shift:t.bank_shift ~mask:(t.n_banks - 1) line
+
+let bank_of t addr = if t.n_banks = 1 then 0 else fold_hash t (addr / t.lb)
+let bank_for t addr = t.banks.(bank_of t addr)
+
+let compress t addr =
+  ((addr / t.lb) lsr t.bank_shift * t.lb) lor (addr land (t.lb - 1))
+
+let decompress t b caddr =
+  if t.n_banks = 1 then caddr
+  else
+    let high = caddr / t.lb in
+    ((high lsl t.bank_shift) lor (b.b_idx lxor fold_hash t high)) * t.lb
+
+(* Aggregate counters keep their monolithic names (the golden pins);
+   per-bank shadows are kept only when actually banked. *)
+let incr_stat t b name =
+  Stats.Registry.incr t.stats name;
+  if t.n_banks > 1 then Stats.Registry.incr b.b_stats name
 
 let l2_ev ~at ~addr op = if Trace.enabled () then Trace.emit ~at (Trace.L2 { op; addr })
 
-let bank_access t ~addr ~now =
+(* Within a NUCA bank the data-array slice is picked by the same XOR-fold
+   of the compressed line number, so strided patterns the bank hash just
+   decorrelated don't re-collide on one slice.  The monolithic cache keeps
+   the original low-bit slice interleave (the golden timing), as does a
+   non-power-of-two slice count. *)
+let slice_access t b ~caddr ~now =
+  let addr =
+    if t.slice_mask = 0 then caddr
+    else fold ~shift:t.slice_shift ~mask:t.slice_mask (caddr / t.lb) * t.lb
+  in
   let _, finish =
-    Resource.Banked.acquire t.banks ~addr ~line_bytes:(line_bytes t) ~now
-      ~busy:t.p.Params.l2_bank_busy
+    Resource.Banked.acquire b.slices ~addr ~line_bytes:t.lb ~now
+      ~busy:t.p.Params.l2_slice_busy
   in
   finish
 
 (* Probe one client.  The client agent behind the port accounts for its own
    processing and the C-channel serialization; we add the outgoing B-channel
    travel here and trust [done_at] to be the ProbeAck arrival at the L2. *)
-let probe_one t ~core ~addr ~cap ~now =
+let probe_one t b ~core ~addr ~cap ~now =
   match t.ports.(core) with
   | Some port ->
-    Stats.Registry.incr t.stats "probes";
+    incr_stat t b "probes";
     l2_ev ~at:now ~addr L2_probe;
     Port.probe port ~addr ~cap ~now:(now + t.p.Params.link_latency)
   | None -> invalid_arg (Printf.sprintf "Inclusive_cache: no client port for core %d" core)
@@ -82,12 +185,12 @@ let probe_one t ~core ~addr ~cap ~now =
 (* Probe the first [n] cores of [t.probe_buf] in parallel, capping each to
    [cap]; merge any dirty data into the directory payload.  Returns the
    time the last ProbeAck lands. *)
-let probe_all t ~addr ~cap ~n ~now dir =
+let probe_all t b ~addr ~cap ~n ~now dir =
   let t_done = ref now in
   for i = 0 to n - 1 do
     let core = t.probe_buf.(i) in
     let prev = Directory.owner_perm dir core in
-    let r = probe_one t ~core ~addr ~cap ~now in
+    let r = probe_one t b ~core ~addr ~cap ~now in
     (match r.dirty_data with
      | Some d ->
        Array.blit d 0 dir.Directory.data 0 (Array.length d);
@@ -102,15 +205,15 @@ let probe_all t ~addr ~cap ~n ~now dir =
 (* Evict a valid L2 victim: revoke every L1 copy (inclusion), then push dirty
    data to DRAM.  The DRAM write proceeds off the critical path; the returned
    time is when the slot is vacated. *)
-let evict_victim t id ~now =
-  let vaddr = Store.slot_addr t.store id in
-  let dir = Store.payload t.store id in
-  Stats.Registry.incr t.stats "evictions";
+let evict_victim t b id ~now =
+  let vaddr = decompress t b (Store.slot_addr b.store id) in
+  let dir = Store.payload b.store id in
+  incr_stat t b "evictions";
   l2_ev ~at:now ~addr:vaddr L2_evict;
   let n = Directory.owners_into dir Perm.Nothing ~exclude:(-1) t.probe_buf in
-  let t_probed = probe_all t ~addr:vaddr ~cap:Perm.Nothing ~n ~now dir in
+  let t_probed = probe_all t b ~addr:vaddr ~cap:Perm.Nothing ~n ~now dir in
   if dir.Directory.dirty then begin
-    Stats.Registry.incr t.stats "dram_writebacks";
+    incr_stat t b "dram_writebacks";
     l2_ev ~at:t_probed ~addr:vaddr L2_writeback;
     (* DRAM write proceeds off the critical path: keep its future-dated
        completion out of the attribution cursor. *)
@@ -118,32 +221,34 @@ let evict_victim t id ~now =
     ignore (Backend.write_line t.backend ~addr:vaddr ~data:dir.Directory.data ~now:t_probed);
     Attr.restore saved
   end;
-  Store.invalidate t.store id;
+  Store.invalidate b.store id;
   t_probed
 
 let acquire t ~core ~addr ~grow ~now =
   let addr = line t addr in
+  let b = bank_for t addr in
+  let caddr = compress t addr in
   let arrive = now + t.p.Params.link_latency in
   let target = Perm.grow_to grow in
   let result = ref (false, [||]) in
   let _, _, finish =
-    Resource.acquire_dyn_idx t.mshrs ~now:arrive (fun ~idx start ->
+    Resource.acquire_dyn_idx b.mshrs ~now:arrive (fun ~idx start ->
       if Trace.enabled () then
-        Trace.emit ~at:start (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_alloc });
-      Attr.mark Attr.L2 ~at:start;
-      if Metrics.enabled () then Metrics.alloc "l2.mshr" ~at:start;
+        Trace.emit ~at:start (Trace.Resource { comp = b.mshr_comp; idx; op = Trace.Res_alloc });
+      Attr.mark t.acq_stage ~at:start;
+      if Metrics.enabled () then Metrics.alloc b.mshr_comp ~at:start;
       let mshr_free ~at =
         if Trace.enabled () then
-          Trace.emit ~at (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_free });
-        if Metrics.enabled () then Metrics.free "l2.mshr" ~at;
+          Trace.emit ~at (Trace.Resource { comp = b.mshr_comp; idx; op = Trace.Res_free });
+        if Metrics.enabled () then Metrics.free b.mshr_comp ~at;
         at
       in
       let tm = start + t.p.Params.l2_tag_access in
-      match Store.find t.store addr with
+      match Store.find b.store caddr with
       | id when id <> Store.miss ->
-        Stats.Registry.incr t.stats "hits";
+        incr_stat t b "hits";
         l2_ev ~at:start ~addr L2_hit;
-        let dir = Store.payload t.store id in
+        let dir = Store.payload b.store id in
         let n_probe =
           match target with
           | Perm.Trunk -> Directory.owners_into dir Perm.Nothing ~exclude:core t.probe_buf
@@ -155,19 +260,19 @@ let acquire t ~core ~addr ~grow ~now =
              | Some _ | None -> 0)
         in
         let cap = match target with Perm.Trunk -> Perm.Nothing | _ -> Perm.Branch in
-        let tm = probe_all t ~addr ~cap ~n:n_probe ~now:tm dir in
-        let tm = bank_access t ~addr ~now:tm in
+        let tm = probe_all t b ~addr ~cap ~n:n_probe ~now:tm dir in
+        let tm = slice_access t b ~caddr ~now:tm in
         Directory.set_owner dir core target;
-        Store.touch t.store id ~now:tm;
+        Store.touch b.store id ~now:tm;
         result := (dir.Directory.dirty, Array.copy dir.Directory.data);
         Attr.mark Attr.L2 ~at:tm;
         mshr_free ~at:tm
       | _ ->
-        Stats.Registry.incr t.stats "misses";
+        incr_stat t b "misses";
         l2_ev ~at:start ~addr L2_miss;
-        let victim = Store.victim t.store addr in
+        let victim = Store.victim b.store caddr in
         let t_evict =
-          if Store.is_valid t.store victim then evict_victim t victim ~now:tm else tm
+          if Store.is_valid b.store victim then evict_victim t b victim ~now:tm else tm
         in
         Attr.mark Attr.L2 ~at:t_evict;
         let data, t_data, dirty_below = Backend.read_line t.backend ~addr ~now:tm in
@@ -181,57 +286,60 @@ let acquire t ~core ~addr ~grow ~now =
         in
         Directory.set_owner dir core target;
         let t_fill = max t_evict t_data in
-        Store.fill t.store victim ~addr ~payload:dir ~now:t_fill;
+        Store.fill b.store victim ~addr:caddr ~payload:dir ~now:t_fill;
         result := (dirty_below, Array.copy data);
         Attr.mark Attr.L2 ~at:t_fill;
         mshr_free ~at:t_fill)
   in
   let l2_dirty, data = !result in
-  Stats.Registry.incr t.stats (if l2_dirty then "grants_dirty" else "grants_clean");
+  incr_stat t b (if l2_dirty then "grants_dirty" else "grants_clean");
   (* D-channel: serialization beats for the data plus travel. *)
   { perm = target; data; l2_dirty; done_at = finish + beats t + t.p.Params.link_latency }
 
-(* Channel-C requests pass through the ListBuffer before an MSHR; the
-   buffer's admission stall models SinkC back-pressure (§3.4). *)
-let sink_c t ~arrive f =
-  let admitted = Admission.admit t.list_buffer ~now:arrive in
+(* Channel-C requests pass through the owning bank's ListBuffer before one
+   of its MSHRs; the buffer's admission stall models SinkC back-pressure
+   (§3.4). *)
+let sink_c t b ~arrive f =
+  let admitted = Admission.admit b.list_buffer ~now:arrive in
   let _, start, finish =
-    Resource.acquire_dyn_idx t.mshrs ~now:admitted (fun ~idx start ->
+    Resource.acquire_dyn_idx b.mshrs ~now:admitted (fun ~idx start ->
       if Trace.enabled () then
-        Trace.emit ~at:start (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_alloc });
-      Attr.mark Attr.L2 ~at:start;
-      if Metrics.enabled () then Metrics.alloc "l2.mshr" ~at:start;
+        Trace.emit ~at:start (Trace.Resource { comp = b.mshr_comp; idx; op = Trace.Res_alloc });
+      Attr.mark t.acq_stage ~at:start;
+      if Metrics.enabled () then Metrics.alloc b.mshr_comp ~at:start;
       let fin = f start in
       if Trace.enabled () then
-        Trace.emit ~at:fin (Trace.Resource { comp = "l2.mshr"; idx; op = Trace.Res_free });
+        Trace.emit ~at:fin (Trace.Resource { comp = b.mshr_comp; idx; op = Trace.Res_free });
       Attr.mark Attr.L2 ~at:fin;
-      if Metrics.enabled () then Metrics.free "l2.mshr" ~at:fin;
+      if Metrics.enabled () then Metrics.free b.mshr_comp ~at:fin;
       fin)
   in
-  Admission.release t.list_buffer ~at:start;
+  Admission.release b.list_buffer ~at:start;
   finish
 
 let release t ~core ~addr ~shrink ~data ~now =
   let addr = line t addr in
+  let b = bank_for t addr in
+  let caddr = compress t addr in
   let arrive = now + t.p.Params.link_latency in
   l2_ev ~at:arrive ~addr L2_release;
   let finish =
-    sink_c t ~arrive (fun start ->
+    sink_c t b ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
-      match Store.find t.store addr with
+      match Store.find b.store caddr with
       | id when id <> Store.miss ->
-        let dir = Store.payload t.store id in
+        let dir = Store.payload b.store id in
         let tm =
           match data with
           | Some d ->
-            let tb = bank_access t ~addr ~now:tm in
+            let tb = slice_access t b ~caddr ~now:tm in
             Array.blit d 0 dir.Directory.data 0 (Array.length d);
             dir.Directory.dirty <- true;
             tb
           | None -> tm
         in
         Directory.set_owner dir core (Perm.shrink_to shrink);
-        Store.touch t.store id ~now:tm;
+        Store.touch b.store id ~now:tm;
         tm
       | _ ->
         (* Inclusion guarantees the line is present whenever a client can
@@ -242,15 +350,17 @@ let release t ~core ~addr ~shrink ~data ~now =
 
 let root_release t ~core ~addr ~kind ~data ~now =
   let addr = line t addr in
-  Stats.Registry.incr t.stats "root_releases";
+  let b = bank_for t addr in
+  let caddr = compress t addr in
+  incr_stat t b "root_releases";
   let arrive = now + t.p.Params.link_latency in
   l2_ev ~at:arrive ~addr L2_root_release;
   let finish =
-    sink_c t ~arrive (fun start ->
+    sink_c t b ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
-      match Store.find t.store addr with
+      match Store.find b.store caddr with
       | id when id <> Store.miss ->
-        let dir = Store.payload t.store id in
+        let dir = Store.payload b.store id in
         (* The RootRelease doubles as the requester's own permission report:
            a flush implies it invalidated its copy, a clean keeps it. *)
         (match kind with
@@ -259,7 +369,7 @@ let root_release t ~core ~addr ~kind ~data ~now =
         let tm =
           match data with
           | Some d ->
-            let tb = bank_access t ~addr ~now:tm in
+            let tb = slice_access t b ~caddr ~now:tm in
             Array.blit d 0 dir.Directory.data 0 (Array.length d);
             dir.Directory.dirty <- true;
             tb
@@ -277,18 +387,18 @@ let root_release t ~core ~addr ~kind ~data ~now =
                | Some _ | None -> 0),
               Perm.Branch )
         in
-        let tm = probe_all t ~addr ~cap ~n:n_probe ~now:tm dir in
+        let tm = probe_all t b ~addr ~cap ~n:n_probe ~now:tm dir in
         let tm =
           if dir.Directory.dirty || not t.p.Params.l2_trivial_skip then begin
-            Stats.Registry.incr t.stats "dram_writebacks";
+            incr_stat t b "dram_writebacks";
             l2_ev ~at:tm ~addr L2_writeback;
-            let tb = bank_access t ~addr ~now:tm in
+            let tb = slice_access t b ~caddr ~now:tm in
             let td = Backend.persist_line t.backend ~addr ~data:dir.Directory.data ~now:tb in
             dir.Directory.dirty <- false;
             td
           end
           else begin
-            Stats.Registry.incr t.stats "trivial_skips";
+            incr_stat t b "trivial_skips";
             l2_ev ~at:tm ~addr L2_trivial_skip;
             (* The L2 copy is clean, but a dirty copy may sit in a
                memory-side cache below: it must be pushed for the ack to
@@ -297,8 +407,8 @@ let root_release t ~core ~addr ~kind ~data ~now =
           end
         in
         (match kind with
-         | Message.Wb_flush -> Store.invalidate t.store id
-         | Message.Wb_clean -> Store.touch t.store id ~now:tm);
+         | Message.Wb_flush -> Store.invalidate b.store id
+         | Message.Wb_clean -> Store.touch b.store id ~now:tm);
         tm
       | _ -> (
         (* Not present in L2: by inclusion no L1 holds it either, so there is
@@ -307,11 +417,11 @@ let root_release t ~core ~addr ~kind ~data ~now =
            straight through (defensive; cannot arise sequentially). *)
         match data with
         | Some d ->
-          Stats.Registry.incr t.stats "dram_writebacks";
+          incr_stat t b "dram_writebacks";
           l2_ev ~at:tm ~addr L2_writeback;
           Backend.persist_line t.backend ~addr ~data:d ~now:tm
         | None ->
-          Stats.Registry.incr t.stats "trivial_skips";
+          incr_stat t b "trivial_skips";
           l2_ev ~at:tm ~addr L2_trivial_skip;
           Backend.persist_if_dirty t.backend ~addr ~now:tm))
   in
@@ -319,21 +429,23 @@ let root_release t ~core ~addr ~kind ~data ~now =
 
 let root_inval t ~core ~addr ~now =
   let addr = line t addr in
-  Stats.Registry.incr t.stats "root_invals";
+  let b = bank_for t addr in
+  let caddr = compress t addr in
+  incr_stat t b "root_invals";
   let arrive = now + t.p.Params.link_latency in
   l2_ev ~at:arrive ~addr L2_root_inval;
   let finish =
-    sink_c t ~arrive (fun start ->
+    sink_c t b ~arrive (fun start ->
       let tm = start + t.p.Params.l2_tag_access in
-      match Store.find t.store addr with
+      match Store.find b.store caddr with
       | id when id <> Store.miss ->
-        let dir = Store.payload t.store id in
+        let dir = Store.payload b.store id in
         Directory.set_owner dir core Perm.Nothing;
         let n = Directory.owners_into dir Perm.Nothing ~exclude:core t.probe_buf in
         (* Probe and revoke; any dirty data handed back is discarded with
            the line (CBO.INVAL forfeits unwritten data by definition). *)
-        let tm = probe_all t ~addr ~cap:Perm.Nothing ~n ~now:tm dir in
-        Store.invalidate t.store id;
+        let tm = probe_all t b ~addr ~cap:Perm.Nothing ~n ~now:tm dir in
+        Store.invalidate b.store id;
         Backend.discard_line t.backend ~addr;
         tm
       | _ ->
@@ -342,23 +454,29 @@ let root_inval t ~core ~addr ~now =
   in
   finish + t.p.Params.link_latency
 
+(* Cold lookup shared by the functional/audit read paths. *)
+let find_slot t addr =
+  let b = bank_for t addr in
+  (b, Store.find b.store (compress t addr))
+
 let dir_dirty t addr =
-  match Store.find t.store (line t addr) with
-  | id when id <> Store.miss -> (Store.payload t.store id).Directory.dirty
+  match find_slot t (line t addr) with
+  | b, id when id <> Store.miss -> (Store.payload b.store id).Directory.dirty
   | _ -> false
 
-let present t addr = Store.find t.store (line t addr) <> Store.miss
+let present t addr =
+  let _, id = find_slot t (line t addr) in
+  id <> Store.miss
 
 let owner_perm t ~core ~addr =
-  match Store.find t.store (line t addr) with
-  | id when id <> Store.miss -> Directory.owner_perm (Store.payload t.store id) core
+  match find_slot t (line t addr) with
+  | b, id when id <> Store.miss -> Directory.owner_perm (Store.payload b.store id) core
   | _ -> Perm.Nothing
 
 let peek_word t addr =
-  let base = line t addr in
-  match Store.find t.store base with
-  | id when id <> Store.miss ->
-    let dir = Store.payload t.store id in
+  match find_slot t (line t addr) with
+  | b, id when id <> Store.miss ->
+    let dir = Store.payload b.store id in
     dir.Directory.data.(Geometry.offset_word t.p.Params.l2_geom addr)
   | _ -> Backend.peek_word t.backend addr
 
@@ -368,12 +486,12 @@ let check_inclusion t ~l1_lines =
     List.iter
       (fun (addr, perm) ->
         if !violation = None then begin
-          match Store.find t.store (line t addr) with
-          | id when id = Store.miss ->
+          match find_slot t (line t addr) with
+          | _, id when id = Store.miss ->
             violation :=
               Some (Printf.sprintf "core %d holds %#x but L2 does not" core addr)
-          | id ->
-            let dir = Store.payload t.store id in
+          | b, id ->
+            let dir = Store.payload b.store id in
             if not (Perm.equal (Directory.owner_perm dir core) perm) then
               violation :=
                 Some
@@ -385,18 +503,27 @@ let check_inclusion t ~l1_lines =
   done;
   match !violation with Some msg -> Error msg | None -> Ok ()
 
-let iter_lines t f = Store.iter_valid t.store (fun addr id -> f addr (Store.payload t.store id))
+let iter_lines t f =
+  Array.iter
+    (fun b ->
+      Store.iter_valid b.store (fun caddr id ->
+        f (decompress t b caddr) (Store.payload b.store id)))
+    t.banks
 
-let mshrs t = t.mshrs
-let list_buffer_occupants t = Admission.occupants t.list_buffer
+let list_buffer_occupants t =
+  Array.fold_left (fun acc b -> acc + Admission.occupants b.list_buffer) 0 t.banks
 
 let crash t =
-  Store.invalidate_all t.store;
-  (* In-flight transactions die with the power: reset MSHR/bank occupancy
-     and ListBuffer admissions so nothing leaks into the next run. *)
-  Resource.reset t.mshrs;
-  Resource.Banked.reset t.banks;
-  Admission.reset t.list_buffer;
+  (* In-flight transactions die with the power: reset MSHR/slice occupancy
+     and ListBuffer admissions in every bank so nothing leaks into the next
+     run. *)
+  Array.iter
+    (fun b ->
+      Store.invalidate_all b.store;
+      Resource.reset b.mshrs;
+      Resource.Banked.reset b.slices;
+      Admission.reset b.list_buffer)
+    t.banks;
   Backend.crash t.backend
 
 (* Bind this cache as the manager agent of [port] for client [core]: the

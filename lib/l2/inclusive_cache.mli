@@ -25,8 +25,8 @@
 
     Timing: all entry points take [now] = the cycle the message leaves the
     client, and return completion times that include link traversal, beat
-    counts, MSHR/ListBuffer queueing, tag and bank occupancy, probe round
-    trips and DRAM latency. *)
+    counts, per-bank MSHR/ListBuffer queueing, tag and data-slice occupancy,
+    probe round trips and DRAM latency. *)
 
 open Skipit_tilelink
 open Skipit_cache
@@ -53,7 +53,11 @@ type t
 
 val create : Params.t -> backend:Backend.t -> t
 (** [backend] is DRAM itself ({!Backend.of_dram}) or a memory-side L3
-    ({!Memside_cache.backend}). *)
+    ({!Memside_cache.backend}).  [Params.l2_banks] splits the cache into
+    that many address-interleaved NUCA banks (line address mod banks),
+    each with its own MSHR file, ListBuffer, directory store and
+    BankedStore slices; 1 (the default) is bit-identical to the
+    monolithic cache. *)
 
 val connect_client : t -> core:int -> Port.t -> unit
 (** Bind this cache as the manager agent of the port and remember it as the
@@ -105,8 +109,11 @@ val iter_lines : t -> (int -> Directory.t -> unit) -> unit
     audit layer's window onto directory state (dirty bits, owner perms,
     cached data). *)
 
-val mshrs : t -> Skipit_sim.Resource.t
-(** MSHR occupancy tracker (audit/conservation checks). *)
+val n_banks : t -> int
+
+val mshr_files : t -> Skipit_sim.Resource.t array
+(** Per-bank MSHR occupancy trackers (audit/conservation checks);
+    length {!n_banks}. *)
 
 val list_buffer_occupants : t -> int
 (** ListBuffer requests admitted but not yet dequeued into an MSHR. *)
@@ -115,6 +122,10 @@ val crash : t -> unit
 (** Drop all (volatile) contents. *)
 
 val stats : t -> Skipit_sim.Stats.Registry.t
-(** Counters: ["hits"], ["misses"], ["probes"], ["evictions"],
-    ["dram_writebacks"], ["trivial_skips"], ["root_releases"],
-    ["grants_dirty"], ["grants_clean"]. *)
+(** Aggregate counters across banks: ["hits"], ["misses"], ["probes"],
+    ["evictions"], ["dram_writebacks"], ["trivial_skips"],
+    ["root_releases"], ["grants_dirty"], ["grants_clean"]. *)
+
+val bank_stats : t -> Skipit_sim.Stats.Registry.t array
+(** Per-bank shadows of the same counters, populated only when
+    [l2_banks > 1] (exported by the system as [l2.bank.<i>.*]). *)

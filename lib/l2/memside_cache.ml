@@ -145,7 +145,8 @@ let crash t =
   Store.invalidate_all t.store;
   Resource.Banked.reset t.banks
 
-let create ?(name = "l3") ~geom ~access_latency ~banks ~bank_busy ~below ~beats_per_line () =
+let create ?(name = "l3") ~geom ~access_latency ~banks ~bank_busy ~below ~beats_per_line
+    ?(max_inflight = 0) ?(burst_beat_cost = 0) () =
   let t =
     {
       name;
@@ -165,7 +166,7 @@ let create ?(name = "l3") ~geom ~access_latency ~banks ~bank_busy ~below ~beats_
      queueing we report. *)
   t.port <-
     Some
-      (Backend.create ~name ~beats_per_line (fun stats ->
+      (Backend.create ~name ~beats_per_line ~max_inflight ~burst_beat_cost (fun stats ->
          {
            Skipit_tilelink.Port.Memside.read_line =
              (fun ~addr ~now ->

@@ -29,14 +29,16 @@ type stage =
   | Mshr  (* L1 miss path: MSHR wait, victim evict, refill beats *)
   | Flushq_wait  (* flush-queue admission wait for a CBO *)
   | Fshr  (* FSHR occupancy: drain waits, forwards, nack retries *)
-  | L2  (* L2 directory access, probes, bank occupancy *)
+  | L2  (* L2 directory access, probes, slice occupancy *)
+  | Bank_wait  (* wait for the owning L2 NUCA bank's MSHR/ListBuffer *)
   | Dram  (* memory-side: L3 bank + DRAM channel *)
   | Fence  (* fence stall: FSHR drain + fence cost + epoch commit work *)
   | Commit_wait  (* op complete -> persist-epoch commit begins *)
   | Other  (* residual cycles no hook claimed *)
 
 let all_stages =
-  [ Adm_wait; L1_hit; Mshr; Flushq_wait; Fshr; L2; Dram; Fence; Commit_wait; Other ]
+  [ Adm_wait; L1_hit; Mshr; Flushq_wait; Fshr; L2; Bank_wait; Dram; Fence; Commit_wait;
+    Other ]
 
 let n_stages = List.length all_stages
 
@@ -47,10 +49,11 @@ let stage_index = function
   | Flushq_wait -> 3
   | Fshr -> 4
   | L2 -> 5
-  | Dram -> 6
-  | Fence -> 7
-  | Commit_wait -> 8
-  | Other -> 9
+  | Bank_wait -> 6
+  | Dram -> 7
+  | Fence -> 8
+  | Commit_wait -> 9
+  | Other -> 10
 
 let stage_name = function
   | Adm_wait -> "adm_wait"
@@ -59,6 +62,7 @@ let stage_name = function
   | Flushq_wait -> "flushq_wait"
   | Fshr -> "fshr"
   | L2 -> "l2"
+  | Bank_wait -> "bank_wait"
   | Dram -> "dram"
   | Fence -> "fence"
   | Commit_wait -> "commit_wait"

@@ -13,7 +13,8 @@ type stage =
   | Mshr  (** L1 miss path: MSHR wait, victim evict, refill beats *)
   | Flushq_wait  (** flush-queue admission wait for a CBO *)
   | Fshr  (** FSHR occupancy: drain waits, forwards, nack retries *)
-  | L2  (** L2 directory access, probes, bank occupancy *)
+  | L2  (** L2 directory access, probes, slice occupancy *)
+  | Bank_wait  (** wait for the owning L2 NUCA bank's MSHR/ListBuffer *)
   | Dram  (** memory-side: L3 bank + DRAM channel *)
   | Fence  (** fence stall: FSHR drain + fence cost + epoch commit work *)
   | Commit_wait  (** op complete -> persist-epoch commit begins *)

@@ -56,6 +56,8 @@ let chan_stats chan tchan =
 type t = {
   name : string;
   channels : Channels.t;
+  bank_channels : Channels.t array;  (* [||] = unbanked wiring *)
+  line_bytes : int;
   stats : Stats.Registry.t;
   cs_a : chan_stats;
   cs_c : chan_stats;
@@ -66,13 +68,15 @@ type t = {
   mutable client : client option;
 }
 
-let create ?channels ~name () =
+let create ?channels ?(bank_channels = [||]) ?(line_bytes = 64) ~name () =
   let channels =
     match channels with Some c -> c | None -> Channels.create ~name
   in
   {
     name;
     channels;
+    bank_channels;
+    line_bytes;
     stats = Stats.Registry.create ();
     cs_a = chan_stats "a" Trace.Ch_a;
     cs_c = chan_stats "c" Trace.Ch_c;
@@ -86,6 +90,27 @@ let create ?channels ~name () =
 let name t = t.name
 let stats t = t.stats
 let channels t = t.channels
+
+(* Banked wiring routes each message to the wire set of the LLC bank that
+   owns the line — the same XOR-folded line-number hash the banked L2 uses
+   for bank selection, so bus [i] carries exactly bank [i]'s traffic;
+   unbanked ports ignore [addr]. *)
+let chans_for t ~addr =
+  let n = Array.length t.bank_channels in
+  if n = 0 then t.channels
+  else begin
+    let m = n - 1 in
+    let shift =
+      let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+      go 0 n
+    in
+    let h = ref 0 and x = ref (addr / t.line_bytes) in
+    while !x <> 0 do
+      h := !h lxor (!x land m);
+      x := !x lsr shift
+    done;
+    t.bank_channels.(!h)
+  end
 
 let connect_manager t m =
   if t.manager <> None then invalid_arg ("Port." ^ t.name ^ ": manager already connected");
@@ -138,9 +163,14 @@ let occupy t res cs ~now ~beats =
   end;
   finish
 
-let send_a t ~now = occupy t t.channels.Channels.a t.cs_a ~now ~beats:1
-let send_c t ~finish ~beats = occupy t t.channels.Channels.c t.cs_c ~now:(finish - beats) ~beats
-let recv_d t ~finish ~beats = occupy t t.channels.Channels.d t.cs_d ~now:(finish - beats) ~beats
+let send_a t ~addr ~now =
+  occupy t (chans_for t ~addr).Channels.a t.cs_a ~now ~beats:1
+
+let send_c t ~addr ~finish ~beats =
+  occupy t (chans_for t ~addr).Channels.c t.cs_c ~now:(finish - beats) ~beats
+
+let recv_d t ~addr ~finish ~beats =
+  occupy t (chans_for t ~addr).Channels.d t.cs_d ~now:(finish - beats) ~beats
 
 let trace_msg t ~op ~addr ~now =
   if Trace.enabled () then Trace.emit ~at:now (Trace.Message { port = t.name; op; addr })
@@ -200,13 +230,27 @@ module Memside = struct
   type t = {
     name : string;
     beats_per_line : int;
+    burst_cost : int;  (* extra cycles per line transfer, beats × beat cost *)
+    txn : Resource.t option;  (* outstanding-transaction IDs, None = unlimited *)
     stats : Stats.Registry.t;
     ops : ops;
   }
 
-  let create ~name ~beats_per_line mk =
+  let create ~name ~beats_per_line ?(max_inflight = 0) ?(burst_beat_cost = 0) mk =
     let stats = Stats.Registry.create () in
-    { name; beats_per_line; stats; ops = mk stats }
+    let txn =
+      if max_inflight > 0 then
+        Some (Resource.create ~count:max_inflight (name ^ "-txn"))
+      else None
+    in
+    {
+      name;
+      beats_per_line;
+      burst_cost = beats_per_line * burst_beat_cost;
+      txn;
+      stats;
+      ops = mk stats;
+    }
 
   let name t = t.name
   let stats t = t.stats
@@ -217,26 +261,63 @@ module Memside = struct
       Stats.Registry.add stats "wait_cycles" cycles
     end
 
+  let note_txn_wait t ~now ~start =
+    if start > now then begin
+      Stats.Registry.incr t.stats "txn_stalls";
+      Stats.Registry.add t.stats "txn_wait_cycles" (start - now)
+    end
+
   let trace_op t ~op ~addr ~now =
     if Trace.enabled () then Trace.emit ~at:now (Trace.Mem { name = t.name; op; addr })
+
+  (* AXI-style transaction bracket for the line-moving operations: a burst
+     holds one outstanding-transaction ID from issue to completion (a full
+     ID table delays issue — txn_stalls/txn_wait_cycles), and its data
+     beats add [burst_cost] cycles to the completion time.  With the
+     defaults (unlimited IDs, free beats) this is the identity. *)
+  let burst_op t ~now f =
+    match t.txn with
+    | None -> f ~now + t.burst_cost
+    | Some txn ->
+      let start, finish =
+        Resource.acquire_dyn txn ~now (fun start ->
+            max start (f ~now:start + t.burst_cost))
+      in
+      note_txn_wait t ~now ~start;
+      finish
 
   let read_line t ~addr ~now =
     Stats.Registry.incr t.stats "reads";
     Stats.Registry.add t.stats "read_beats" t.beats_per_line;
     trace_op t ~op:Trace.Mem_read ~addr ~now;
-    t.ops.read_line ~addr ~now
+    match t.txn with
+    | None ->
+      let data, at, dirty = t.ops.read_line ~addr ~now in
+      (data, at + t.burst_cost, dirty)
+    | Some txn ->
+      let res = ref None in
+      let start, finish =
+        Resource.acquire_dyn txn ~now (fun start ->
+            let ((_, at, _) as r) = t.ops.read_line ~addr ~now:start in
+            res := Some r;
+            max start (at + t.burst_cost))
+      in
+      note_txn_wait t ~now ~start;
+      (match !res with
+       | Some (data, _, dirty) -> (data, finish, dirty)
+       | None -> assert false)
 
   let write_line t ~addr ~data ~now =
     Stats.Registry.incr t.stats "writes";
     Stats.Registry.add t.stats "write_beats" t.beats_per_line;
     trace_op t ~op:Trace.Mem_write ~addr ~now;
-    t.ops.write_line ~addr ~data ~now
+    burst_op t ~now (fun ~now -> t.ops.write_line ~addr ~data ~now)
 
   let persist_line t ~addr ~data ~now =
     Stats.Registry.incr t.stats "persists";
     Stats.Registry.add t.stats "write_beats" t.beats_per_line;
     trace_op t ~op:Trace.Mem_persist ~addr ~now;
-    t.ops.persist_line ~addr ~data ~now
+    burst_op t ~now (fun ~now -> t.ops.persist_line ~addr ~data ~now)
 
   let persist_if_dirty t ~addr ~now =
     Stats.Registry.incr t.stats "persist_checks";
@@ -244,5 +325,8 @@ module Memside = struct
 
   let discard_line t ~addr = t.ops.discard_line ~addr
   let peek_word t addr = t.ops.peek_word addr
-  let crash t = t.ops.crash ()
+
+  let crash t =
+    (match t.txn with Some r -> Resource.reset r | None -> ());
+    t.ops.crash ()
 end

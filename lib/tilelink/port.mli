@@ -60,9 +60,19 @@ end
 
 type t
 
-val create : ?channels:Channels.t -> name:string -> unit -> t
+val create :
+  ?channels:Channels.t ->
+  ?bank_channels:Channels.t array ->
+  ?line_bytes:int ->
+  name:string ->
+  unit ->
+  t
 (** [create ~name ()] makes a port with private channel wires;
-    [create ~channels ~name ()] attaches it to existing (shared) wires. *)
+    [create ~channels ~name ()] attaches it to existing (shared) wires;
+    [create ~bank_channels ~line_bytes ~name ()] routes each message to
+    the wire set of the LLC bank owning its line
+    ([addr / line_bytes mod banks], power-of-two bank counts) — the
+    per-bank bus of a banked NUCA LLC.  [line_bytes] defaults to 64. *)
 
 val name : t -> string
 val stats : t -> Skipit_sim.Stats.Registry.t
@@ -79,16 +89,17 @@ val connect_client : t -> client -> unit
     Serialization time is already part of [finish]: contention-free sends
     cost nothing extra, concurrent senders queue. *)
 
-val send_a : t -> now:int -> int
+val send_a : t -> addr:int -> now:int -> int
 (** Occupy channel A for one header beat; returns the cycle the message has
-    left the client. *)
+    left the client.  [addr] selects the bank wire set on banked ports
+    (ignored on unbanked wiring). *)
 
-val send_c : t -> finish:int -> beats:int -> int
+val send_c : t -> addr:int -> finish:int -> beats:int -> int
 (** Occupy channel C for [beats] cycles ending no earlier than [finish]
     (4 for a data-bearing release on the 16 B bus); returns the
     send-completion cycle. *)
 
-val recv_d : t -> finish:int -> beats:int -> int
+val recv_d : t -> addr:int -> finish:int -> beats:int -> int
 (** Occupy channel D (grants, acks into the client). *)
 
 (** {2 Client-side requests} — forwarded to the connected manager.
@@ -145,9 +156,22 @@ module Memside : sig
   type t
 
   val create :
-    name:string -> beats_per_line:int -> (Skipit_sim.Stats.Registry.t -> ops) -> t
+    name:string ->
+    beats_per_line:int ->
+    ?max_inflight:int ->
+    ?burst_beat_cost:int ->
+    (Skipit_sim.Stats.Registry.t -> ops) ->
+    t
   (** The agent's [ops] are built against the port's own counter registry so
-      the agent can report queueing with {!note_wait}. *)
+      the agent can report queueing with {!note_wait}.
+
+      [max_inflight] (default 0 = unlimited) caps outstanding line
+      transactions AXI-style: a burst holds one transaction ID from issue
+      to completion, and a full ID table delays issue — recorded as
+      [txn_stalls] / [txn_wait_cycles].  [burst_beat_cost] (default 0 =
+      free) adds [beats_per_line × cost] cycles to every line burst's
+      completion.  Both apply to [read_line] / [write_line] /
+      [persist_line]; the defaults are timing-neutral. *)
 
   val name : t -> string
   val stats : t -> Skipit_sim.Stats.Registry.t

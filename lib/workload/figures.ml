@@ -17,14 +17,14 @@ let sizes quick = if quick then [ 64; 512; 4096; 32768 ] else Micro.sizes_defaul
    it (on [pool] when given — results come back in submission order, so the
    printed tables are byte-identical at any pool width), then print. *)
 
-let scalar_7_2 ?(quick = false) ?pool ppf =
+let scalar_7_2 ?(quick = false) ?pool ?params ppf =
   header ppf "§7.2 scalars";
   let reps = if quick then 3 else 50 in
   let scalars =
     Micro.run_prepared ?pool
       [
-        Micro.prep_single_line ~kind:Message.Wb_clean ~repeats:reps ();
-        Micro.prep_single_line ~kind:Message.Wb_flush ~repeats:reps ();
+        Micro.prep_single_line ?params ~kind:Message.Wb_clean ~repeats:reps ();
+        Micro.prep_single_line ?params ~kind:Message.Wb_flush ~repeats:reps ();
       ]
   in
   (match scalars with
@@ -36,7 +36,7 @@ let scalar_7_2 ?(quick = false) ?pool ppf =
     match
       Micro.run_prepared ?pool
         [
-          Micro.prep_writeback_sweep ~kind:Message.Wb_flush ~threads:1
+          Micro.prep_writeback_sweep ?params ~kind:Message.Wb_flush ~threads:1
             ~sizes:[ 32 * 1024 ] ~repeats:(repeats quick) ();
         ]
     with
@@ -48,41 +48,52 @@ let scalar_7_2 ?(quick = false) ?pool ppf =
    | _ -> ());
   Format.fprintf ppf "(paper: ~100 cycles sigma 13.2; ~7460 cycles)@,"
 
-let fig9 ?(quick = false) ?pool ppf =
-  header ppf "Figure 9: CBO.X latency vs size, 1/2/4/8 threads";
+(* Powers of two up to the platform's core count (at least the paper's 8). *)
+let thread_sweep params =
+  let top =
+    max 8 (match params with Some p -> p.Params.n_cores | None -> 1)
+  in
+  let rec up acc t = if t > top then List.rev acc else up (t :: acc) (t * 2) in
+  up [] 1
+
+let fig9 ?(quick = false) ?pool ?params ppf =
+  let threads = thread_sweep params in
+  header ppf
+    (Printf.sprintf "Figure 9: CBO.X latency vs size, %s threads"
+       (String.concat "/" (List.map string_of_int threads)));
   let series =
     Micro.run_prepared ?pool
       (List.map
          (fun threads ->
-           Micro.prep_writeback_sweep ~kind:Message.Wb_flush ~threads
+           Micro.prep_writeback_sweep ?params ~kind:Message.Wb_flush ~threads
              ~sizes:(sizes quick) ~repeats:(repeats quick) ())
-         [ 1; 2; 4; 8 ])
+         threads)
   in
   table ppf series
 
-let fig10 ?(quick = false) ?pool ppf =
+let fig10 ?(quick = false) ?pool ?params ppf =
   header ppf "Figure 10: write - writeback x10 - fence - read (latency, log-scale in paper)";
   let series =
     Micro.run_prepared ?pool
       (List.concat_map
          (fun threads ->
            [
-             Micro.prep_write_wb_read ~kind:Message.Wb_clean ~threads
+             Micro.prep_write_wb_read ?params ~kind:Message.Wb_clean ~threads
                ~sizes:(sizes quick) ~repeats:(repeats quick) ();
-             Micro.prep_write_wb_read ~kind:Message.Wb_flush ~threads
+             Micro.prep_write_wb_read ?params ~kind:Message.Wb_flush ~threads
                ~sizes:(sizes quick) ~repeats:(repeats quick) ();
            ])
          [ 1; 8 ])
   in
   table ppf series
 
-let comparative ~threads ~quick ?pool ppf =
+let comparative ~threads ~quick ?pool ?params ppf =
   let szs = sizes quick in
   let boom =
     match
       Micro.run_prepared ?pool
         [
-          Micro.prep_writeback_sweep ~kind:Message.Wb_flush ~threads ~sizes:szs
+          Micro.prep_writeback_sweep ?params ~kind:Message.Wb_flush ~threads ~sizes:szs
             ~repeats:(repeats quick) ();
         ]
     with
@@ -101,15 +112,15 @@ let comparative ~threads ~quick ?pool ppf =
   in
   table ppf (boom :: models)
 
-let fig11 ?(quick = false) ?pool ppf =
+let fig11 ?(quick = false) ?pool ?params ppf =
   header ppf "Figure 11: cross-architecture writeback latency, 1 thread";
-  comparative ~threads:1 ~quick ?pool ppf
+  comparative ~threads:1 ~quick ?pool ?params ppf
 
-let fig12 ?(quick = false) ?pool ppf =
+let fig12 ?(quick = false) ?pool ?params ppf =
   header ppf "Figure 12: cross-architecture writeback latency, 8 threads";
-  comparative ~threads:8 ~quick ?pool ppf
+  comparative ~threads:8 ~quick ?pool ?params ppf
 
-let fig13 ?(quick = false) ?pool ppf =
+let fig13 ?(quick = false) ?pool ?params ppf =
   header ppf "Figure 13: naive vs Skip It, 10 redundant writebacks (CBO.CLEAN semantics)";
   let series =
     Micro.run_prepared ?pool
@@ -117,7 +128,7 @@ let fig13 ?(quick = false) ?pool ppf =
          (fun threads ->
            List.map
              (fun skip_it ->
-               Micro.prep_redundant ~kind:Message.Wb_clean ~skip_it ~threads
+               Micro.prep_redundant ?params ~kind:Message.Wb_clean ~skip_it ~threads
                  ~redundant:10 ~sizes:(sizes quick) ~repeats:(repeats quick) ())
              [ false; true ])
          [ 1; 8 ])
@@ -148,7 +159,8 @@ let workload_for kind w =
   | Ops.List_set -> { w with Ds_bench.key_range = 512; prefill = 256 }
   | Ops.Hash_set | Ops.Bst_set | Ops.Skiplist_set -> w
 
-let fig14 ?(quick = false) ?pool ppf =
+let fig14 ?(quick = false) ?pool ?params ppf =
+  ignore (params : Params.t option);
   header ppf "Figure 14: throughput (ops/1000 cycles), 5% updates, 2 threads";
   let w0 = ds_workload quick in
   let kinds = if quick then [ Ops.List_set; Ops.Bst_set ] else Ops.all_kinds in
@@ -197,7 +209,8 @@ let fig14 ?(quick = false) ?pool ppf =
       Format.fprintf ppf "@,")
     kinds
 
-let fig15 ?(quick = false) ?pool ppf =
+let fig15 ?(quick = false) ?pool ?params ppf =
+  ignore (params : Params.t option);
   header ppf "Figure 15: throughput vs update percentage (automatic persistence, 2 threads)";
   let w = ds_workload quick in
   let updates = if quick then [ 0; 50 ] else [ 0; 5; 20; 50; 100 ] in
@@ -209,7 +222,8 @@ let fig15 ?(quick = false) ?pool ppf =
       Series.pp_table ~x_name:"update%" ppf series)
     kinds
 
-let fig16 ?(quick = false) ?pool ppf =
+let fig16 ?(quick = false) ?pool ?params ppf =
+  ignore (params : Params.t option);
   header ppf "Figure 16: BST throughput vs FliT hash-table slots (automatic, 2 threads)";
   let w =
     let base = ds_workload quick in
@@ -220,16 +234,16 @@ let fig16 ?(quick = false) ?pool ppf =
   let series = Ds_bench.flit_table_sweep ?pool ~kind:Ops.Bst_set ~mode:Pctx.Automatic ~slots w in
   Series.pp_table ~x_name:"slots" ppf [ series ]
 
-let all ?quick ?pool ppf =
-  scalar_7_2 ?quick ?pool ppf;
-  fig9 ?quick ?pool ppf;
-  fig10 ?quick ?pool ppf;
-  fig11 ?quick ?pool ppf;
-  fig12 ?quick ?pool ppf;
-  fig13 ?quick ?pool ppf;
-  fig14 ?quick ?pool ppf;
-  fig15 ?quick ?pool ppf;
-  fig16 ?quick ?pool ppf
+let all ?quick ?pool ?params ppf =
+  scalar_7_2 ?quick ?pool ?params ppf;
+  fig9 ?quick ?pool ?params ppf;
+  fig10 ?quick ?pool ?params ppf;
+  fig11 ?quick ?pool ?params ppf;
+  fig12 ?quick ?pool ?params ppf;
+  fig13 ?quick ?pool ?params ppf;
+  fig14 ?quick ?pool ?params ppf;
+  fig15 ?quick ?pool ?params ppf;
+  fig16 ?quick ?pool ?params ppf
 
 let registry =
   [

@@ -8,42 +8,103 @@
 
     Every figure is a grid of independent simulations; [pool] runs the grid
     on the parallel experiment engine.  Results are reduced in submission
-    order, so the printed output is byte-identical at any pool width. *)
+    order, so the printed output is byte-identical at any pool width.
 
-val scalar_7_2 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+    [params] overrides the simulated platform (core count, [l2_banks],
+    topology, burst model, ...); figures that sweep thread counts (Fig 9)
+    extend the sweep in powers of two up to [n_cores].  The data-structure
+    figures (14-16) run on their own fixed platforms and ignore it. *)
+
+val scalar_7_2 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** §7.2 headline numbers: single-line CBO.X median/σ and the full-32 KiB
     flush, 1 thread. *)
 
-val fig9 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig9 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** CBO.X latency vs writeback size for 1/2/4/8 threads. *)
 
-val fig10 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig10 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** Write – writeback ×10 – fence – read: CBO.CLEAN vs CBO.FLUSH, 1 and 8
     threads. *)
 
-val fig11 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig11 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** Cross-architecture writeback latency, 1 thread. *)
 
-val fig12 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig12 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** Cross-architecture writeback latency, 8 threads. *)
 
-val fig13 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig13 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** Naïve vs Skip It under redundant writebacks, 1 and 8 threads. *)
 
-val fig14 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig14 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** Data-structure throughput at 5 % updates: 4 structures × 3 persistence
     algorithms × 5 strategies (+ non-persistent baseline), 2 threads. *)
 
-val fig15 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig15 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** Throughput vs update percentage. *)
 
-val fig16 : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val fig16 :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 (** BST (10 k keys) sensitivity to the FliT hash-table size. *)
 
-val all : ?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit
+val all :
+  ?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit
 
 val by_name :
-  string -> (?quick:bool -> ?pool:Skipit_par.Pool.t -> Format.formatter -> unit) option
+  string ->
+  (?quick:bool ->
+  ?pool:Skipit_par.Pool.t ->
+  ?params:Skipit_cache.Params.t ->
+  Format.formatter ->
+  unit)
+  option
 (** Lookup "fig9" … "fig16", "scalar", "all". *)
 
 val names : string list

@@ -1,0 +1,218 @@
+(* The banked NUCA L2 (lib/l2): a bank array behind the XOR-folded
+   line-number interleave must be purely a timing change.  Banked and
+   monolithic configurations are observationally equivalent on random
+   schedules, the monolithic goldens stay bit-identical at l2_banks=1,
+   figure output stays byte-identical at any pool width (including the
+   all-steals path) when the platform is banked, per-bank counters surface
+   in the stats report, the invariant checker sums cleanly across banks,
+   and the crash campaign survives crash/repair on a banked hierarchy. *)
+
+module S = Skipit_core.System
+module C = Skipit_core.Config
+module Params = Skipit_cache.Params
+module TP = Skipit_workload.Trace_program
+module Figures = Skipit_workload.Figures
+module Pool = Skipit_par.Pool
+module Invariant = Skipit_audit.Invariant
+module Campaign = Skipit_audit.Campaign
+module Pctx = Skipit_persist.Pctx
+module Rng = Skipit_sim.Rng
+
+(* == Monolithic goldens: banks=1 is the paper's L2, bit-identical ======= *)
+
+let trace name = Printf.sprintf "../../../examples/traces/%s.trace" name
+
+let test_golden_cycles_at_one_bank () =
+  List.iter
+    (fun (name, golden) ->
+      match TP.load_file (trace name) with
+      | Error e -> Alcotest.failf "trace %s: %s" name e
+      | Ok program ->
+        let cores = TP.max_core program + 1 in
+        let sys =
+          S.create (C.platform ~cores ~skip_it:false ~l2_banks:1 ())
+        in
+        let cycles, _ = TP.run sys program in
+        Alcotest.(check int)
+          (Printf.sprintf "%s at l2_banks=1" name)
+          golden cycles;
+        (* The monolithic report must not grow per-bank keys. *)
+        List.iter
+          (fun (k, _) ->
+            if String.length k >= 8 && String.sub k 0 8 = "l2.bank." then
+              Alcotest.failf "%s: unexpected banked counter %s" name k)
+          (S.stats_report sys))
+    [ "producer_consumer", 915; "redundant_flush", 1120; "fig5_semantics", 127 ]
+
+(* == Observational equivalence: banked vs monolithic ==================== *)
+
+(* Drive the same randomly generated schedule through a system and record
+   everything architecturally visible: every loaded value, every CAS
+   outcome, and the final memory image.  Timing (cycle counts) is allowed
+   to differ between bank counts; values are not. *)
+let drive ~banks ~cores ~ops ~seed =
+  let p = Params.with_l2_banks (C.tiny ~cores ()) banks in
+  let sys = S.create p in
+  let rng = Rng.create ~seed in
+  let lines =
+    Array.init 12 (fun _ ->
+        Skipit_mem.Allocator.alloc_line (S.allocator sys) ~line_bytes:64)
+  in
+  let obs = ref [] in
+  for _ = 1 to ops do
+    let core = Rng.int rng cores in
+    let a = lines.(Rng.int rng (Array.length lines)) + (8 * Rng.int rng 8) in
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> obs := S.load sys ~core a :: !obs
+    | 3 | 4 | 5 -> S.store sys ~core a (Rng.int rng 10000)
+    | 6 -> S.clean sys ~core a
+    | 7 | 8 ->
+      S.flush sys ~core a;
+      S.fence sys ~core
+    | _ ->
+      let expected = Rng.int rng 10000 and desired = Rng.int rng 10000 in
+      obs := (if S.cas sys ~core a ~expected ~desired then 1 else 0) :: !obs
+  done;
+  let coherent =
+    match S.check_coherence sys with Ok () -> None | Error e -> Some e
+  in
+  let final =
+    Array.to_list lines
+    |> List.concat_map (fun base ->
+           List.init 8 (fun w -> S.peek_word sys (base + (8 * w))))
+  in
+  (List.rev !obs @ final, coherent)
+
+let prop_banked_equivalent =
+  QCheck.Test.make ~name:"banked L2 observationally equal to monolithic"
+    ~count:25
+    QCheck.(triple small_int (int_range 1 4) (int_range 1 2))
+  @@ fun (seed, cores, lg_banks) ->
+  let banks = 1 lsl lg_banks in
+  let mono, c1 = drive ~banks:1 ~cores ~ops:300 ~seed in
+  let banked, cb = drive ~banks ~cores ~ops:300 ~seed in
+  match (c1, cb) with
+  | Some e, _ -> QCheck.Test.fail_reportf "monolithic incoherent: %s" e
+  | _, Some e -> QCheck.Test.fail_reportf "banks=%d incoherent: %s" banks e
+  | None, None ->
+    if mono <> banked then
+      QCheck.Test.fail_reportf
+        "banks=%d diverged from monolithic (seed=%d cores=%d)" banks seed
+        cores
+    else true
+
+(* == Determinism under the pool on a banked platform ==================== *)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_open_vbox ppf 0;
+  f ppf;
+  Format.pp_close_box ppf ();
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let figure_output ?deque_cap ~params name ~jobs =
+  match Figures.by_name name with
+  | None -> Alcotest.failf "unknown figure %s" name
+  | Some f ->
+    if jobs = 1 then render (fun ppf -> f ~quick:true ~params ppf)
+    else
+      Pool.with_pool ~oversubscribe:true ?deque_cap ~jobs (fun pool ->
+          render (fun ppf -> f ~quick:true ~pool ~params ppf))
+
+let test_banked_steal_path_deterministic () =
+  (* fig9 on the 4-banked platform: byte-identical output at --jobs 1 and
+     at widths 2/8 with every worker deque capped at one chunk, so nearly
+     all work migrates between domains by stealing. *)
+  let params = C.platform ~l2_banks:4 () in
+  let seq = figure_output ~params "fig9" ~jobs:1 in
+  Alcotest.(check bool) "banked fig9 non-empty" true (String.length seq > 0);
+  List.iter
+    (fun jobs ->
+      let par = figure_output ~params ~deque_cap:1 "fig9" ~jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "banked fig9 --jobs 1 vs steals --jobs %d" jobs)
+        true (String.equal seq par))
+    [ 2; 8 ]
+
+(* == Per-bank counters and cross-bank invariants ======================== *)
+
+let test_per_bank_stats_and_invariants () =
+  let sys = S.create (C.platform ~cores:2 ~l2_banks:4 ()) in
+  let alloc = S.allocator sys in
+  let lines =
+    Array.init 64 (fun _ -> Skipit_mem.Allocator.alloc_line alloc ~line_bytes:64)
+  in
+  Array.iteri
+    (fun i a ->
+      S.store sys ~core:(i land 1) a (i + 1);
+      S.flush sys ~core:(i land 1) a)
+    lines;
+  S.fence sys ~core:0;
+  S.fence sys ~core:1;
+  let report = S.stats_report sys in
+  let bank_has i =
+    let prefix = Printf.sprintf "l2.bank.%d." i in
+    List.exists
+      (fun (k, v) ->
+        v > 0
+        && String.length k > String.length prefix
+        && String.sub k 0 (String.length prefix) = prefix)
+      report
+  in
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "l2.bank.%d.* counters present and active" i)
+      true (bank_has i)
+  done;
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check int) (Printf.sprintf "line %d readback" i) (i + 1)
+        (S.load sys ~core:0 a))
+    lines;
+  (match S.check_coherence sys with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "banked coherence: %s" e);
+  match Invariant.check_all ~quiesced:true sys with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "banked invariant: %s" (Invariant.violation_to_string v)
+
+(* == Crash campaign on a banked hierarchy =============================== *)
+
+let test_banked_campaign_smoke () =
+  let spec =
+    {
+      Campaign.structure = Campaign.Queue;
+      mode = Pctx.Manual;
+      strategy = Campaign.Skipit;
+      fault = Campaign.No_fault;
+      seed = 11;
+      n_ops = 10;
+    }
+  in
+  let r = Campaign.run_spec ~budget:3 ~l2_banks:4 spec in
+  match r.Campaign.failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "banked campaign %s failed at crash_at=%s: %s"
+      (Campaign.spec_name spec)
+      (match f.Campaign.crash_at with
+       | Some b -> string_of_int b
+       | None -> "-")
+      (String.concat "; " f.Campaign.violations)
+
+let tests =
+  ( "banked-l2",
+    [
+      Alcotest.test_case "goldens at l2_banks=1" `Quick
+        test_golden_cycles_at_one_bank;
+      QCheck_alcotest.to_alcotest prop_banked_equivalent;
+      Alcotest.test_case "steal-path determinism, banks=4" `Quick
+        test_banked_steal_path_deterministic;
+      Alcotest.test_case "per-bank stats + invariants" `Quick
+        test_per_bank_stats_and_invariants;
+      Alcotest.test_case "crash campaign, banks=4" `Quick
+        test_banked_campaign_smoke;
+    ] )

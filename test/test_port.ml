@@ -11,19 +11,19 @@ let test_channel_occupancy () =
   let p = Port.create ~name:"t" () in
   (* Contention-free: a send whose serialization is already accounted in
      [finish] costs nothing extra. *)
-  Alcotest.(check int) "free C channel" 10 (Port.send_c p ~finish:10 ~beats:4);
+  Alcotest.(check int) "free C channel" 10 (Port.send_c p ~addr:0 ~finish:10 ~beats:4);
   (* A second sender wanting the same window queues behind the first. *)
-  Alcotest.(check int) "contended send queues" 14 (Port.send_c p ~finish:10 ~beats:4);
+  Alcotest.(check int) "contended send queues" 14 (Port.send_c p ~addr:0 ~finish:10 ~beats:4);
   (* Channels are independent wire sets. *)
-  Alcotest.(check int) "A channel free" 8 (Port.send_a p ~now:7);
-  Alcotest.(check int) "D channel free" 11 (Port.recv_d p ~finish:11 ~beats:4)
+  Alcotest.(check int) "A channel free" 8 (Port.send_a p ~addr:0 ~now:7);
+  Alcotest.(check int) "D channel free" 11 (Port.recv_d p ~addr:0 ~finish:11 ~beats:4)
 
 let test_beat_and_stall_counters () =
   let p = Port.create ~name:"t" () in
-  ignore (Port.send_c p ~finish:10 ~beats:4);
-  ignore (Port.send_c p ~finish:10 ~beats:4);
-  ignore (Port.send_a p ~now:7);
-  ignore (Port.recv_d p ~finish:11 ~beats:4);
+  ignore (Port.send_c p ~addr:0 ~finish:10 ~beats:4);
+  ignore (Port.send_c p ~addr:0 ~finish:10 ~beats:4);
+  ignore (Port.send_a p ~addr:0 ~now:7);
+  ignore (Port.recv_d p ~addr:0 ~finish:11 ~beats:4);
   Alcotest.(check int) "c beats" 8 (get p "c_beats");
   Alcotest.(check int) "c stalls: only the queued send" 1 (get p "c_stalls");
   Alcotest.(check int) "c wait cycles" 4 (get p "c_wait_cycles");
@@ -90,16 +90,16 @@ let test_shared_bus_contention () =
   let bus = Port.Channels.create ~name:"bus" in
   let p0 = Port.create ~channels:bus ~name:"p0" () in
   let p1 = Port.create ~channels:bus ~name:"p1" () in
-  Alcotest.(check int) "first sender on the bus" 10 (Port.send_c p0 ~finish:10 ~beats:4);
+  Alcotest.(check int) "first sender on the bus" 10 (Port.send_c p0 ~addr:0 ~finish:10 ~beats:4);
   Alcotest.(check int) "second port queues on shared wires" 14
-    (Port.send_c p1 ~finish:10 ~beats:4);
+    (Port.send_c p1 ~addr:0 ~finish:10 ~beats:4);
   Alcotest.(check int) "stall landed on the queued port" 1 (get p1 "c_stalls");
   Alcotest.(check int) "no stall on the winner" 0 (get p0 "c_stalls");
   let q0 = Port.create ~name:"q0" () in
   let q1 = Port.create ~name:"q1" () in
-  ignore (Port.send_c q0 ~finish:10 ~beats:4);
+  ignore (Port.send_c q0 ~addr:0 ~finish:10 ~beats:4);
   Alcotest.(check int) "crossbar ports are independent" 10
-    (Port.send_c q1 ~finish:10 ~beats:4)
+    (Port.send_c q1 ~addr:0 ~finish:10 ~beats:4)
 
 let test_memside_counters () =
   let m =

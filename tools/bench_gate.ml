@@ -22,9 +22,16 @@
 
    - [--min-speedup X]: fail unless the fresh file's "speedup_vs_serial"
      (pinned-baseline serial wall over this run's wall, computed by the
-     bench) is at least X.
+     bench) is at least X.  When the fresh run records "pool_clamped"
+     (an oversubscribed --jobs clamped to the host's cores), the floor is
+     scaled by pool_width/jobs — the run never had the parallelism the
+     floor assumed, and demanding it anyway would gate on host shape.
    - [--max-serial-regress Y]: fail if the fresh "wall_ms_workloads"
      exceeds the baseline file's by more than the fraction Y (0.20 = 20%).
+   - [--min-bank-speedup X]: fail unless the fresh "fig9_32k_flush_l2b4"
+     workload (the Fig. 9 32 KiB flush point on the 4-bank NUCA L2)
+     records an 8-thread speedup of at least X (its "speedup_milli" stat,
+     a simulated — hence deterministic — quantity).
 
    Writes a human-readable diff report to REPORT (default
    bench_gate_report.txt) and exits 1 when any gated field drifts, so CI
@@ -254,12 +261,13 @@ let read_file path =
 
 let usage () =
   prerr_endline
-    "usage: bench_gate [--min-speedup X] [--max-serial-regress Y] [--allow-missing] \
-     BASELINE FRESH [REPORT]";
+    "usage: bench_gate [--min-speedup X] [--max-serial-regress Y] \
+     [--min-bank-speedup X] [--allow-missing] BASELINE FRESH [REPORT]";
   exit 2
 
 let () =
   let min_speedup = ref None and max_serial_regress = ref None in
+  let min_bank_speedup = ref None in
   let positional = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -270,6 +278,10 @@ let () =
     | "--max-serial-regress" :: v :: rest -> (
       match float_of_string_opt v with
       | Some f -> max_serial_regress := Some f; parse_args rest
+      | None -> usage ())
+    | "--min-bank-speedup" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> min_bank_speedup := Some f; parse_args rest
       | None -> usage ())
     | "--allow-missing" :: rest ->
       allow_missing := true;
@@ -310,13 +322,49 @@ let () =
     fws;
   (match !min_speedup with
    | None -> ()
-   | Some floor -> (
+   | Some fl -> (
      match Option.bind (member "speedup_vs_serial" fresh) to_num with
      | None -> drift "speedup gate: fresh run has no speedup_vs_serial field"
      | Some s ->
-       if s < floor then
-         drift "speedup gate: speedup_vs_serial %.2f below required %.2f" s floor
-       else note "speedup gate: speedup_vs_serial %.2f >= %.2f" s floor));
+       (* Compare against the width the run actually had: an oversubscribed
+          --jobs clamped to the host's cores cannot reach a floor computed
+          for the requested width. *)
+       let fl =
+         match
+           ( member "pool_clamped" fresh,
+             Option.bind (member "pool_width" fresh) to_num,
+             Option.bind (member "jobs" fresh) to_num )
+         with
+         | Some (Bool true), Some w, Some j when j > 0. && w < j ->
+           let fl' = Float.max 1. (fl *. w /. j) in
+           note
+             "speedup gate: pool clamped to %.0f of %.0f requested domain(s); floor \
+              scaled %.2f -> %.2f"
+             w j fl fl';
+           fl'
+         | _ -> fl
+       in
+       if s < fl then
+         drift "speedup gate: speedup_vs_serial %.2f below required %.2f" s fl
+       else note "speedup gate: speedup_vs_serial %.2f >= %.2f" s fl));
+  (match !min_bank_speedup with
+   | None -> ()
+   | Some fl -> (
+     let w_name = "fig9_32k_flush_l2b4" in
+     match List.assoc_opt w_name fws with
+     | None -> drift "bank-speedup gate: workload %s missing from fresh run" w_name
+     | Some w -> (
+       match
+         Option.bind (member "stats" w) (member "speedup_milli")
+         |> Fun.flip Option.bind to_num
+       with
+       | None -> drift "bank-speedup gate: %s has no speedup_milli stat" w_name
+       | Some m ->
+         let s = m /. 1000. in
+         if s < fl then
+           drift "bank-speedup gate: banked fig9 8-thread speedup %.2f below required %.2f"
+             s fl
+         else note "bank-speedup gate: banked fig9 8-thread speedup %.2f >= %.2f" s fl)));
   (match !max_serial_regress with
    | None -> ()
    | Some frac -> (
