@@ -377,6 +377,50 @@ let run_serve_workload ~batch ~rate =
     gc = None;
   }
 
+(* The fleet robustness row: 2×10^5 open-loop clients over a 4-shard,
+   2-replica fleet with one seeded shard kill at steady state.  The pinned
+   numbers are the kill-one-shard SLOs: achieved throughput, shed fraction,
+   failover/recovery work — and zero verification violations, so CI holds
+   the line on durable linearizability under crashes, not just on speed. *)
+let run_fleet_workload () =
+  let module Fleet = Skipit_fleet.Fleet in
+  let cfg =
+    {
+      Fleet.default with
+      Fleet.clients = 200_000;
+      requests = 2000;
+      faults = Fleet.Seeded 1;
+    }
+  in
+  let point, latency = with_latency (fun () -> Fleet.run cfg ~rate:16.) in
+  {
+    w_name = "fleet_kill1";
+    cycles = point.Fleet.elapsed;
+    checksums = [| point.Fleet.served; point.Fleet.shed; point.Fleet.failovers |];
+    latency;
+    attribution = [];
+    stats =
+      [
+        "served", point.Fleet.served;
+        "shed", point.Fleet.shed;
+        ( "shed_milli",
+          int_of_float (Float.round (1000. *. Fleet.shed_fraction point)) );
+        "partial", point.Fleet.partial;
+        "failovers", point.Fleet.failovers;
+        "crashes", point.Fleet.crashes;
+        "repairs", point.Fleet.repairs;
+        "retries", point.Fleet.retries;
+        "hints", point.Fleet.hints;
+        "recovery_cycles", point.Fleet.recovery_cycles;
+        ( "achieved_milli",
+          int_of_float (Float.round (point.Fleet.achieved *. 1000.)) );
+        "violations", List.length point.Fleet.violations;
+        "leaked", point.Fleet.leaked;
+      ];
+    wall_ms = 0.;
+    gc = None;
+  }
+
 (* Host wall-clock timing of the JSON workload set: each workload is timed
    individually in the serial pass; the parallel pass times the whole set
    under the pool.  Simulated results are taken from the serial pass, so
@@ -497,6 +541,7 @@ let emit_json ~jobs path =
         (fun () -> Some (run_scaling_workload ~skip_it:false));
         (fun () -> Some (run_scaling_workload ~skip_it:true));
         (fun () -> Some (run_banked_scaling_workload ()));
+        (fun () -> Some (run_fleet_workload ()));
       ]
     @ List.concat_map
         (fun rate ->

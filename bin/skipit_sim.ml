@@ -812,6 +812,270 @@ let telemetry_cmd =
     Term.(const run $ rate $ requests $ batch $ depth $ clients $ cores $ update $ seed
           $ window $ l2_banks_arg $ out_json $ out_prom $ out_csv $ out_perfetto)
 
+let fleet_cmd =
+  let module Fleet = Skipit_fleet.Fleet in
+  let module Arrival = Skipit_serve.Arrival in
+  let module Ops = Skipit_pds.Set_ops in
+  let module Ds_bench = Skipit_workload.Ds_bench in
+  let module Pctx = Skipit_persist.Pctx in
+  let conv_of ~what ~of_name ~to_name =
+    Arg.conv
+      ( (fun s ->
+          match of_name s with
+          | Some v -> Ok v
+          | None -> Error (`Msg (Printf.sprintf "unknown %s %S" what s))),
+        fun ppf v -> Format.pp_print_string ppf (to_name v) )
+  in
+  let d = Fleet.default in
+  let shards =
+    Arg.(value & opt int d.Fleet.shards
+         & info [ "shards" ] ~docv:"N" ~doc:"Independent serving shards (one system each).")
+  in
+  let replicas =
+    Arg.(value & opt int d.Fleet.replicas
+         & info [ "replicas" ] ~docv:"K" ~doc:"Copies of every key (1 <= K <= shards).")
+  in
+  let vnodes =
+    Arg.(value & opt int d.Fleet.vnodes
+         & info [ "vnodes" ] ~docv:"N" ~doc:"Ring virtual nodes per shard.")
+  in
+  let structure =
+    let of_name s = List.find_opt (fun k -> Ops.kind_name k = s) Ops.all_kinds in
+    Arg.(value
+         & opt (conv_of ~what:"structure" ~of_name ~to_name:Ops.kind_name) d.Fleet.kind
+         & info [ "structure" ] ~docv:"S"
+           ~doc:"Structure each shard serves: list, hash, bst, skiplist.")
+  in
+  let mode =
+    let of_name s = List.find_opt (fun m -> Pctx.mode_name m = s) Pctx.all_modes in
+    Arg.(value
+         & opt (conv_of ~what:"mode" ~of_name ~to_name:Pctx.mode_name) d.Fleet.mode
+         & info [ "mode" ] ~docv:"M" ~doc:"Persistence mode: automatic, nvtraverse, manual.")
+  in
+  let strategy =
+    Arg.(value
+         & opt (conv_of ~what:"strategy" ~of_name:Ds_bench.spec_of_name
+                  ~to_name:Ds_bench.spec_name)
+             d.Fleet.spec
+         & info [ "strategy" ] ~docv:"STRAT"
+           ~doc:"Persist strategy: plain, flit-adjacent, flit-hash[/N], \
+                 link-and-persist, skip-it.")
+  in
+  let arrival =
+    Arg.(value
+         & opt (conv_of ~what:"arrival process" ~of_name:Arrival.process_of_name
+                  ~to_name:Arrival.process_name)
+             d.Fleet.process
+         & info [ "arrival" ] ~docv:"PROC"
+           ~doc:"Arrival process: poisson, bursty[:ON/OFF], or \
+                 degraded:S-E[,S-E]:BASE (fault windows over BASE).")
+  in
+  let faults =
+    let of_name = Fleet.fault_schedule_of_name in
+    Arg.(value
+         & opt (conv_of ~what:"fault schedule" ~of_name
+                  ~to_name:Fleet.fault_schedule_name)
+             d.Fleet.faults
+         & info [ "fault-schedule" ] ~docv:"SCHED"
+           ~doc:"Shard kills: none, rand:N (N seeded mid-run kills), or \
+                 AT:SHARD[,AT:SHARD] explicit kill times in cycles.")
+  in
+  let rates =
+    Arg.(value & opt (list ~sep:',' float) [ 16. ]
+         & info [ "rate" ] ~docv:"R1,R2,..."
+           ~doc:"Offered loads to sweep, in operations per 1000 cycles.")
+  in
+  let clients =
+    Arg.(value & opt int d.Fleet.clients
+         & info [ "clients" ] ~docv:"N" ~doc:"Independent open-loop sessions.")
+  in
+  let requests =
+    Arg.(value & opt int d.Fleet.requests
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests per sweep point.")
+  in
+  let depth =
+    Arg.(value & opt int d.Fleet.depth
+         & info [ "depth" ] ~docv:"N" ~doc:"Waiting-room slots per shard.")
+  in
+  let batch =
+    Arg.(value & opt int d.Fleet.batch
+         & info [ "batch" ] ~docv:"N" ~doc:"Group-commit epoch size per shard.")
+  in
+  let retry_max =
+    Arg.(value & opt int d.Fleet.retry_max
+         & info [ "retry-max" ] ~docv:"N" ~doc:"Retry budget before a write is shed.")
+  in
+  let backoff =
+    Arg.(value & opt int d.Fleet.backoff
+         & info [ "backoff" ] ~docv:"CYCLES"
+           ~doc:"Base retry backoff; attempt i waits backoff*2^i (+ seeded jitter), \
+                 capped by --backoff-cap.")
+  in
+  let backoff_cap =
+    Arg.(value & opt int d.Fleet.backoff_cap
+         & info [ "backoff-cap" ] ~docv:"CYCLES" ~doc:"Exponential backoff ceiling.")
+  in
+  let timeout =
+    Arg.(value & opt int d.Fleet.timeout
+         & info [ "timeout" ] ~docv:"CYCLES" ~doc:"Dead-shard detection penalty.")
+  in
+  let fanout_pct =
+    Arg.(value & opt int d.Fleet.fanout_pct
+         & info [ "fanout-pct" ] ~docv:"PCT" ~doc:"Percent of reads that become multi-gets.")
+  in
+  let update =
+    Arg.(value & opt int d.Fleet.update_pct
+         & info [ "update" ] ~docv:"PCT" ~doc:"Update percentage (insert/delete 50/50).")
+  in
+  let seed = Arg.(value & opt int d.Fleet.seed & info [ "seed" ] ~doc:"Fleet seed.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let repro =
+    Arg.(value & opt (some string) None
+         & info [ "repro" ] ~docv:"FILE"
+           ~doc:"Replay a fleet reproducer file instead of building a config \
+                 from the other flags.")
+  in
+  let repro_out =
+    Arg.(value & opt string "fleet-repro.txt"
+         & info [ "repro-out" ] ~docv:"FILE"
+           ~doc:"Where to write the shrunk reproducer when a run fails verification.")
+  in
+  let pp_points ppf (cfg : Fleet.config) points =
+    let open Format in
+    fprintf ppf
+      "fleet: %d shard(s) x %d replica(s), %s/%s/%s, %d client(s), %d request(s), \
+       faults %s, seed %d@."
+      cfg.Fleet.shards cfg.Fleet.replicas
+      (Ops.kind_name cfg.Fleet.kind) (Pctx.mode_name cfg.Fleet.mode)
+      (Ds_bench.spec_name cfg.Fleet.spec) cfg.Fleet.clients cfg.Fleet.requests
+      (Fleet.fault_schedule_name cfg.Fleet.faults) cfg.Fleet.seed;
+    fprintf ppf
+      "%8s %8s %7s %6s %6s %6s %6s %6s %7s %9s %9s %9s@." "offered" "achieved"
+      "served" "shed" "part" "fail" "crash" "retry" "hints" "p50" "p99" "p99.9";
+    List.iter
+      (fun (p : Fleet.point) ->
+        let l f = match p.Fleet.latency with Some s -> f s | None -> 0. in
+        fprintf ppf "%8.1f %8.2f %7d %6d %6d %6d %6d %6d %7d %9.0f %9.0f %9.0f@."
+          p.Fleet.offered p.Fleet.achieved p.Fleet.served p.Fleet.shed p.Fleet.partial
+          p.Fleet.failovers p.Fleet.crashes p.Fleet.retries p.Fleet.hints
+          (l (fun s -> s.Latency.p50)) (l (fun s -> s.Latency.p99))
+          (l (fun s -> s.Latency.p999)))
+      points;
+    List.iter
+      (fun (p : Fleet.point) ->
+        if p.Fleet.crashes > 0 || p.Fleet.violations <> [] then begin
+          fprintf ppf "-- rate %.1f: shard detail --@." p.Fleet.offered;
+          Array.iter
+            (fun (s : Fleet.shard_stat) ->
+              fprintf ppf
+                "  shard %d: %s, %d op(s), %d commit(s), %d shed, %d crash(es), \
+                 %d hint(s) replayed, %d recovery cycle(s)@."
+                s.Fleet.s_id s.Fleet.s_state s.Fleet.s_executed s.Fleet.s_commits
+                s.Fleet.s_shed s.Fleet.s_crashes s.Fleet.s_hints s.Fleet.s_recovery)
+            p.Fleet.shards
+        end)
+      points
+  in
+  let pp_csv ppf points =
+    Format.fprintf ppf
+      "offered,achieved,served,shed,partial,failovers,crashes,repairs,retries,hints,\
+       recovery_cycles,elapsed,p50,p99,p999@.";
+    List.iter
+      (fun (p : Fleet.point) ->
+        let l f = match p.Fleet.latency with Some s -> f s | None -> 0. in
+        Format.fprintf ppf "%g,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%g,%g@."
+          p.Fleet.offered p.Fleet.achieved p.Fleet.served p.Fleet.shed p.Fleet.partial
+          p.Fleet.failovers p.Fleet.crashes p.Fleet.repairs p.Fleet.retries
+          p.Fleet.hints p.Fleet.recovery_cycles p.Fleet.elapsed
+          (l (fun s -> s.Latency.p50)) (l (fun s -> s.Latency.p99))
+          (l (fun s -> s.Latency.p999)))
+      points
+  in
+  let run shards replicas vnodes structure mode strategy arrival faults rates clients
+      requests depth batch retry_max backoff backoff_cap timeout fanout_pct update seed
+      csv repro repro_out jobs =
+    let cfg, rates =
+      match repro with
+      | Some file -> (
+        match Fleet.read_reproducer file with
+        | Ok (cfg, rate) -> (cfg, [ rate ])
+        | Error e ->
+          prerr_endline ("fleet: " ^ e);
+          exit 2)
+      | None ->
+        ( {
+            Fleet.default with
+            Fleet.shards;
+            replicas;
+            vnodes;
+            kind = structure;
+            mode;
+            spec = strategy;
+            process = arrival;
+            clients;
+            requests;
+            depth;
+            batch;
+            retry_max;
+            backoff;
+            backoff_cap;
+            timeout;
+            fanout_pct;
+            update_pct = update;
+            seed;
+            faults;
+          },
+          rates )
+    in
+    (match Fleet.validate cfg with
+     | Ok () -> ()
+     | Error e ->
+       prerr_endline ("fleet: " ^ e);
+       exit 2);
+    let points = with_jobs jobs (fun pool -> Fleet.sweep ?pool cfg ~rates) in
+    with_ppf (fun ppf -> if csv then pp_csv ppf points else pp_points ppf cfg points);
+    let bad =
+      List.filter (fun (p : Fleet.point) -> p.Fleet.violations <> []) points
+    in
+    if bad = [] then begin
+      Printf.printf "conservation: ok (%d checkpoint(s))\n"
+        (List.fold_left (fun acc (p : Fleet.point) -> acc + p.Fleet.checkpoints) 0 points);
+      print_endline "verification: ok (durable linearizability holds fleet-wide)"
+    end
+    else begin
+      List.iter
+        (fun (p : Fleet.point) ->
+          Printf.printf "verification FAILED at rate %.1f (%d violation(s)):\n"
+            p.Fleet.offered
+            (List.length p.Fleet.violations);
+          List.iteri
+            (fun i v -> if i < 8 then print_endline ("  " ^ v))
+            p.Fleet.violations)
+        bad;
+      let rate =
+        match bad with p :: _ -> p.Fleet.offered | [] -> assert false
+      in
+      let small, sp = Fleet.shrink cfg ~rate in
+      Fleet.write_reproducer repro_out small ~rate;
+      Printf.printf
+        "minimal reproducer: %d request(s), %d violation(s) -> wrote %s\n"
+        small.Fleet.requests
+        (List.length sp.Fleet.violations)
+        repro_out;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Sharded serving fleet: consistent-hash routing with K-way \
+             replication over independent shard systems, crash-driven \
+             failover with retry/backoff and hinted handoff, graceful load \
+             shedding, and fleet-wide durable-linearizability verification")
+    Term.(const run $ shards $ replicas $ vnodes $ structure $ mode $ strategy $ arrival
+          $ faults $ rates $ clients $ requests $ depth $ batch $ retry_max $ backoff
+          $ backoff_cap $ timeout $ fanout_pct $ update $ seed $ csv $ repro $ repro_out
+          $ jobs_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -823,5 +1087,5 @@ let () =
        (Cmd.group ~default info
           [
             figure_cmd; stats_cmd; sweep_cmd; ablate_cmd; run_cmd; trace_cmd; audit_cmd;
-            serve_cmd; telemetry_cmd;
+            serve_cmd; telemetry_cmd; fleet_cmd;
           ]))

@@ -19,6 +19,8 @@ let pp_violation ppf v =
 
 let violation_to_string v = Format.asprintf "%a" pp_violation v
 
+let make ~rule ?addr detail = { rule; addr; detail }
+
 (* ------------------------------------------------------------------ *)
 
 type ctx = {

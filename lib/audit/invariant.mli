@@ -34,6 +34,11 @@ type violation = {
 val pp_violation : Format.formatter -> violation -> unit
 val violation_to_string : violation -> string
 
+val make : rule:string -> ?addr:int -> string -> violation
+(** Construct a violation for checks that live outside this module (the
+    fleet's conservation and durability checks report through the same
+    record so campaign-style tooling renders them uniformly). *)
+
 val check_all : ?quiesced:bool -> Skipit_core.System.t -> violation list
 (** Run every structural check; [~quiesced:true] (default [false]) adds the
     occupancy-conservation checks that are only meaningful once no

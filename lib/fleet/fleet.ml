@@ -1,0 +1,1128 @@
+module S = Skipit_core.System
+module T = Skipit_core.Thread
+module C = Skipit_core.Config
+module Params = Skipit_cache.Params
+module Strategy = Skipit_persist.Strategy
+module Pctx = Skipit_persist.Pctx
+module Ops = Skipit_pds.Set_ops
+module Rng = Skipit_sim.Rng
+module Sample = Skipit_sim.Stats.Sample
+module Trace = Skipit_obs.Trace
+module Latency = Skipit_obs.Latency
+module Pool = Skipit_par.Pool
+module Ds_bench = Skipit_workload.Ds_bench
+module Arrival = Skipit_serve.Arrival
+module Batcher = Skipit_serve.Batcher
+module Invariant = Skipit_audit.Invariant
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedules.                                                   *)
+
+type fault = { at : int; shard : int }
+
+type fault_schedule = No_faults | Kill of fault list | Seeded of int
+
+let fault_schedule_name = function
+  | No_faults -> "none"
+  | Seeded n -> Printf.sprintf "rand:%d" n
+  | Kill fs ->
+    String.concat "," (List.map (fun f -> Printf.sprintf "%d:%d" f.at f.shard) fs)
+
+let fault_schedule_of_name s =
+  match s with
+  | "none" | "" -> Some No_faults
+  | _ ->
+    if String.length s > 5 && String.sub s 0 5 = "rand:" then
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some n when n >= 1 -> Some (Seeded n)
+      | _ -> None
+    else begin
+      let parse_one part =
+        match String.split_on_char ':' part with
+        | [ a; b ] -> (
+          match int_of_string_opt a, int_of_string_opt b with
+          | Some at, Some shard when at >= 0 && shard >= 0 -> Some { at; shard }
+          | _ -> None)
+        | _ -> None
+      in
+      let parts = String.split_on_char ',' s in
+      let fs = List.filter_map parse_one parts in
+      if List.length fs = List.length parts && fs <> [] then Some (Kill fs) else None
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration.                                                     *)
+
+type config = {
+  shards : int;
+  replicas : int;
+  vnodes : int;
+  kind : Ops.kind;
+  mode : Pctx.mode;
+  spec : Ds_bench.strategy_spec;
+  process : Arrival.process;
+  clients : int;
+  requests : int;
+  depth : int;
+  batch : int;
+  linger : int;
+  retry_max : int;
+  backoff : int;
+  backoff_cap : int;
+  timeout : int;
+  fanout_pct : int;
+  fanout : int;
+  key_range : int;
+  update_pct : int;
+  prefill : int;
+  seed : int;
+  faults : fault_schedule;
+  drop_persists : int option;
+}
+
+let default =
+  {
+    shards = 4;
+    replicas = 2;
+    vnodes = 16;
+    kind = Ops.Hash_set;
+    mode = Pctx.Automatic;
+    spec = Ds_bench.Skipit;
+    process = Arrival.Poisson;
+    clients = 1024;
+    requests = 2000;
+    depth = 48;
+    batch = 8;
+    linger = 600;
+    retry_max = 5;
+    backoff = 200;
+    backoff_cap = 3200;
+    timeout = 400;
+    fanout_pct = 10;
+    fanout = 4;
+    key_range = 1024;
+    update_pct = 20;
+    prefill = 512;
+    seed = 11;
+    faults = No_faults;
+    drop_persists = None;
+  }
+
+let validate cfg =
+  let check cond msg = if cond then Error msg else Ok () in
+  let ( >>= ) r f = Result.bind r (fun () -> f ()) in
+  check (cfg.shards <= 0) "shards must be positive"
+  >>= fun () -> check (cfg.replicas <= 0 || cfg.replicas > cfg.shards)
+                  "replicas must be in [1, shards]"
+  >>= fun () -> check (cfg.vnodes <= 0) "vnodes must be positive"
+  >>= fun () -> check (cfg.clients <= 0) "clients must be positive"
+  >>= fun () -> check (cfg.requests <= 0) "requests must be positive"
+  >>= fun () -> check (cfg.depth <= 0) "depth must be positive"
+  >>= fun () -> check (cfg.batch <= 0) "batch must be positive"
+  >>= fun () -> check (cfg.linger <= 0) "linger must be positive"
+  >>= fun () -> check (cfg.retry_max < 0) "retry-max must be non-negative"
+  >>= fun () -> check (cfg.backoff <= 0) "backoff must be positive"
+  >>= fun () -> check (cfg.backoff_cap < cfg.backoff) "backoff-cap must be >= backoff"
+  >>= fun () -> check (cfg.timeout <= 0) "timeout must be positive"
+  >>= fun () -> check (cfg.fanout_pct < 0 || cfg.fanout_pct > 100)
+                  "fanout-pct must be in [0,100]"
+  >>= fun () -> check (cfg.fanout <= 0) "fanout must be positive"
+  >>= fun () -> check (cfg.key_range <= 0) "key-range must be positive"
+  >>= fun () -> check (cfg.update_pct < 0 || cfg.update_pct > 100)
+                  "update-pct must be in [0,100]"
+  >>= fun () -> check (cfg.prefill < 0) "prefill must be non-negative"
+  >>= fun () ->
+  check
+    (not (Ds_bench.compatible cfg.kind cfg.spec))
+    (Printf.sprintf "%s is incompatible with %s (word-bit conflict)"
+       (Ds_bench.spec_name cfg.spec) (Ops.kind_name cfg.kind))
+  >>= fun () ->
+  check
+    (cfg.faults <> No_faults && cfg.spec = Ds_bench.Baseline)
+    "the non-persistent baseline cannot survive a fault schedule"
+  >>= fun () ->
+  check
+    (match cfg.drop_persists with Some s -> s < 0 || s >= cfg.shards | None -> false)
+    "drop-persists shard out of range"
+  >>= fun () ->
+  check
+    (match cfg.faults with
+     | Kill fs -> List.exists (fun f -> f.shard < 0 || f.shard >= cfg.shards) fs
+     | _ -> false)
+    "fault schedule names a shard out of range"
+
+(* ------------------------------------------------------------------ *)
+(* Results.                                                           *)
+
+type shard_stat = {
+  s_id : int;
+  s_state : string;
+  s_executed : int;
+  s_commits : int;
+  s_shed : int;
+  s_crashes : int;
+  s_hints : int;
+  s_recovery : int;
+  s_busy : int;
+}
+
+type point = {
+  offered : float;
+  achieved : float;
+  served : int;
+  shed : int;
+  partial : int;
+  n : int;
+  latency : Latency.summary option;
+  dequeue_latency : Latency.summary option;
+  gap : Latency.gap option;
+  elapsed : int;
+  failovers : int;
+  crashes : int;
+  repairs : int;
+  recovery_cycles : int;
+  retries : int;
+  hints : int;
+  checkpoints : int;
+  violations : string list;
+  leaked : int;
+  shards : shard_stat array;
+}
+
+let shed_fraction p = if p.n = 0 then 0. else float_of_int p.shed /. float_of_int p.n
+
+(* ------------------------------------------------------------------ *)
+(* A deterministic binary min-heap keyed (time, insertion stamp), so    *)
+(* same-time events process in creation order on every run.            *)
+
+module Pq = struct
+  type 'a t = {
+    mutable a : (int * int * 'a) array;
+    mutable n : int;
+    mutable stamp : int;
+    dummy : int * int * 'a;
+  }
+
+  let create dummy = { a = Array.make 64 (0, 0, dummy); n = 0; stamp = 0; dummy = (0, 0, dummy) }
+  let length q = q.n
+
+  let less (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+  let push q t v =
+    if q.n = Array.length q.a then begin
+      let a' = Array.make (2 * q.n) q.dummy in
+      Array.blit q.a 0 a' 0 q.n;
+      q.a <- a'
+    end;
+    let e = (t, q.stamp, v) in
+    q.stamp <- q.stamp + 1;
+    let i = ref q.n in
+    q.n <- q.n + 1;
+    q.a.(!i) <- e;
+    while !i > 0 && less q.a.(!i) q.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = q.a.(p) in
+      q.a.(p) <- q.a.(!i);
+      q.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek q = if q.n = 0 then None else let t, _, v = q.a.(0) in Some (t, v)
+
+  let pop q =
+    let t, _, v = q.a.(0) in
+    q.n <- q.n - 1;
+    q.a.(0) <- q.a.(q.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < q.n && less q.a.(l) q.a.(!m) then m := l;
+      if r < q.n && less q.a.(r) q.a.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        let tmp = q.a.(!m) in
+        q.a.(!m) <- q.a.(!i);
+        q.a.(!i) <- tmp;
+        i := !m
+      end
+    done;
+    (t, v)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard state.                                                   *)
+
+type shard_phase =
+  | Live
+  | Dead  (* crashed, not yet noticed by the router *)
+  | Repairing  (* detected; audited + repaired; re-admitted at [readmit] *)
+
+(* One replicated write in flight: shared by every shard epoch that holds
+   it.  [m_waits] counts executed-but-uncommitted replicas; the request
+   resolves when it reaches 0. *)
+type member = {
+  m_req : int;
+  mutable m_waits : int;
+  mutable m_committed : int;
+  mutable m_ack : int;  (* max commit finish over replicas: the linearization stamp *)
+}
+
+type shard = {
+  sid : int;
+  sys : S.t;
+  strat : Strategy.t;
+  h : Ops.handle;
+  mutable b : Batcher.t;
+  mutable phase : shard_phase;
+  mutable readmit : int;
+  mutable busy_until : int;
+  mutable occ : int;
+  mutable epoch : member list;  (* newest first *)
+  mutable epoch_n : int;
+  mutable epoch_deadline : int;
+  hints : (Arrival.op * int) Queue.t;
+  mutable executed : int;
+  mutable commits : int;
+  mutable shed_full : int;
+  mutable crashes : int;
+  mutable hints_replayed : int;
+  mutable recovery : int;
+  mutable busy_cycles : int;
+}
+
+type status = Pending | Served | Shed
+
+type req_state = {
+  idx : int;
+  mutable status : status;
+  mutable ack : int;
+  mutable lin : int;  (* last replica commit time: the model-order stamp *)
+  mutable svc_start : int;
+  mutable attempts : int;
+  mutable touched : bool;
+  mutable is_partial : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let run_task sys f = ignore (T.run sys [ { T.core = 0; body = f } ])
+
+let drop_persists_fault (s : Strategy.t) =
+  { s with name = s.name ^ "+drop-persists"; persist_store = (fun _ -> ()) }
+
+(* The prefilled key set: every (key_range/prefill)-th key, as in the
+   serving engine.  Both the shards and the oracle derive it from the
+   config alone. *)
+let prefill_keys cfg =
+  if cfg.prefill = 0 then [||]
+  else begin
+    let step = max 1 (cfg.key_range / max 1 cfg.prefill) in
+    Array.init (cfg.key_range / step) (fun i -> 1 + (i * step))
+  end
+
+let realize_faults cfg ~rate =
+  let fs =
+    match cfg.faults with
+    | No_faults -> []
+    | Kill fs -> fs
+    | Seeded n ->
+      let horizon = max 1000 (int_of_float (float_of_int cfg.requests *. 1000. /. rate)) in
+      let rng = Rng.create ~seed:(cfg.seed + 5) in
+      List.init n (fun _ ->
+        let at = Rng.int_in rng ~lo:(horizon / 5) ~hi:(max (horizon / 5) (4 * horizon / 5)) in
+        { at; shard = Rng.int rng cfg.shards })
+  in
+  let a = Array.of_list fs in
+  Array.sort (fun f1 f2 -> compare (f1.at, f1.shard) (f2.at, f2.shard)) a;
+  a
+
+let run cfg ~rate =
+  (match validate cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Fleet.run: " ^ e));
+  if rate <= 0. then invalid_arg "Fleet.run: rate must be positive";
+  let ring = Ring.create ~shards:cfg.shards ~vnodes:cfg.vnodes ~seed:cfg.seed in
+  let route key = Ring.replicas ring ~key ~k:cfg.replicas in
+  let group = cfg.batch > 1 in
+  let pre = prefill_keys cfg in
+  (* Build every shard: its own tiny system, strategy, structure, batcher;
+     prefill it with the keys it owns and fence so the base state is
+     durable (the oracle's ground truth must survive any crash). *)
+  let make_shard sid =
+    let params =
+      { (C.tiny ~cores:1 ()) with
+        Params.skip_it = Ds_bench.wants_skip_it_hw cfg.spec }
+    in
+    let sys = S.create params in
+    (* Setup (structure skeleton + prefill) always persists properly — the
+       drop-persists fault, like the campaign's, applies to post-setup
+       operation only, so a crash exposes lost updates, not a garbage
+       skeleton. *)
+    let clean = Ds_bench.realize cfg.spec sys in
+    let strat = if cfg.drop_persists = Some sid then drop_persists_fault clean else clean in
+    let setup_pctx = Pctx.make clean cfg.mode in
+    let handle = ref None in
+    let buckets = max 16 (cfg.key_range / 4) in
+    run_task sys (fun () ->
+      let h = Ops.create_sized cfg.kind ~buckets setup_pctx (S.allocator sys) in
+      let keys = Array.copy pre in
+      Rng.shuffle (Rng.create ~seed:(cfg.seed + sid)) keys;
+      Array.iter
+        (fun k ->
+          if List.mem sid (route k) then ignore (h.Ops.insert setup_pctx k))
+        keys;
+      strat.Strategy.fence ();
+      handle := Some h);
+    {
+      sid;
+      sys;
+      strat;
+      h = Option.get !handle;
+      b = Batcher.create ~group ~strategy:strat ~mode:cfg.mode ();
+      phase = Live;
+      readmit = 0;
+      busy_until = 0;
+      occ = 0;
+      epoch = [];
+      epoch_n = 0;
+      epoch_deadline = 0;
+      hints = Queue.create ();
+      executed = 0;
+      commits = 0;
+      shed_full = 0;
+      crashes = 0;
+      hints_replayed = 0;
+      recovery = 0;
+      busy_cycles = 0;
+    }
+  in
+  let shards = Array.init cfg.shards make_shard in
+  let sched =
+    Arrival.schedule ~process:cfg.process ~rate ~clients:cfg.clients
+      ~requests:cfg.requests ~key_range:cfg.key_range ~update_pct:cfg.update_pct
+      ~seed:(cfg.seed + 1)
+  in
+  let n = Array.length sched in
+  let reqs =
+    Array.init n (fun idx ->
+      { idx; status = Pending; ack = 0; lin = 0; svc_start = -1; attempts = 0;
+        touched = false; is_partial = false })
+  in
+  (* Which reads fan out into multi-gets: drawn once, in schedule order, so
+     a retry sees the same classification. *)
+  let multi =
+    let frng = Rng.create ~seed:(cfg.seed + 4) in
+    Array.init n (fun _ -> Rng.int frng 100 < cfg.fanout_pct)
+  in
+  let jitter_rng = Rng.create ~seed:(cfg.seed + 3) in
+  let backoff_delay attempt =
+    min cfg.backoff_cap (cfg.backoff lsl min attempt 20)
+    + Rng.int jitter_rng (max 1 (cfg.backoff / 2))
+  in
+  (* Fleet-time event machinery. *)
+  let releases : int Pq.t = Pq.create 0 in  (* (free time, shard id) *)
+  let retry_q : int Pq.t = Pq.create 0 in  (* (due time, request idx) *)
+  let faults = realize_faults cfg ~rate in
+  let fault_i = ref 0 in
+  (* Counters. *)
+  let issued = ref 0 and served = ref 0 and shed = ref 0 and partial = ref 0 in
+  let failovers = ref 0 and crashes = ref 0 and repairs = ref 0 in
+  let recovery_cycles = ref 0 and retries = ref 0 and hints_total = ref 0 in
+  let checkpoints = ref 0 in
+  let dispatching = ref 0 in
+  let t_end = ref 0 in
+  let violations = ref [] in
+  let n_violations = ref 0 in
+  let violation v =
+    incr n_violations;
+    if !n_violations <= 64 then violations := Invariant.violation_to_string v :: !violations
+  in
+  let lat = Sample.create () and dlat = Sample.create () in
+  let bump_end t = if t > !t_end then t_end := t in
+  let drain_releases t =
+    let continue = ref true in
+    while !continue do
+      match Pq.peek releases with
+      | Some (u, sid) when u <= t ->
+        ignore (Pq.pop releases);
+        shards.(sid).occ <- shards.(sid).occ - 1
+      | _ -> continue := false
+    done
+  in
+  (* served + shed + in_flight = issued, where in_flight is counted
+     independently: distinct pending epoch members, queued retries, and the
+     one request mid-dispatch.  Checked at every crash, detection,
+     re-admission and at quiesce. *)
+  let checkpoint ~at what =
+    incr checkpoints;
+    let pending = !issued - !served - !shed in
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun s ->
+        List.iter
+          (fun m ->
+            if reqs.(m.m_req).status = Pending then Hashtbl.replace seen m.m_req ())
+          s.epoch)
+      shards;
+    let tracked = Hashtbl.length seen + Pq.length retry_q + !dispatching in
+    if pending <> tracked then
+      violation
+        (Invariant.make ~rule:"fleet-conservation"
+           (Printf.sprintf
+              "at %s (cycle %d): issued %d - served %d - shed %d = %d in flight, but \
+               %d tracked (%d epoch members, %d retries, %d dispatching)"
+              what at !issued !served !shed pending tracked (Hashtbl.length seen)
+              (Pq.length retry_q) !dispatching))
+  in
+  let exec s f =
+    let c0 = S.max_clock s.sys in
+    run_task s.sys f;
+    let d = S.max_clock s.sys - c0 in
+    s.executed <- s.executed + 1;
+    s.busy_cycles <- s.busy_cycles + d;
+    d
+  in
+  let apply_op pctx (h : Ops.handle) op key =
+    match op with
+    | Arrival.Insert -> ignore (h.Ops.insert pctx key : bool)
+    | Arrival.Delete -> ignore (h.Ops.delete pctx key : bool)
+    | Arrival.Contains -> ignore (h.Ops.contains pctx key : bool)
+  in
+  let resolve_served r ~ack ~lin ~key ~primary =
+    r.status <- Served;
+    r.ack <- ack;
+    r.lin <- lin;
+    incr served;
+    bump_end ack;
+    let arrival = sched.(r.idx).Arrival.arrival in
+    Sample.add_int lat (ack - arrival);
+    if r.svc_start >= 0 then Sample.add_int dlat (ack - r.svc_start);
+    let rid = Trace.req_start ~at:arrival ~cls:Trace.Cls_fleet ~core:primary ~addr:key in
+    Trace.req_end ~at:ack rid
+  in
+  let resolve_shed r ~at =
+    r.status <- Shed;
+    r.ack <- at;
+    incr shed;
+    bump_end at
+  in
+  let resolve_member m =
+    let r = reqs.(m.m_req) in
+    if r.status = Pending then begin
+      let key = sched.(m.m_req).Arrival.key in
+      if m.m_committed > 0 then
+        resolve_served r ~ack:m.m_ack ~lin:m.m_ack ~key
+          ~primary:(match route key with p :: _ -> p | [] -> 0)
+      else assert false  (* waits hit 0 without commits only via crash, handled there *)
+    end
+  in
+  let commit_shard s ~at =
+    if s.epoch_n > 0 then begin
+      let start = max at s.busy_until in
+      let c0 = S.max_clock s.sys in
+      run_task s.sys (fun () -> Batcher.commit s.b);
+      let d = S.max_clock s.sys - c0 in
+      let f = start + d in
+      s.busy_until <- f;
+      s.busy_cycles <- s.busy_cycles + d;
+      s.commits <- s.commits + 1;
+      let members = List.rev s.epoch in
+      s.epoch <- [];
+      s.epoch_n <- 0;
+      List.iter
+        (fun m ->
+          Pq.push releases f s.sid;
+          m.m_waits <- m.m_waits - 1;
+          m.m_committed <- m.m_committed + 1;
+          if f > m.m_ack then m.m_ack <- f;
+          if m.m_waits = 0 then resolve_member m)
+        members;
+      bump_end f
+    end
+  in
+  let lazy_commits t =
+    Array.iter
+      (fun s ->
+        if s.phase = Live && s.epoch_n > 0 && s.epoch_deadline <= t then
+          commit_shard s ~at:s.epoch_deadline)
+      shards
+  in
+  let schedule_retry ridx ~at =
+    incr retries;
+    Pq.push retry_q at ridx
+  in
+  let crash_shard f =
+    let s = shards.(f.shard) in
+    S.crash s.sys;
+    s.crashes <- s.crashes + 1;
+    incr crashes;
+    (* the open epoch (volatile, unfenced) dies with the shard *)
+    let lost = List.rev s.epoch in
+    s.epoch <- [];
+    s.occ <- s.occ - s.epoch_n;
+    s.epoch_n <- 0;
+    s.b <- Batcher.create ~group ~strategy:s.strat ~mode:cfg.mode ();
+    s.phase <- Dead;
+    s.busy_until <- f.at;
+    bump_end f.at;
+    List.iter
+      (fun m ->
+        let req = sched.(m.m_req) in
+        (* this shard lost its (uncommitted) copy: hint it for replay *)
+        Queue.add (req.Arrival.op, req.Arrival.key) s.hints;
+        m.m_waits <- m.m_waits - 1;
+        if m.m_waits = 0 then begin
+          let r = reqs.(m.m_req) in
+          if r.status = Pending then
+            if m.m_committed > 0 then
+              (* durable on other replicas; the client ack rides the
+                 replication timeout instead of the dead shard's commit *)
+              resolve_served r ~ack:(max m.m_ack (f.at + cfg.timeout)) ~lin:m.m_ack
+                ~key:req.Arrival.key
+                ~primary:(match route req.Arrival.key with p :: _ -> p | [] -> 0)
+            else if r.attempts >= cfg.retry_max then
+              resolve_shed r ~at:(f.at + cfg.timeout)
+            else begin
+              r.attempts <- r.attempts + 1;
+              schedule_retry m.m_req
+                ~at:(f.at + cfg.timeout + backoff_delay (r.attempts - 1))
+            end
+        end)
+      lost;
+    checkpoint ~at:f.at "crash"
+  in
+  (* First contact with a dead shard: the router pays [timeout], then runs
+     the PR-4 recovery path — post-crash invariant sweep, structure repair,
+     epoch commit — and schedules re-admission. *)
+  let detect s ~at =
+    incr repairs;
+    List.iter
+      (fun v ->
+        violation
+          (Invariant.make ~rule:("shard-" ^ string_of_int s.sid ^ "/" ^ v.Invariant.rule)
+             ?addr:v.Invariant.addr v.Invariant.detail))
+      (Invariant.check_all ~quiesced:true s.sys);
+    let c0 = S.max_clock s.sys in
+    run_task s.sys (fun () ->
+      ignore (s.h.Ops.repair (Batcher.pctx s.b) : int);
+      Batcher.commit s.b);
+    let d = S.max_clock s.sys - c0 in
+    s.recovery <- s.recovery + d;
+    recovery_cycles := !recovery_cycles + d;
+    s.phase <- Repairing;
+    s.readmit <- at + cfg.timeout + d;
+    s.busy_until <- s.readmit;
+    bump_end s.readmit;
+    checkpoint ~at "detect"
+  in
+  (* Re-admission: replay the hint log (writes the shard missed while down)
+     through the structure and commit, then take traffic again. *)
+  let readmit_shard s ~at =
+    if not (Queue.is_empty s.hints) then begin
+      let count = Queue.length s.hints in
+      let c0 = S.max_clock s.sys in
+      run_task s.sys (fun () ->
+        let pctx = Batcher.pctx s.b in
+        Queue.iter (fun (op, key) -> apply_op pctx s.h op key) s.hints;
+        Batcher.commit s.b);
+      Queue.clear s.hints;
+      let d = S.max_clock s.sys - c0 in
+      s.recovery <- s.recovery + d;
+      recovery_cycles := !recovery_cycles + d;
+      s.hints_replayed <- s.hints_replayed + count;
+      hints_total := !hints_total + count;
+      s.busy_until <- max s.busy_until at + d
+    end;
+    s.phase <- Live;
+    bump_end at;
+    checkpoint ~at "readmit"
+  in
+  let join_epoch s m ~start =
+    if s.epoch_n = 0 then s.epoch_deadline <- start + cfg.linger;
+    s.epoch <- m :: s.epoch;
+    s.epoch_n <- s.epoch_n + 1;
+    s.occ <- s.occ + 1;
+    if s.epoch_n >= min cfg.batch cfg.depth then commit_shard s ~at:s.busy_until
+  in
+  (* Walk a key's replica set from fleet time [t]: re-admit repaired shards
+     whose time has come, detect dead ones (paying [timeout] each), and
+     return the first shard that can serve a read. *)
+  let rec walk_read t = function
+    | [] -> `Down t
+    | sid :: rest -> (
+      let s = shards.(sid) in
+      if s.phase = Repairing && t >= s.readmit then readmit_shard s ~at:t;
+      match s.phase with
+      | Dead ->
+        detect s ~at:t;
+        walk_read (t + cfg.timeout) rest
+      | Repairing -> walk_read t rest
+      | Live ->
+        drain_releases t;
+        if s.occ >= cfg.depth then `Full (s, t) else `Serve (s, t))
+  in
+  let classify_write t rt =
+    let t_eff = ref t in
+    let live = ref [] and down = ref [] in
+    List.iter
+      (fun sid ->
+        let s = shards.(sid) in
+        if s.phase = Repairing && !t_eff >= s.readmit then readmit_shard s ~at:!t_eff;
+        match s.phase with
+        | Dead ->
+          detect s ~at:!t_eff;
+          t_eff := !t_eff + cfg.timeout;
+          down := s :: !down
+        | Repairing -> down := s :: !down
+        | Live -> live := s :: !live)
+      rt;
+    (List.rev !live, List.rev !down, !t_eff)
+  in
+  let exec_read s key ~at =
+    let start = max at s.busy_until in
+    let d = exec s (fun () -> ignore (s.h.Ops.contains (Batcher.pctx s.b) key : bool)) in
+    let fin = start + d in
+    s.busy_until <- fin;
+    s.occ <- s.occ + 1;
+    Pq.push releases fin s.sid;
+    (start, fin)
+  in
+  let dispatch_write r ~at =
+    let req = sched.(r.idx) in
+    let key = req.Arrival.key in
+    let rt = route key in
+    let primary = match rt with p :: _ -> p | [] -> 0 in
+    let live, down, t_eff = classify_write at rt in
+    match live with
+    | [] ->
+      if r.attempts >= cfg.retry_max then resolve_shed r ~at:t_eff
+      else begin
+        r.attempts <- r.attempts + 1;
+        schedule_retry r.idx ~at:(t_eff + backoff_delay (r.attempts - 1))
+      end
+    | s0 :: _ ->
+      drain_releases t_eff;
+      if s0.occ >= cfg.depth then begin
+        s0.shed_full <- s0.shed_full + 1;
+        resolve_shed r ~at:t_eff
+      end
+      else begin
+        if s0.sid <> primary then incr failovers;
+        r.touched <- true;
+        let m = { m_req = r.idx; m_waits = List.length live; m_committed = 0; m_ack = 0 } in
+        List.iter
+          (fun s ->
+            let start = max t_eff s.busy_until in
+            if r.svc_start < 0 then r.svc_start <- start;
+            let d =
+              exec s (fun () -> apply_op (Batcher.pctx s.b) s.h req.Arrival.op key)
+            in
+            s.busy_until <- start + d;
+            join_epoch s m ~start)
+          live;
+        List.iter (fun s -> Queue.add (req.Arrival.op, key) s.hints) down
+      end
+  in
+  let dispatch_read r ~at =
+    let req = sched.(r.idx) in
+    let key = req.Arrival.key in
+    let rt = route key in
+    let primary = match rt with p :: _ -> p | [] -> 0 in
+    match walk_read at rt with
+    | `Serve (s, t_eff) ->
+      if s.sid <> primary then incr failovers;
+      let start, fin = exec_read s key ~at:t_eff in
+      if r.svc_start < 0 then r.svc_start <- start;
+      resolve_served r ~ack:fin ~lin:fin ~key ~primary
+    | `Full (s, t_eff) ->
+      s.shed_full <- s.shed_full + 1;
+      resolve_shed r ~at:t_eff
+    | `Down t_eff ->
+      if r.attempts >= cfg.retry_max then resolve_shed r ~at:t_eff
+      else begin
+        r.attempts <- r.attempts + 1;
+        schedule_retry r.idx ~at:(t_eff + backoff_delay (r.attempts - 1))
+      end
+  in
+  (* Multi-get: [fanout] sub-reads fanned out concurrently over derived
+     keys; the request completes at the slowest sub-read.  Sub-reads that
+     find every replica down (or a full waiting room) are dropped and the
+     result is partial — degraded, never blocked. *)
+  let dispatch_multi r ~at =
+    let req = sched.(r.idx) in
+    let base = req.Arrival.key in
+    let step = max 1 (cfg.key_range / cfg.fanout) in
+    let best_ack = ref (-1) in
+    let missing = ref 0 in
+    for j = 0 to cfg.fanout - 1 do
+      let key = 1 + ((base - 1 + (j * step)) mod cfg.key_range) in
+      let rt = route key in
+      let primary = match rt with p :: _ -> p | [] -> 0 in
+      match walk_read at rt with
+      | `Serve (s, t_eff) ->
+        if s.sid <> primary then incr failovers;
+        let start, fin = exec_read s key ~at:t_eff in
+        if r.svc_start < 0 then r.svc_start <- start;
+        if fin > !best_ack then best_ack := fin
+      | `Full (s, _) ->
+        s.shed_full <- s.shed_full + 1;
+        incr missing
+      | `Down _ -> incr missing
+    done;
+    if !best_ack < 0 then resolve_shed r ~at
+    else begin
+      if !missing > 0 then begin
+        r.is_partial <- true;
+        incr partial
+      end;
+      let primary = match route base with p :: _ -> p | [] -> 0 in
+      resolve_served r ~ack:!best_ack ~lin:!best_ack ~key:base ~primary
+    end
+  in
+  let dispatch idx ~at =
+    let r = reqs.(idx) in
+    match sched.(idx).Arrival.op with
+    | Arrival.Insert | Arrival.Delete -> dispatch_write r ~at
+    | Arrival.Contains -> if multi.(idx) then dispatch_multi r ~at else dispatch_read r ~at
+  in
+  (* Process every crash and due retry with time <= t, in time order
+     (crashes win ties), committing lingering epochs as the clock passes
+     their deadlines. *)
+  let rec advance t =
+    let nf = if !fault_i < Array.length faults then Some faults.(!fault_i).at else None in
+    let nr = match Pq.peek retry_q with Some (u, _) -> Some u | None -> None in
+    match nf, nr with
+    | Some tf, _ when tf <= t && (match nr with Some u -> tf <= u | None -> true) ->
+      let f = faults.(!fault_i) in
+      incr fault_i;
+      lazy_commits f.at;
+      crash_shard f;
+      advance t
+    | _, Some u when u <= t ->
+      let _, ridx = Pq.pop retry_q in
+      lazy_commits u;
+      drain_releases u;
+      dispatching := 1;
+      dispatch ridx ~at:u;
+      dispatching := 0;
+      advance t
+    | _ ->
+      lazy_commits t;
+      drain_releases t
+  in
+  (* ---------------- main loop ---------------- *)
+  for idx = 0 to n - 1 do
+    let at = sched.(idx).Arrival.arrival in
+    advance at;
+    dispatch idx ~at;
+    incr issued
+  done;
+  (* Quiesce: drain every remaining fault and retry, close every epoch,
+     then force still-down shards through detection/re-admission so the
+     whole fleet is live (and hint logs are empty) for verification. *)
+  advance max_int;
+  Array.iter
+    (fun s ->
+      match s.phase with
+      | Dead ->
+        let at = max !t_end s.busy_until in
+        detect s ~at;
+        readmit_shard s ~at:s.readmit
+      | Repairing -> readmit_shard s ~at:(max s.readmit !t_end)
+      | Live -> ())
+    shards;
+  advance max_int;
+  drain_releases max_int;
+  checkpoint ~at:!t_end "quiesce";
+  let hung = !issued - !served - !shed in
+  if hung <> 0 then
+    violation
+      (Invariant.make ~rule:"fleet-hang"
+         (Printf.sprintf "%d request(s) neither served nor shed at quiesce" hung));
+  let leaked = Array.fold_left (fun acc s -> acc + s.occ) 0 shards in
+  if leaked <> 0 then
+    violation
+      (Invariant.make ~rule:"fleet-leak"
+         (Printf.sprintf "%d waiting-room slot(s) still held at quiesce" leaked));
+  (* Structural invariants on every (now quiesced, repaired) shard. *)
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun v ->
+          violation
+            (Invariant.make
+               ~rule:("shard-" ^ string_of_int s.sid ^ "/" ^ v.Invariant.rule)
+               ?addr:v.Invariant.addr v.Invariant.detail))
+        (Invariant.check_all ~quiesced:true s.sys))
+    shards;
+  (* ---------------- durable-linearizability oracle ----------------
+     Replay acked writes in linearization order over the prefilled model;
+     every replica of every key must agree, except keys written by a
+     touched-but-shed request (lost mid-crash: "either way" amnesty). *)
+  let model = Hashtbl.create 256 in
+  Array.iter (fun k -> Hashtbl.replace model k true) pre;
+  let writes =
+    Array.to_list reqs
+    |> List.filter_map (fun r ->
+         let req = sched.(r.idx) in
+         match req.Arrival.op with
+         | Arrival.Insert | Arrival.Delete when r.status = Served ->
+           Some (r.lin, r.idx, req.Arrival.op, req.Arrival.key)
+         | _ -> None)
+    |> List.sort compare
+  in
+  List.iter
+    (fun (_, _, op, key) ->
+      Hashtbl.replace model key (op = Arrival.Insert))
+    writes;
+  let amnesty = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      let req = sched.(r.idx) in
+      match req.Arrival.op with
+      | (Arrival.Insert | Arrival.Delete) when r.touched && r.status = Shed ->
+        Hashtbl.replace amnesty req.Arrival.key ()
+      | _ -> ())
+    reqs;
+  let snaps =
+    Array.map
+      (fun s ->
+        let tbl = Hashtbl.create 256 in
+        List.iter
+          (fun k ->
+            Hashtbl.replace tbl k ();
+            if k < 1 || k > cfg.key_range then
+              violation
+                (Invariant.make ~rule:"fleet-durability"
+                   (Printf.sprintf "shard %d holds out-of-range key %d" s.sid k))
+            else if not (List.mem s.sid (route k)) then
+              violation
+                (Invariant.make ~rule:"fleet-durability"
+                   (Printf.sprintf "shard %d holds key %d it does not replicate" s.sid k)))
+          (s.h.Ops.snapshot s.sys);
+        tbl)
+      shards
+  in
+  for key = 1 to cfg.key_range do
+    if not (Hashtbl.mem amnesty key) then begin
+      let expected = Hashtbl.find_opt model key = Some true in
+      List.iter
+        (fun sid ->
+          let actual = Hashtbl.mem snaps.(sid) key in
+          if actual <> expected then
+            violation
+              (Invariant.make ~rule:"fleet-durability" ~addr:key
+                 (Printf.sprintf
+                    "key %d %s on shard %d but the acked-prefix model says %s" key
+                    (if actual then "present" else "missing")
+                    sid
+                    (if expected then "present" else "absent"))))
+        (route key)
+    end
+  done;
+  let violations =
+    let base = List.rev !violations in
+    if !n_violations > 64 then
+      base @ [ Printf.sprintf "... (%d more violations suppressed)" (!n_violations - 64) ]
+    else base
+  in
+  let latency = Latency.summarize lat in
+  let dequeue_latency = Latency.summarize dlat in
+  let gap =
+    match latency, dequeue_latency with
+    | Some i, Some r -> Some (Latency.gap ~intended:i ~recorded:r)
+    | _ -> None
+  in
+  let elapsed = !t_end in
+  {
+    offered = rate;
+    achieved =
+      (if elapsed > 0 then float_of_int !served *. 1000. /. float_of_int elapsed else 0.);
+    served = !served;
+    shed = !shed;
+    partial = !partial;
+    n;
+    latency;
+    dequeue_latency;
+    gap;
+    elapsed;
+    failovers = !failovers;
+    crashes = !crashes;
+    repairs = !repairs;
+    recovery_cycles = !recovery_cycles;
+    retries = !retries;
+    hints = !hints_total;
+    checkpoints = !checkpoints;
+    violations;
+    leaked;
+    shards =
+      Array.map
+        (fun s ->
+          {
+            s_id = s.sid;
+            s_state =
+              (match s.phase with Live -> "live" | Dead -> "dead" | Repairing -> "repairing");
+            s_executed = s.executed;
+            s_commits = s.commits;
+            s_shed = s.shed_full;
+            s_crashes = s.crashes;
+            s_hints = s.hints_replayed;
+            s_recovery = s.recovery;
+            s_busy = s.busy_cycles;
+          })
+        shards;
+  }
+
+let sweep ?pool cfg ~rates = Pool.run_chunked_opt ~chunk:1 pool (fun rate -> run cfg ~rate) rates
+
+(* ------------------------------------------------------------------ *)
+(* Reproducers (campaign-style key=value files) and shrinking.        *)
+
+let write_reproducer path (cfg : config) ~rate =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "# skipit fleet failure reproducer\n";
+  p "shards=%d\n" cfg.shards;
+  p "replicas=%d\n" cfg.replicas;
+  p "vnodes=%d\n" cfg.vnodes;
+  p "structure=%s\n" (Ops.kind_name cfg.kind);
+  p "mode=%s\n" (Pctx.mode_name cfg.mode);
+  p "strategy=%s\n" (Ds_bench.spec_name cfg.spec);
+  p "process=%s\n" (Arrival.process_name cfg.process);
+  p "rate=%h\n" rate;
+  p "clients=%d\n" cfg.clients;
+  p "requests=%d\n" cfg.requests;
+  p "depth=%d\n" cfg.depth;
+  p "batch=%d\n" cfg.batch;
+  p "linger=%d\n" cfg.linger;
+  p "retry_max=%d\n" cfg.retry_max;
+  p "backoff=%d\n" cfg.backoff;
+  p "backoff_cap=%d\n" cfg.backoff_cap;
+  p "timeout=%d\n" cfg.timeout;
+  p "fanout_pct=%d\n" cfg.fanout_pct;
+  p "fanout=%d\n" cfg.fanout;
+  p "key_range=%d\n" cfg.key_range;
+  p "update_pct=%d\n" cfg.update_pct;
+  p "prefill=%d\n" cfg.prefill;
+  p "seed=%d\n" cfg.seed;
+  p "faults=%s\n" (fault_schedule_name cfg.faults);
+  (match cfg.drop_persists with Some s -> p "drop_persists=%d\n" s | None -> ());
+  close_out oc
+
+let read_reproducer path =
+  let ic = open_in path in
+  let tbl = Hashtbl.create 32 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.index_opt line '=' with
+         | Some i ->
+           Hashtbl.replace tbl
+             (String.sub line 0 i)
+             (String.sub line (i + 1) (String.length line - i - 1))
+         | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  let missing = ref [] in
+  let get name =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+      missing := name :: !missing;
+      ""
+  in
+  let int name ~default:d =
+    match int_of_string_opt (get name) with Some v -> v | None -> d
+  in
+  let cfg =
+    {
+      shards = int "shards" ~default:default.shards;
+      replicas = int "replicas" ~default:default.replicas;
+      vnodes = int "vnodes" ~default:default.vnodes;
+      kind =
+        (match
+           List.find_opt (fun k -> Ops.kind_name k = get "structure") Ops.all_kinds
+         with
+         | Some k -> k
+         | None -> default.kind);
+      mode =
+        (match
+           List.find_opt (fun m -> Pctx.mode_name m = get "mode") Pctx.all_modes
+         with
+         | Some m -> m
+         | None -> default.mode);
+      spec =
+        (match Ds_bench.spec_of_name (get "strategy") with
+         | Some s -> s
+         | None -> default.spec);
+      process =
+        (match Arrival.process_of_name (get "process") with
+         | Some p -> p
+         | None -> default.process);
+      clients = int "clients" ~default:default.clients;
+      requests = int "requests" ~default:default.requests;
+      depth = int "depth" ~default:default.depth;
+      batch = int "batch" ~default:default.batch;
+      linger = int "linger" ~default:default.linger;
+      retry_max = int "retry_max" ~default:default.retry_max;
+      backoff = int "backoff" ~default:default.backoff;
+      backoff_cap = int "backoff_cap" ~default:default.backoff_cap;
+      timeout = int "timeout" ~default:default.timeout;
+      fanout_pct = int "fanout_pct" ~default:default.fanout_pct;
+      fanout = int "fanout" ~default:default.fanout;
+      key_range = int "key_range" ~default:default.key_range;
+      update_pct = int "update_pct" ~default:default.update_pct;
+      prefill = int "prefill" ~default:default.prefill;
+      seed = int "seed" ~default:default.seed;
+      faults =
+        (match fault_schedule_of_name (get "faults") with
+         | Some f -> f
+         | None -> default.faults);
+      drop_persists =
+        (match Hashtbl.find_opt tbl "drop_persists" with
+         | Some v -> int_of_string_opt v
+         | None -> None);
+    }
+  in
+  let rate = match float_of_string_opt (get "rate") with Some r -> r | None -> 16. in
+  match List.filter (fun k -> k <> "drop_persists") !missing with
+  | [] -> Ok (cfg, rate)
+  | ks -> Error (Printf.sprintf "reproducer %s: missing key(s) %s" path (String.concat ", " ks))
+
+let shrink cfg ~rate =
+  let fails c = let p = run c ~rate in (p, p.violations <> []) in
+  let p0, failing = fails cfg in
+  if not failing then (cfg, p0)
+  else begin
+    (* Greedy: halve the schedule while the failure survives, then walk
+       back up by quarters to the smallest failing count found. *)
+    let best = ref (cfg, p0) in
+    let continue = ref true in
+    while !continue do
+      let c, _ = !best in
+      let next = { c with requests = c.requests / 2 } in
+      if next.requests < 1 then continue := false
+      else
+        let p, f = fails next in
+        if f then best := (next, p) else continue := false
+    done;
+    let c, _ = !best in
+    let lo = ref c.requests and hi = ref (min cfg.requests (c.requests * 2)) in
+    (* smallest failing request count in (lo, hi]: lo already fails *)
+    while !hi - !lo > max 1 (!lo / 8) do
+      let mid = (!lo + !hi) / 2 in
+      let next = { c with requests = mid } in
+      let p, f = fails next in
+      if f && mid < (fst !best).requests then begin
+        best := (next, p);
+        hi := mid
+      end
+      else if f then hi := mid
+      else lo := mid
+    done;
+    ignore !lo;
+    !best
+  end

@@ -134,9 +134,11 @@ type cls =
   | Cls_cbo_flush
   | Cls_writeback
   | Cls_serve
+  | Cls_fleet
 
 let all_classes =
-  [ Cls_load_miss; Cls_store_miss; Cls_cbo_clean; Cls_cbo_flush; Cls_writeback; Cls_serve ]
+  [ Cls_load_miss; Cls_store_miss; Cls_cbo_clean; Cls_cbo_flush; Cls_writeback; Cls_serve;
+    Cls_fleet ]
 
 let cls_name = function
   | Cls_load_miss -> "load_miss"
@@ -145,6 +147,7 @@ let cls_name = function
   | Cls_cbo_flush -> "cbo.flush"
   | Cls_writeback -> "writeback"
   | Cls_serve -> "serve"
+  | Cls_fleet -> "fleet"
 
 type event =
   | L1 of { core : int; op : l1_op; addr : int }

@@ -70,7 +70,9 @@ type res_op = Res_alloc | Res_free
 
 (** Request classes measured end-to-end by {!Latency}.  [Cls_serve] spans a
     serving-engine request from enqueue (arrival) to persist-complete (its
-    group-commit epoch's fence). *)
+    group-commit epoch's fence); [Cls_fleet] spans a fleet request from
+    intended arrival at the router to fleet-wide acknowledgement (every
+    executed replica's epoch committed). *)
 type cls =
   | Cls_load_miss
   | Cls_store_miss
@@ -78,6 +80,7 @@ type cls =
   | Cls_cbo_flush
   | Cls_writeback
   | Cls_serve
+  | Cls_fleet
 
 val all_classes : cls list
 val cls_name : cls -> string

@@ -3,14 +3,36 @@ module Rng = Skipit_sim.Rng
 type process =
   | Poisson
   | Bursty of { on : int; off : int }
+  | Degraded of { windows : (int * int) list; base : process }
 
 let default_bursty = Bursty { on = 2000; off = 6000 }
 
-let process_name = function
+let rec process_name = function
   | Poisson -> "poisson"
   | Bursty { on; off } -> Printf.sprintf "bursty:%d/%d" on off
+  | Degraded { windows; base } ->
+    Printf.sprintf "degraded:%s:%s"
+      (String.concat ","
+         (List.map (fun (s, e) -> Printf.sprintf "%d-%d" s e) windows))
+      (process_name base)
 
-let process_of_name s =
+(* Fault windows must be well-formed for the gap walk to terminate:
+   non-empty, each window non-empty, sorted, disjoint. *)
+let valid_windows windows =
+  windows <> []
+  && fst (List.hd windows) >= 0
+  && List.for_all (fun (s, e) -> e > s) windows
+  && fst (List.fold_left (fun (ok, prev) (s, e) -> (ok && s >= prev, e)) (true, 0) windows)
+
+let parse_window w =
+  match String.split_on_char '-' w with
+  | [ a; b ] -> (
+    match int_of_string_opt a, int_of_string_opt b with
+    | Some s, Some e -> Some (s, e)
+    | _ -> None)
+  | _ -> None
+
+let rec process_of_name s =
   match s with
   | "poisson" -> Some Poisson
   | "bursty" -> Some default_bursty
@@ -24,6 +46,26 @@ let process_of_name s =
          | Some on, Some off when on > 0 && off >= 0 -> Some (Bursty { on; off })
          | _ -> None)
        | _ -> None)
+     | Some i when String.sub s 0 i = "degraded" -> (
+       (* degraded:S-E[,S-E]:BASE — the window list never contains ':', so
+          the first ':' after the prefix splits windows from the base name
+          (which may itself contain ':'). *)
+       let rest = String.sub s (i + 1) (String.length s - i - 1) in
+       match String.index_opt rest ':' with
+       | None -> None
+       | Some j -> (
+         let wspec = String.sub rest 0 j in
+         let bspec = String.sub rest (j + 1) (String.length rest - j - 1) in
+         let windows =
+           List.filter_map parse_window (String.split_on_char ',' wspec)
+         in
+         if List.length windows <> List.length (String.split_on_char ',' wspec)
+            || not (valid_windows windows)
+         then None
+         else
+           match process_of_name bspec with
+           | Some (Degraded _) | None -> None
+           | Some base -> Some (Degraded { windows; base })))
      | _ -> None)
 
 type op = Insert | Delete | Contains
@@ -38,6 +80,31 @@ type request = {
   key : int;
 }
 
+(* Skip [t] forward past every cycle in which no arrival can occur: the off
+   phases of a bursty process, and any degraded (fault) window.  Each
+   recursion strictly advances [t], and the window list is finite, so the
+   walk terminates. *)
+let rec skip_gaps process t =
+  match process with
+  | Poisson -> t
+  | Bursty { on; off } ->
+    let period = on + off in
+    if t mod period < on then t else (t / period + 1) * period
+  | Degraded { windows; base } -> (
+    let t' = skip_gaps base t in
+    match List.find_opt (fun (s, e) -> t' >= s && t' < e) windows with
+    | Some (_, e) -> skip_gaps process e
+    | None -> t')
+
+(* The on-phase rate boost that keeps long-run offered load at the
+   configured rate.  Degraded windows deliberately do NOT boost: a fault
+   window erases the load that would have arrived during it (clients gone
+   dark), it does not defer it. *)
+let rec rate_boost = function
+  | Poisson -> 1.
+  | Bursty { on; off } -> float_of_int (on + off) /. float_of_int on
+  | Degraded { base; _ } -> rate_boost base
+
 (* One client session: its own Rng split, its own clock, its own request
    counter.  [p] is the per-cycle arrival probability during an active
    phase. *)
@@ -50,60 +117,97 @@ type session = {
 }
 
 (* Advance [s.clock] past its next arrival: Bernoulli trials cycle by
-   cycle, skipping off phases for bursty processes.  The trial cap bounds
+   cycle, skipping off phases and degraded windows.  The trial cap bounds
    the walk when [p] is tiny (it shows up as one very late arrival rather
    than an unbounded loop). *)
 let next_arrival process s =
-  let skip_off t =
-    match process with
-    | Poisson -> t
-    | Bursty { on; off } ->
-      let period = on + off in
-      if t mod period < on then t else (t / period + 1) * period
-  in
   let cap = 10_000_000 in
-  let t = ref (skip_off (s.clock + 1)) in
+  let t = ref (skip_gaps process (s.clock + 1)) in
   let trials = ref 0 in
   while not (Rng.chance s.rng s.p) && !trials < cap do
     incr trials;
-    t := skip_off (!t + 1)
+    t := skip_gaps process (!t + 1)
   done;
   s.clock <- !t;
   !t
+
+let aggregate_threshold = 256
+
+(* Fleet-scale populations: walking one Bernoulli stream per session costs
+   O(clients^2 / rate) trials just to prime the merge.  Above the
+   threshold we sample the *aggregate* process instead — one merged
+   Bernoulli stream at the full offered rate, with the owning client drawn
+   uniformly per arrival.  For a thinned Bernoulli/Poisson process the two
+   formulations have identical law (and bursty phases are global — every
+   session shares the same on/off alignment — so the on-phase boost
+   composes the same way); the concrete draws differ from the per-session
+   merge, so schedules are comparable only within one regime.  Still a
+   pure function of the configuration. *)
+let schedule_aggregate ~process ~p ~clients ~requests ~key_range ~update_pct ~seed =
+  let rng = Rng.create ~seed in
+  let counts = Array.make clients 0 in
+  let clock = ref (-1) in
+  let cap = 10_000_000 in
+  Array.init requests (fun _ ->
+    let t = ref (skip_gaps process (!clock + 1)) in
+    let trials = ref 0 in
+    while not (Rng.chance rng p) && !trials < cap do
+      incr trials;
+      t := skip_gaps process (!t + 1)
+    done;
+    clock := !t;
+    let client = Rng.int rng clients in
+    let r = Rng.int rng 100 in
+    let op =
+      if r < update_pct then if Rng.bool rng then Insert else Delete else Contains
+    in
+    let key = 1 + Rng.int rng key_range in
+    let seq = counts.(client) in
+    counts.(client) <- seq + 1;
+    { arrival = !t; client; seq; op; key })
 
 let schedule ~process ~rate ~clients ~requests ~key_range ~update_pct ~seed =
   if rate <= 0. then invalid_arg "Arrival.schedule: rate must be positive";
   if clients <= 0 then invalid_arg "Arrival.schedule: clients must be positive";
   if key_range <= 0 then invalid_arg "Arrival.schedule: key_range must be positive";
-  let boost =
-    match process with
-    | Poisson -> 1.
-    | Bursty { on; off } -> float_of_int (on + off) /. float_of_int on
-  in
-  let p = Float.min 1. (rate /. 1000. /. float_of_int clients *. boost) in
-  let master = Rng.create ~seed in
-  let sessions =
-    Array.init clients (fun id ->
-      { id; rng = Rng.split master; p; clock = -1; count = 0 })
-  in
-  (* Prime every session with its first arrival, then pull the globally
-     earliest [requests] times (earliest-deadline merge; ties by client id
-     via the scan order, seq is strictly increasing per client). *)
-  Array.iter (fun s -> ignore (next_arrival process s)) sessions;
-  let out =
-    Array.init requests (fun _ ->
-      let best = ref sessions.(0) in
-      Array.iter (fun s -> if s.clock < !best.clock then best := s) sessions;
-      let s = !best in
-      let r = Rng.int s.rng 100 in
-      let op =
-        if r < update_pct then if Rng.bool s.rng then Insert else Delete
-        else Contains
-      in
-      let key = 1 + Rng.int s.rng key_range in
-      let req = { arrival = s.clock; client = s.id; seq = s.count; op; key } in
-      s.count <- s.count + 1;
-      ignore (next_arrival process s);
-      req)
-  in
-  out
+  (match process with
+   | Degraded { windows; base } ->
+     if not (valid_windows windows) then
+       invalid_arg "Arrival.schedule: degraded windows must be sorted, disjoint, non-empty";
+     (match base with
+      | Degraded _ -> invalid_arg "Arrival.schedule: degraded process cannot nest"
+      | _ -> ())
+   | _ -> ());
+  let boost = rate_boost process in
+  if clients > aggregate_threshold then
+    let p = Float.min 1. (rate /. 1000. *. boost) in
+    schedule_aggregate ~process ~p ~clients ~requests ~key_range ~update_pct ~seed
+  else begin
+    let p = Float.min 1. (rate /. 1000. /. float_of_int clients *. boost) in
+    let master = Rng.create ~seed in
+    let sessions =
+      Array.init clients (fun id ->
+        { id; rng = Rng.split master; p; clock = -1; count = 0 })
+    in
+    (* Prime every session with its first arrival, then pull the globally
+       earliest [requests] times (earliest-deadline merge; ties by client id
+       via the scan order, seq is strictly increasing per client). *)
+    Array.iter (fun s -> ignore (next_arrival process s)) sessions;
+    let out =
+      Array.init requests (fun _ ->
+        let best = ref sessions.(0) in
+        Array.iter (fun s -> if s.clock < !best.clock then best := s) sessions;
+        let s = !best in
+        let r = Rng.int s.rng 100 in
+        let op =
+          if r < update_pct then if Rng.bool s.rng then Insert else Delete
+          else Contains
+        in
+        let key = 1 + Rng.int s.rng key_range in
+        let req = { arrival = s.clock; client = s.id; seq = s.count; op; key } in
+        s.count <- s.count + 1;
+        ignore (next_arrival process s);
+        req)
+    in
+    out
+  end

@@ -10,7 +10,11 @@
     streams.  Each session owns a split of the master {!Skipit_sim.Rng}
     stream and draws its own inter-arrival gaps, operations and keys, so the
     whole schedule is a pure function of the configuration — the property
-    the byte-identical [--jobs] reduction and the CI gates rely on.
+    the byte-identical [--jobs] reduction and the CI gates rely on.  Above
+    {!aggregate_threshold} clients the schedule is drawn from the merged
+    aggregate stream instead (same law, one Bernoulli walk at the full
+    offered rate), which is what makes 10{^5}–10{^6}-client fleet runs
+    tractable.
 
     Inter-arrival gaps are sampled from a Bernoulli process (one trial per
     simulated cycle), i.e. the discrete-time Poisson process, using only
@@ -21,10 +25,16 @@
     per client; arrivals are drawn only during on phases, at a rate scaled
     by [(on + off) / on] so the long-run offered load still matches the
     configured rate (a deterministic on/off — interrupted Poisson —
-    process). *)
+    process).  [Degraded] suppresses arrivals inside fixed fault windows
+    [(start, stop)] (half-open, in cycles) layered over any non-degraded
+    base process: clients inside a fault window are dark, and — unlike a
+    bursty off phase — their load is erased, not deferred, so a fault
+    schedule can overlap a bursty schedule without changing the draws
+    outside the windows. *)
 type process =
   | Poisson
   | Bursty of { on : int; off : int }
+  | Degraded of { windows : (int * int) list; base : process }
 
 val default_bursty : process
 (** 2000 cycles on, 6000 off: 4x the average rate in one quarter of the
@@ -33,7 +43,17 @@ val default_bursty : process
 val process_name : process -> string
 
 val process_of_name : string -> process option
-(** ["poisson"], ["bursty"] (the default phases), or ["bursty:ON/OFF"]. *)
+(** ["poisson"], ["bursty"] (the default phases), ["bursty:ON/OFF"], or
+    ["degraded:S-E[,S-E]:BASE"] where [BASE] is any non-degraded process
+    name (windows sorted, disjoint, non-empty). *)
+
+val skip_gaps : process -> int -> int
+(** [skip_gaps process t] is the earliest cycle [>= t] at which an arrival
+    is possible (skips bursty off phases and degraded windows). *)
+
+val aggregate_threshold : int
+(** Client-count bound above which {!schedule} samples the merged aggregate
+    stream instead of one stream per session. *)
 
 type op = Insert | Delete | Contains
 

@@ -72,10 +72,68 @@ let test_process_names_round_trip () =
         (Arrival.process_name p ^ " round-trips")
         true
         (Arrival.process_of_name (Arrival.process_name p) = Some p))
-    [ Arrival.Poisson; Arrival.default_bursty; Arrival.Bursty { on = 17; off = 3 } ];
+    [
+      Arrival.Poisson;
+      Arrival.default_bursty;
+      Arrival.Bursty { on = 17; off = 3 };
+      Arrival.Degraded { windows = [ (100, 300) ]; base = Arrival.Poisson };
+      Arrival.Degraded
+        { windows = [ (10, 20); (50, 90) ]; base = Arrival.Bursty { on = 17; off = 3 } };
+    ];
   Alcotest.(check bool) "bad spec rejected" true
     (Arrival.process_of_name "bursty:0/5" = None
-    && Arrival.process_of_name "sawtooth" = None)
+    && Arrival.process_of_name "sawtooth" = None
+    && Arrival.process_of_name "degraded:30-20:poisson" = None
+    && Arrival.process_of_name "degraded:10-20,15-30:poisson" = None
+    && Arrival.process_of_name "degraded:10-20:degraded:30-40:poisson" = None)
+
+let test_degraded_windows_are_quiet () =
+  (* No arrival lands inside a fault window, and outside the windows the
+     schedule is exactly the base process (bit-identical seeding): erasing
+     the windows from a degraded schedule's arrivals leaves a prefix of the
+     base schedule's arrival sequence restricted to the same gaps. *)
+  let windows = [ (1000, 3000); (5000, 6000) ] in
+  let base = Arrival.Bursty { on = 500; off = 700 } in
+  let s = schedule ~process:(Arrival.Degraded { windows; base }) () in
+  Array.iter
+    (fun (r : Arrival.request) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "arrival %d outside every fault window" r.arrival)
+        true
+        (not (List.exists (fun (a, b) -> r.arrival >= a && r.arrival < b) windows));
+      Alcotest.(check bool)
+        (Printf.sprintf "arrival %d still respects the base's on phases" r.arrival)
+        true
+        (r.arrival mod 1200 < 500))
+    s
+
+let test_aggregate_path_matches_contract () =
+  (* Above the client threshold the scheduler switches to one merged
+     Bernoulli stream.  The contract stays: sorted arrivals, per-client
+     seqs, keys in range, deterministic in the seed. *)
+  let clients = 4 * Arrival.aggregate_threshold in
+  let make seed =
+    Arrival.schedule ~process:Arrival.Poisson ~rate:16. ~clients ~requests:600
+      ~key_range:256 ~update_pct:20 ~seed
+  in
+  let s = make 42 in
+  Alcotest.(check int) "requested length" 600 (Array.length s);
+  let next_seq = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (r : Arrival.request) ->
+      if i > 0 then
+        Alcotest.(check bool) "arrivals nondecreasing" true
+          (r.arrival >= s.(i - 1).Arrival.arrival);
+      Alcotest.(check bool) "client in range" true (r.client >= 0 && r.client < clients);
+      Alcotest.(check bool) "key in range" true (r.key >= 1 && r.key <= 256);
+      let expect = Option.value ~default:0 (Hashtbl.find_opt next_seq r.client) in
+      Alcotest.(check int) "per-client seq" expect r.seq;
+      Hashtbl.replace next_seq r.client (r.seq + 1))
+    s;
+  Alcotest.(check bool) "same seed, same schedule" true
+    (Array.for_all2 (fun a b -> req_tuple a = req_tuple b) s (make 42));
+  Alcotest.(check bool) "different seed, different schedule" false
+    (Array.for_all2 (fun a b -> req_tuple a = req_tuple b) s (make 43))
 
 (* == Batcher ordering contract ========================================== *)
 
@@ -326,6 +384,10 @@ let tests =
       Alcotest.test_case "schedule shape and per-client seq" `Quick test_schedule_shape;
       Alcotest.test_case "bursty arrivals stay in on phases" `Quick test_bursty_respects_phases;
       Alcotest.test_case "process names round-trip" `Quick test_process_names_round_trip;
+      Alcotest.test_case "degraded windows erase load, keep seeding" `Quick
+        test_degraded_windows_are_quiet;
+      Alcotest.test_case "aggregate path keeps the schedule contract" `Quick
+        test_aggregate_path_matches_contract;
       Alcotest.test_case "batcher defers, dedups, never reorders" `Quick test_batcher_defers_and_orders;
       Alcotest.test_case "non-deferrable strategies pass through" `Quick
         test_batcher_non_deferrable_passthrough;

@@ -33,6 +33,17 @@
      records an 8-thread speedup of at least X (its "speedup_milli" stat,
      a simulated — hence deterministic — quantity).
 
+   Two fleet robustness gates over the "fleet_kill1" workload (the
+   kill-one-shard-at-steady-state row; both quantities are simulated and
+   deterministic).  Either gate also fails outright if the row records any
+   verification violations or leaked waiting-room slots:
+
+   - [--max-fleet-shed F]: fail if the shed fraction ("shed_milli"/1000)
+     exceeds F — losing one of four shards must not shed more than F of
+     the offered load.
+   - [--min-fleet-achieved X]: fail unless achieved throughput
+     ("achieved_milli"/1000, served ops per 1000 cycles) is at least X.
+
    Writes a human-readable diff report to REPORT (default
    bench_gate_report.txt) and exits 1 when any gated field drifts, so CI
    can fail the build and upload the report as an artifact.
@@ -262,12 +273,14 @@ let read_file path =
 let usage () =
   prerr_endline
     "usage: bench_gate [--min-speedup X] [--max-serial-regress Y] \
-     [--min-bank-speedup X] [--allow-missing] BASELINE FRESH [REPORT]";
+     [--min-bank-speedup X] [--max-fleet-shed F] [--min-fleet-achieved X] \
+     [--allow-missing] BASELINE FRESH [REPORT]";
   exit 2
 
 let () =
   let min_speedup = ref None and max_serial_regress = ref None in
   let min_bank_speedup = ref None in
+  let max_fleet_shed = ref None and min_fleet_achieved = ref None in
   let positional = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -282,6 +295,14 @@ let () =
     | "--min-bank-speedup" :: v :: rest -> (
       match float_of_string_opt v with
       | Some f -> min_bank_speedup := Some f; parse_args rest
+      | None -> usage ())
+    | "--max-fleet-shed" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> max_fleet_shed := Some f; parse_args rest
+      | None -> usage ())
+    | "--min-fleet-achieved" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> min_fleet_achieved := Some f; parse_args rest
       | None -> usage ())
     | "--allow-missing" :: rest ->
       allow_missing := true;
@@ -365,6 +386,45 @@ let () =
            drift "bank-speedup gate: banked fig9 8-thread speedup %.2f below required %.2f"
              s fl
          else note "bank-speedup gate: banked fig9 8-thread speedup %.2f >= %.2f" s fl)));
+  (if !max_fleet_shed <> None || !min_fleet_achieved <> None then begin
+     let w_name = "fleet_kill1" in
+     match List.assoc_opt w_name fws with
+     | None -> drift "fleet gate: workload %s missing from fresh run" w_name
+     | Some w ->
+       let stat key =
+         Option.bind (member "stats" w) (member key) |> Fun.flip Option.bind to_num
+       in
+       (match stat "violations" with
+        | Some v when v > 0. ->
+          drift "fleet gate: %s records %.0f verification violation(s)" w_name v
+        | Some _ -> ()
+        | None -> drift "fleet gate: %s has no violations stat" w_name);
+       (match stat "leaked" with
+        | Some v when v > 0. ->
+          drift "fleet gate: %s leaked %.0f waiting-room slot(s)" w_name v
+        | _ -> ());
+       (match !max_fleet_shed with
+        | None -> ()
+        | Some fl -> (
+          match stat "shed_milli" with
+          | None -> drift "fleet gate: %s has no shed_milli stat" w_name
+          | Some m ->
+            let f = m /. 1000. in
+            if f > fl then
+              drift "fleet-shed gate: shed fraction %.3f above allowed %.3f" f fl
+            else note "fleet-shed gate: shed fraction %.3f <= %.3f" f fl));
+       match !min_fleet_achieved with
+       | None -> ()
+       | Some fl -> (
+         match stat "achieved_milli" with
+         | None -> drift "fleet gate: %s has no achieved_milli stat" w_name
+         | Some m ->
+           let a = m /. 1000. in
+           if a < fl then
+             drift
+               "fleet-achieved gate: achieved %.2f ops/kcycle below required %.2f" a fl
+           else note "fleet-achieved gate: achieved %.2f ops/kcycle >= %.2f" a fl)
+   end);
   (match !max_serial_regress with
    | None -> ()
    | Some frac -> (
