@@ -347,12 +347,18 @@ let run_banked_scaling_workload () =
    rates, per-operation persists (batch 1) vs group commit (batch 8).  The
    p99-vs-load pairs land in the JSON so the perf gate locks in the
    group-commit win (higher achieved throughput, lower tail at rate 16+). *)
-let run_serve_workload ~batch ~rate =
+let run_serve_workload ?workload ?(tag = "") ~batch ~rate () =
   let module Engine = Skipit_serve.Engine in
-  let cfg = { Engine.default with Engine.requests = 600; batch; telemetry = true } in
+  let module Workload = Skipit_serve.Workload in
+  let workload =
+    match workload with Some w -> w | None -> Workload.default
+  in
+  let cfg =
+    { Engine.default with Engine.requests = 600; batch; telemetry = true; workload }
+  in
   let point, latency = with_latency (fun () -> Engine.run cfg ~rate) in
   {
-    w_name = Printf.sprintf "serve_hash_r%.0f_b%d" rate batch;
+    w_name = Printf.sprintf "serve_hash%s_r%.0f_b%d" tag rate batch;
     cycles = point.Engine.elapsed;
     checksums = [| point.Engine.served; point.Engine.shed |];
     latency;
@@ -372,6 +378,8 @@ let run_serve_workload ~batch ~rate =
           int_of_float (Float.round (point.Engine.achieved *. 1000.)) );
         "attr_trimmed", point.Engine.attr_trimmed;
         "attr_conserved", (if point.Engine.attr_conserved then 1 else 0);
+        "skip_dropped", point.Engine.skip_dropped;
+        "wb_submitted", point.Engine.wb_submitted;
       ];
     wall_ms = 0.;
     gc = None;
@@ -545,8 +553,31 @@ let emit_json ~jobs path =
       ]
     @ List.concat_map
         (fun rate ->
-          List.map (fun batch () -> Some (run_serve_workload ~batch ~rate)) [ 1; 8 ])
+          List.map (fun batch () -> Some (run_serve_workload ~batch ~rate ())) [ 1; 8 ])
         [ 8.; 16.; 24. ]
+    (* Skewed-workload rows: the same serve config under Zipfian key
+       popularity (FliT's evaluation standard) so the gate can bound the
+       skewed-over-uniform p99 ratio; the churn row additionally rotates
+       the hot set every 4000 cycles. *)
+    @ (let module Workload = Skipit_serve.Workload in
+       [
+         (fun () ->
+           Some
+             (run_serve_workload ~tag:"_zipf90"
+                ~workload:{ Workload.keys = Workload.Zipf { theta_milli = 900 }; churn = None }
+                ~batch:8 ~rate:16. ()));
+         (fun () ->
+           Some
+             (run_serve_workload ~tag:"_zipf99"
+                ~workload:{ Workload.keys = Workload.Zipf { theta_milli = 990 }; churn = None }
+                ~batch:8 ~rate:16. ()));
+         (fun () ->
+           Some
+             (run_serve_workload ~tag:"_zipf99churn"
+                ~workload:
+                  { Workload.keys = Workload.Zipf { theta_milli = 990 }; churn = Some 4000 }
+                ~batch:8 ~rate:16. ()));
+       ])
   in
   (* Serial pass: the source of truth for every simulated quantity, with
      each workload timed individually. *)

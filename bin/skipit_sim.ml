@@ -541,6 +541,35 @@ let serve_cmd =
            ~doc:"Arrival process: poisson, or bursty[:ON/OFF] (on/off phase \
                  lengths in cycles).")
   in
+  let keys =
+    let module Workload = Skipit_serve.Workload in
+    Arg.(value
+         & opt (conv_of ~what:"key distribution" ~of_name:Workload.keys_of_name
+                  ~to_name:Workload.keys_name)
+             Workload.Uniform
+         & info [ "keys" ] ~docv:"DIST"
+           ~doc:"Key popularity: uniform, zipf (theta 0.99), or zipf:THETA.")
+  in
+  let churn =
+    Arg.(value & opt (some int) None
+         & info [ "churn" ] ~docv:"CYCLES"
+           ~doc:"Hot-set rotation period in cycles (requires zipf keys): \
+                 every period the rank-to-key mapping rotates by a seeded \
+                 offset.")
+  in
+  let mix =
+    Arg.(value & opt (some string) None
+         & info [ "mix" ] ~docv:"R:W"
+           ~doc:"Read/write mix, e.g. 80:20 (overrides --update).")
+  in
+  let phases =
+    Arg.(value & opt (some string) None
+         & info [ "phases" ] ~docv:"LEN:MULT,..."
+           ~doc:"Diurnal rate phases wrapped around the arrival process: \
+                 comma-separated LEN:MULT segments (length in cycles, rate \
+                 multiplier as a decimal; 0 = dead trough), e.g. \
+                 4000:0.25,4000:2.5.")
+  in
   let rates =
     Arg.(value
          & opt (some (list ~sep:',' float)) None
@@ -593,21 +622,49 @@ let serve_cmd =
          & info [ "window" ] ~docv:"CYCLES"
            ~doc:"Metrics window width in simulated cycles.")
   in
-  let run structure mode strategy arrival rates quick batch depth clients requests cores
-      update seed csv json telemetry window l2_banks jobs =
+  let run structure mode strategy arrival keys churn mix phases rates quick batch depth
+      clients requests cores update seed csv json telemetry window l2_banks jobs =
+    let module Workload = Skipit_serve.Workload in
+    let update_pct =
+      match mix with
+      | None -> update
+      | Some spec -> (
+        match Workload.mix_of_spec spec with
+        | Some pct -> pct
+        | None ->
+          prerr_endline ("serve: bad --mix " ^ spec ^ " (want R:W, e.g. 80:20)");
+          exit 2)
+    in
+    let process =
+      match phases with
+      | None -> arrival
+      | Some spec -> (
+        match Arrival.phases_of_spec spec with
+        | None ->
+          prerr_endline
+            ("serve: bad --phases " ^ spec ^ " (want LEN:MULT[,LEN:MULT])");
+          exit 2
+        | Some ps -> (
+          match Arrival.with_phases arrival ps with
+          | Some p -> p
+          | None ->
+            prerr_endline "serve: --phases cannot wrap an already-phased process";
+            exit 2))
+    in
     let cfg =
       {
         Engine.default with
         Engine.kind = structure;
         mode;
         spec = strategy;
-        process = arrival;
+        process;
+        workload = { Workload.keys; churn };
         clients;
         requests = (match requests with Some n -> n | None -> if quick then 600 else 2000);
         batch;
         depth;
         cores;
-        update_pct = update;
+        update_pct;
         seed;
         telemetry = telemetry <> None;
         window;
@@ -631,6 +688,21 @@ let serve_cmd =
           Report.pp_config ppf cfg;
           Report.pp_table ppf points
         end);
+    (if not json && not csv then
+       let leaked =
+         List.fold_left (fun acc (p : Engine.point) -> acc + p.Engine.leaked) 0 points
+       in
+       if
+         List.for_all
+           (fun (p : Engine.point) -> p.Engine.served + p.Engine.shed = p.Engine.n)
+           points
+         && leaked = 0
+       then
+         Printf.printf "conservation: ok (served + shed = offered at every point, 0 leaked slots)\n"
+       else begin
+         Printf.printf "conservation: VIOLATED (%d leaked slot(s))\n" leaked;
+         exit 1
+       end);
     match telemetry with
     | None -> ()
     | Some "-" -> print_string (Report.telemetry_json cfg points)
@@ -646,9 +718,9 @@ let serve_cmd =
        ~doc:"Open-loop serving: arrival-process load over a persistent \
              structure with group-committed persists, bounded admission and \
              load shedding; prints the throughput-latency sweep")
-    Term.(const run $ structure $ mode $ strategy $ arrival $ rates $ quick $ batch
-          $ depth $ clients $ requests $ cores $ update $ seed $ csv $ json $ telemetry
-          $ window $ l2_banks_arg $ jobs_arg)
+    Term.(const run $ structure $ mode $ strategy $ arrival $ keys $ churn $ mix
+          $ phases $ rates $ quick $ batch $ depth $ clients $ requests $ cores $ update
+          $ seed $ csv $ json $ telemetry $ window $ l2_banks_arg $ jobs_arg)
 
 let telemetry_cmd =
   let module Engine = Skipit_serve.Engine in
@@ -870,6 +942,32 @@ let fleet_cmd =
            ~doc:"Arrival process: poisson, bursty[:ON/OFF], or \
                  degraded:S-E[,S-E]:BASE (fault windows over BASE).")
   in
+  let keys =
+    let module Workload = Skipit_serve.Workload in
+    Arg.(value
+         & opt (conv_of ~what:"key distribution" ~of_name:Workload.keys_of_name
+                  ~to_name:Workload.keys_name)
+             Workload.Uniform
+         & info [ "keys" ] ~docv:"DIST"
+           ~doc:"Key popularity: uniform, zipf (theta 0.99), or zipf:THETA — \
+                 skew concentrates traffic on few ring positions.")
+  in
+  let churn =
+    Arg.(value & opt (some int) None
+         & info [ "churn" ] ~docv:"CYCLES"
+           ~doc:"Hot-set rotation period in cycles (requires zipf keys).")
+  in
+  let mix =
+    Arg.(value & opt (some string) None
+         & info [ "mix" ] ~docv:"R:W"
+           ~doc:"Read/write mix, e.g. 80:20 (overrides --update).")
+  in
+  let phases =
+    Arg.(value & opt (some string) None
+         & info [ "phases" ] ~docv:"LEN:MULT,..."
+           ~doc:"Diurnal rate phases wrapped around the arrival process \
+                 (LEN:MULT comma list; composes under degraded windows).")
+  in
   let faults =
     let of_name = Fleet.fault_schedule_of_name in
     Arg.(value
@@ -943,11 +1041,13 @@ let fleet_cmd =
   let pp_points ppf (cfg : Fleet.config) points =
     let open Format in
     fprintf ppf
-      "fleet: %d shard(s) x %d replica(s), %s/%s/%s, %d client(s), %d request(s), \
-       faults %s, seed %d@."
+      "fleet: %d shard(s) x %d replica(s), %s/%s/%s, %s keys, %d client(s), \
+       %d request(s), faults %s, seed %d@."
       cfg.Fleet.shards cfg.Fleet.replicas
       (Ops.kind_name cfg.Fleet.kind) (Pctx.mode_name cfg.Fleet.mode)
-      (Ds_bench.spec_name cfg.Fleet.spec) cfg.Fleet.clients cfg.Fleet.requests
+      (Ds_bench.spec_name cfg.Fleet.spec)
+      (Skipit_serve.Workload.name cfg.Fleet.workload)
+      cfg.Fleet.clients cfg.Fleet.requests
       (Fleet.fault_schedule_name cfg.Fleet.faults) cfg.Fleet.seed;
     fprintf ppf
       "%8s %8s %7s %6s %6s %6s %6s %6s %7s %9s %9s %9s@." "offered" "achieved"
@@ -991,9 +1091,10 @@ let fleet_cmd =
           (l (fun s -> s.Latency.p999)))
       points
   in
-  let run shards replicas vnodes structure mode strategy arrival faults rates clients
-      requests depth batch retry_max backoff backoff_cap timeout fanout_pct update seed
-      csv repro repro_out jobs =
+  let run shards replicas vnodes structure mode strategy arrival keys churn mix phases
+      faults rates clients requests depth batch retry_max backoff backoff_cap timeout
+      fanout_pct update seed csv repro repro_out jobs =
+    let module Workload = Skipit_serve.Workload in
     let cfg, rates =
       match repro with
       | Some file -> (
@@ -1003,6 +1104,33 @@ let fleet_cmd =
           prerr_endline ("fleet: " ^ e);
           exit 2)
       | None ->
+        let update_pct =
+          match mix with
+          | None -> update
+          | Some spec -> (
+            match Workload.mix_of_spec spec with
+            | Some pct -> pct
+            | None ->
+              prerr_endline ("fleet: bad --mix " ^ spec ^ " (want R:W, e.g. 80:20)");
+              exit 2)
+        in
+        let process =
+          match phases with
+          | None -> arrival
+          | Some spec -> (
+            match Arrival.phases_of_spec spec with
+            | None ->
+              prerr_endline
+                ("fleet: bad --phases " ^ spec ^ " (want LEN:MULT[,LEN:MULT])");
+              exit 2
+            | Some ps -> (
+              match Arrival.with_phases arrival ps with
+              | Some p -> p
+              | None ->
+                prerr_endline
+                  "fleet: --phases cannot wrap an already-phased process";
+                exit 2))
+        in
         ( {
             Fleet.default with
             Fleet.shards;
@@ -1011,7 +1139,8 @@ let fleet_cmd =
             kind = structure;
             mode;
             spec = strategy;
-            process = arrival;
+            process;
+            workload = { Workload.keys; churn };
             clients;
             requests;
             depth;
@@ -1021,7 +1150,7 @@ let fleet_cmd =
             backoff_cap;
             timeout;
             fanout_pct;
-            update_pct = update;
+            update_pct;
             seed;
             faults;
           },
@@ -1072,9 +1201,9 @@ let fleet_cmd =
              failover with retry/backoff and hinted handoff, graceful load \
              shedding, and fleet-wide durable-linearizability verification")
     Term.(const run $ shards $ replicas $ vnodes $ structure $ mode $ strategy $ arrival
-          $ faults $ rates $ clients $ requests $ depth $ batch $ retry_max $ backoff
-          $ backoff_cap $ timeout $ fanout_pct $ update $ seed $ csv $ repro $ repro_out
-          $ jobs_arg)
+          $ keys $ churn $ mix $ phases $ faults $ rates $ clients $ requests $ depth
+          $ batch $ retry_max $ backoff $ backoff_cap $ timeout $ fanout_pct $ update
+          $ seed $ csv $ repro $ repro_out $ jobs_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

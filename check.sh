@@ -12,4 +12,11 @@ fi
 
 dune build
 dune runtest
+
+# Workload smoke: one skewed+churned serve run must conserve requests
+# (served + shed = offered, no leaked waiting-room slots).
+dune exec bin/skipit_sim.exe -- serve --quick --keys zipf:0.99 --churn 4000 \
+  --mix 80:20 --seed 11 | grep -q "conservation: ok" \
+  || { echo "check.sh: workload smoke failed (no conservation line)" >&2; exit 1; }
+
 echo "check.sh: OK"

@@ -12,6 +12,7 @@ module Latency = Skipit_obs.Latency
 module Pool = Skipit_par.Pool
 module Ds_bench = Skipit_workload.Ds_bench
 module Arrival = Skipit_serve.Arrival
+module Workload = Skipit_serve.Workload
 module Batcher = Skipit_serve.Batcher
 module Invariant = Skipit_audit.Invariant
 
@@ -61,6 +62,7 @@ type config = {
   mode : Pctx.mode;
   spec : Ds_bench.strategy_spec;
   process : Arrival.process;
+  workload : Workload.t;
   clients : int;
   requests : int;
   depth : int;
@@ -89,6 +91,7 @@ let default =
     mode = Pctx.Automatic;
     spec = Ds_bench.Skipit;
     process = Arrival.Poisson;
+    workload = Workload.default;
     clients = 1024;
     requests = 2000;
     depth = 48;
@@ -131,6 +134,10 @@ let validate cfg =
   >>= fun () -> check (cfg.update_pct < 0 || cfg.update_pct > 100)
                   "update-pct must be in [0,100]"
   >>= fun () -> check (cfg.prefill < 0) "prefill must be non-negative"
+  >>= fun () ->
+  (match Workload.validate cfg.workload ~key_range:cfg.key_range with
+   | Ok () -> Ok ()
+   | Error e -> Error e)
   >>= fun () ->
   check
     (not (Ds_bench.compatible cfg.kind cfg.spec))
@@ -399,10 +406,14 @@ let run cfg ~rate =
     }
   in
   let shards = Array.init cfg.shards make_shard in
+  let draw =
+    Workload.draw cfg.workload ~key_range:cfg.key_range
+      ~update_pct:cfg.update_pct ~seed:(cfg.seed + 2)
+  in
   let sched =
-    Arrival.schedule ~process:cfg.process ~rate ~clients:cfg.clients
+    Arrival.schedule ~process:cfg.process ~draw ~rate ~clients:cfg.clients
       ~requests:cfg.requests ~key_range:cfg.key_range ~update_pct:cfg.update_pct
-      ~seed:(cfg.seed + 1)
+      ~seed:(cfg.seed + 1) ()
   in
   let n = Array.length sched in
   let reqs =
@@ -991,6 +1002,10 @@ let write_reproducer path (cfg : config) ~rate =
   p "mode=%s\n" (Pctx.mode_name cfg.mode);
   p "strategy=%s\n" (Ds_bench.spec_name cfg.spec);
   p "process=%s\n" (Arrival.process_name cfg.process);
+  p "keys=%s\n" (Workload.keys_name cfg.workload.Workload.keys);
+  (match cfg.workload.Workload.churn with
+   | Some c -> p "churn=%d\n" c
+   | None -> ());
   p "rate=%h\n" rate;
   p "clients=%d\n" cfg.clients;
   p "requests=%d\n" cfg.requests;
@@ -1062,6 +1077,21 @@ let read_reproducer path =
         (match Arrival.process_of_name (get "process") with
          | Some p -> p
          | None -> default.process);
+      workload =
+        (* Optional for pre-workload reproducers, like drop_persists. *)
+        {
+          Workload.keys =
+            (match Hashtbl.find_opt tbl "keys" with
+             | Some v -> (
+               match Workload.keys_of_name v with
+               | Some k -> k
+               | None -> Workload.Uniform)
+             | None -> Workload.Uniform);
+          churn =
+            (match Hashtbl.find_opt tbl "churn" with
+             | Some v -> int_of_string_opt v
+             | None -> None);
+        };
       clients = int "clients" ~default:default.clients;
       requests = int "requests" ~default:default.requests;
       depth = int "depth" ~default:default.depth;

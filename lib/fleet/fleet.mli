@@ -35,6 +35,7 @@
       way" amnesty for writes lost mid-crash (touched but never acked). *)
 
 module Arrival = Skipit_serve.Arrival
+module Workload = Skipit_serve.Workload
 
 (** One scheduled shard kill, in fleet time. *)
 type fault = { at : int; shard : int }
@@ -56,6 +57,10 @@ type config = {
   mode : Skipit_persist.Pctx.mode;
   spec : Skipit_workload.Ds_bench.strategy_spec;
   process : Arrival.process;
+  workload : Workload.t;
+      (** Key popularity / churn shape ({!Skipit_serve.Workload}); skew
+          concentrates traffic on few ring positions, stressing replica
+          balance and per-shard admission. *)
   clients : int;
   requests : int;
   depth : int;  (** Waiting-room slots per shard. *)

@@ -3,6 +3,7 @@ module Rng = Skipit_sim.Rng
 type process =
   | Poisson
   | Bursty of { on : int; off : int }
+  | Phased of { phases : (int * int) list; base : process }
   | Degraded of { windows : (int * int) list; base : process }
 
 let default_bursty = Bursty { on = 2000; off = 6000 }
@@ -10,6 +11,11 @@ let default_bursty = Bursty { on = 2000; off = 6000 }
 let rec process_name = function
   | Poisson -> "poisson"
   | Bursty { on; off } -> Printf.sprintf "bursty:%d/%d" on off
+  | Phased { phases; base } ->
+    Printf.sprintf "phases:%s:%s"
+      (String.concat ","
+         (List.map (fun (l, m) -> Printf.sprintf "%dx%d" l m) phases))
+      (process_name base)
   | Degraded { windows; base } ->
     Printf.sprintf "degraded:%s:%s"
       (String.concat ","
@@ -32,6 +38,22 @@ let parse_window w =
     | _ -> None)
   | _ -> None
 
+(* A phase list must have positive lengths and at least one phase with a
+   non-zero rate multiplier, or the gap walk would never find an active
+   cycle. *)
+let valid_phases phases =
+  phases <> []
+  && List.for_all (fun (l, m) -> l > 0 && m >= 0) phases
+  && List.exists (fun (_, m) -> m > 0) phases
+
+let parse_phase seg =
+  match String.split_on_char 'x' seg with
+  | [ a; b ] -> (
+    match int_of_string_opt a, int_of_string_opt b with
+    | Some l, Some m -> Some (l, m)
+    | _ -> None)
+  | _ -> None
+
 let rec process_of_name s =
   match s with
   | "poisson" -> Some Poisson
@@ -46,6 +68,27 @@ let rec process_of_name s =
          | Some on, Some off when on > 0 && off >= 0 -> Some (Bursty { on; off })
          | _ -> None)
        | _ -> None)
+     | Some i when String.sub s 0 i = "phases" -> (
+       (* phases:LENxMILLI[,LENxMILLI]:BASE — segment lengths in cycles,
+          rate multipliers in thousandths (integers, so the name
+          round-trips without float formatting).  BASE must be a plain
+          poisson/bursty process. *)
+       let rest = String.sub s (i + 1) (String.length s - i - 1) in
+       match String.index_opt rest ':' with
+       | None -> None
+       | Some j -> (
+         let pspec = String.sub rest 0 j in
+         let bspec = String.sub rest (j + 1) (String.length rest - j - 1) in
+         let phases =
+           List.filter_map parse_phase (String.split_on_char ',' pspec)
+         in
+         if List.length phases <> List.length (String.split_on_char ',' pspec)
+            || not (valid_phases phases)
+         then None
+         else
+           match process_of_name bspec with
+           | Some ((Poisson | Bursty _) as base) -> Some (Phased { phases; base })
+           | _ -> None))
      | Some i when String.sub s 0 i = "degraded" -> (
        (* degraded:S-E[,S-E]:BASE — the window list never contains ':', so
           the first ':' after the prefix splits windows from the base name
@@ -80,6 +123,22 @@ type request = {
   key : int;
 }
 
+type draw = Rng.t -> at:int -> op * int
+
+(* The historical inline op/key draw, kept as the default so every
+   schedule produced before the workload layer existed is byte-identical:
+   one [Rng.int _ 100] for the op class, a [Rng.bool] only for updates,
+   then one [Rng.int _ key_range] for the key. *)
+let uniform_draw ~key_range ~update_pct : draw =
+ fun rng ~at:_ ->
+  let r = Rng.int rng 100 in
+  let op =
+    if r < update_pct then if Rng.bool rng then Insert else Delete
+    else Contains
+  in
+  let key = 1 + Rng.int rng key_range in
+  (op, key)
+
 (* Skip [t] forward past every cycle in which no arrival can occur: the off
    phases of a bursty process, and any degraded (fault) window.  Each
    recursion strictly advances [t], and the window list is finite, so the
@@ -90,6 +149,20 @@ let rec skip_gaps process t =
   | Bursty { on; off } ->
     let period = on + off in
     if t mod period < on then t else (t / period + 1) * period
+  | Phased { phases; base } -> (
+    let t' = skip_gaps base t in
+    let period = List.fold_left (fun a (l, _) -> a + l) 0 phases in
+    let pos = t' mod period in
+    (* Find the segment containing [pos]; a zero-multiplier segment is a
+       gap, so jump to its end and rewalk the whole process from there. *)
+    let rec seg start = function
+      | [] -> t' (* unreachable: pos < period *)
+      | (l, m) :: rest ->
+        if pos < start + l then
+          if m > 0 then t' else skip_gaps process (t' - pos + start + l)
+        else seg (start + l) rest
+    in
+    seg 0 phases)
   | Degraded { windows; base } -> (
     let t' = skip_gaps base t in
     match List.find_opt (fun (s, e) -> t' >= s && t' < e) windows with
@@ -99,11 +172,78 @@ let rec skip_gaps process t =
 (* The on-phase rate boost that keeps long-run offered load at the
    configured rate.  Degraded windows deliberately do NOT boost: a fault
    window erases the load that would have arrived during it (clients gone
-   dark), it does not defer it. *)
+   dark), it does not defer it.  Phased segments DO normalise — a diurnal
+   trough defers load to the peaks, so the per-cycle base probability is
+   scaled by period / Σ(len·mult) and each active cycle then multiplies by
+   its own segment multiplier ({!mult_milli_at}), keeping the long-run
+   offered load at [rate]. *)
 let rec rate_boost = function
   | Poisson -> 1.
   | Bursty { on; off } -> float_of_int (on + off) /. float_of_int on
+  | Phased { phases; base } ->
+    let period = List.fold_left (fun a (l, _) -> a + l) 0 phases in
+    let weight = List.fold_left (fun a (l, m) -> a + (l * m)) 0 phases in
+    float_of_int period *. 1000. /. float_of_int weight *. rate_boost base
   | Degraded { base; _ } -> rate_boost base
+
+(* Diurnal rate multiplier (in thousandths) in force at cycle [t]; 1000
+   everywhere except inside a [Phased] segment. *)
+let mult_milli_at process t =
+  let rec go = function
+    | Poisson | Bursty _ -> 1000
+    | Degraded { base; _ } -> go base
+    | Phased { phases; base } ->
+      let period = List.fold_left (fun a (l, _) -> a + l) 0 phases in
+      let pos = t mod period in
+      let rec seg start = function
+        | [] -> 1000 (* unreachable: pos < period *)
+        | (l, m) :: rest -> if pos < start + l then m else seg (start + l) rest
+      in
+      seg 0 phases * go base / 1000
+  in
+  go process
+
+(* Per-cycle trial probability at cycle [t].  The [1000] fast path keeps
+   non-phased processes bit-identical to the historical fixed-probability
+   walk (p *. 1.0 is exact, but not even that is evaluated). *)
+let p_at process p t =
+  match mult_milli_at process t with
+  | 1000 -> p
+  | m -> p *. (float_of_int m /. 1000.)
+
+(* Wrap [process] in a diurnal phase schedule at the right nesting depth:
+   phases sit below degraded windows (an outage erases whatever the
+   schedule would have offered) and above the base poisson/bursty shape. *)
+let with_phases process phases =
+  if not (valid_phases phases) then None
+  else
+    match process with
+    | (Poisson | Bursty _) as base -> Some (Phased { phases; base })
+    | Phased _ -> None
+    | Degraded { windows; base } -> (
+      match base with
+      | (Poisson | Bursty _) as b ->
+        Some (Degraded { windows; base = Phased { phases; base = b } })
+      | _ -> None)
+
+(* CLI-facing phase spec: "LEN:MULT[,LEN:MULT]" with MULT a decimal
+   multiplier ("36000:0.25,12000:2.5").  Parsed once into integer
+   thousandths, so everything downstream stays float-format-free. *)
+let phases_of_spec spec =
+  let seg s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+      match int_of_string_opt a, float_of_string_opt b with
+      | Some l, Some m when m >= 0. && m <= 1000. ->
+        Some (l, int_of_float ((m *. 1000.) +. 0.5))
+      | _ -> None)
+    | _ -> None
+  in
+  let parts = String.split_on_char ',' spec in
+  let phases = List.filter_map seg parts in
+  if List.length phases <> List.length parts || not (valid_phases phases) then
+    None
+  else Some phases
 
 (* One client session: its own Rng split, its own clock, its own request
    counter.  [p] is the per-cycle arrival probability during an active
@@ -124,7 +264,7 @@ let next_arrival process s =
   let cap = 10_000_000 in
   let t = ref (skip_gaps process (s.clock + 1)) in
   let trials = ref 0 in
-  while not (Rng.chance s.rng s.p) && !trials < cap do
+  while not (Rng.chance s.rng (p_at process s.p !t)) && !trials < cap do
     incr trials;
     t := skip_gaps process (!t + 1)
   done;
@@ -143,7 +283,7 @@ let aggregate_threshold = 256
    composes the same way); the concrete draws differ from the per-session
    merge, so schedules are comparable only within one regime.  Still a
    pure function of the configuration. *)
-let schedule_aggregate ~process ~p ~clients ~requests ~key_range ~update_pct ~seed =
+let schedule_aggregate ~process ~draw ~p ~clients ~requests ~seed =
   let rng = Rng.create ~seed in
   let counts = Array.make clients 0 in
   let clock = ref (-1) in
@@ -151,37 +291,48 @@ let schedule_aggregate ~process ~p ~clients ~requests ~key_range ~update_pct ~se
   Array.init requests (fun _ ->
     let t = ref (skip_gaps process (!clock + 1)) in
     let trials = ref 0 in
-    while not (Rng.chance rng p) && !trials < cap do
+    while not (Rng.chance rng (p_at process p !t)) && !trials < cap do
       incr trials;
       t := skip_gaps process (!t + 1)
     done;
     clock := !t;
     let client = Rng.int rng clients in
-    let r = Rng.int rng 100 in
-    let op =
-      if r < update_pct then if Rng.bool rng then Insert else Delete else Contains
-    in
-    let key = 1 + Rng.int rng key_range in
+    let op, key = draw rng ~at:!t in
     let seq = counts.(client) in
     counts.(client) <- seq + 1;
     { arrival = !t; client; seq; op; key })
 
-let schedule ~process ~rate ~clients ~requests ~key_range ~update_pct ~seed =
+(* Reject malformed process nestings before any rng state is consumed.
+   Phases sit strictly between degraded windows and the poisson/bursty
+   base; neither wrapper nests with itself. *)
+let rec validate_process = function
+  | Poisson | Bursty _ -> ()
+  | Phased { phases; base } ->
+    if not (valid_phases phases) then
+      invalid_arg
+        "Arrival.schedule: phases need positive lengths and a non-zero multiplier";
+    (match base with
+     | Poisson | Bursty _ -> validate_process base
+     | _ -> invalid_arg "Arrival.schedule: phased base must be poisson or bursty")
+  | Degraded { windows; base } ->
+    if not (valid_windows windows) then
+      invalid_arg "Arrival.schedule: degraded windows must be sorted, disjoint, non-empty";
+    (match base with
+     | Degraded _ -> invalid_arg "Arrival.schedule: degraded process cannot nest"
+     | _ -> validate_process base)
+
+let schedule ~process ?draw ~rate ~clients ~requests ~key_range ~update_pct ~seed () =
   if rate <= 0. then invalid_arg "Arrival.schedule: rate must be positive";
   if clients <= 0 then invalid_arg "Arrival.schedule: clients must be positive";
   if key_range <= 0 then invalid_arg "Arrival.schedule: key_range must be positive";
-  (match process with
-   | Degraded { windows; base } ->
-     if not (valid_windows windows) then
-       invalid_arg "Arrival.schedule: degraded windows must be sorted, disjoint, non-empty";
-     (match base with
-      | Degraded _ -> invalid_arg "Arrival.schedule: degraded process cannot nest"
-      | _ -> ())
-   | _ -> ());
+  validate_process process;
+  let draw =
+    match draw with Some d -> d | None -> uniform_draw ~key_range ~update_pct
+  in
   let boost = rate_boost process in
   if clients > aggregate_threshold then
     let p = Float.min 1. (rate /. 1000. *. boost) in
-    schedule_aggregate ~process ~p ~clients ~requests ~key_range ~update_pct ~seed
+    schedule_aggregate ~process ~draw ~p ~clients ~requests ~seed
   else begin
     let p = Float.min 1. (rate /. 1000. /. float_of_int clients *. boost) in
     let master = Rng.create ~seed in
@@ -198,12 +349,7 @@ let schedule ~process ~rate ~clients ~requests ~key_range ~update_pct ~seed =
         let best = ref sessions.(0) in
         Array.iter (fun s -> if s.clock < !best.clock then best := s) sessions;
         let s = !best in
-        let r = Rng.int s.rng 100 in
-        let op =
-          if r < update_pct then if Rng.bool s.rng then Insert else Delete
-          else Contains
-        in
-        let key = 1 + Rng.int s.rng key_range in
+        let op, key = draw s.rng ~at:s.clock in
         let req = { arrival = s.clock; client = s.id; seq = s.count; op; key } in
         s.count <- s.count + 1;
         ignore (next_arrival process s);

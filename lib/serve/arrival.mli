@@ -25,15 +25,22 @@
     per client; arrivals are drawn only during on phases, at a rate scaled
     by [(on + off) / on] so the long-run offered load still matches the
     configured rate (a deterministic on/off — interrupted Poisson —
-    process).  [Degraded] suppresses arrivals inside fixed fault windows
-    [(start, stop)] (half-open, in cycles) layered over any non-degraded
-    base process: clients inside a fault window are dark, and — unlike a
-    bursty off phase — their load is erased, not deferred, so a fault
-    schedule can overlap a bursty schedule without changing the draws
-    outside the windows. *)
+    process).  [Phased] imposes a piecewise-constant diurnal rate schedule:
+    a repeating cycle of [(length, mult_milli)] segments (multiplier in
+    integer thousandths) scaling the base poisson/bursty rate, normalised
+    so the long-run offered load still matches the configured rate; a
+    zero-multiplier segment is a dead trough (no arrivals).  [Degraded]
+    suppresses arrivals inside fixed fault windows [(start, stop)]
+    (half-open, in cycles) layered over any non-degraded base process:
+    clients inside a fault window are dark, and — unlike a bursty off
+    phase or a diurnal trough — their load is erased, not deferred, so a
+    fault schedule can overlap a bursty or phased schedule without
+    changing the draws outside the windows.  Nesting order is
+    [Degraded ⊃ Phased ⊃ {Poisson, Bursty}]. *)
 type process =
   | Poisson
   | Bursty of { on : int; off : int }
+  | Phased of { phases : (int * int) list; base : process }
   | Degraded of { windows : (int * int) list; base : process }
 
 val default_bursty : process
@@ -43,13 +50,30 @@ val default_bursty : process
 val process_name : process -> string
 
 val process_of_name : string -> process option
-(** ["poisson"], ["bursty"] (the default phases), ["bursty:ON/OFF"], or
+(** ["poisson"], ["bursty"] (the default phases), ["bursty:ON/OFF"],
+    ["phases:LENxMILLI[,LENxMILLI]:BASE"] ([BASE] poisson/bursty), or
     ["degraded:S-E[,S-E]:BASE"] where [BASE] is any non-degraded process
-    name (windows sorted, disjoint, non-empty). *)
+    name (windows sorted, disjoint, non-empty), including a phased one. *)
+
+val with_phases : process -> (int * int) list -> process option
+(** [with_phases process phases] wraps [process] in a diurnal schedule at
+    the canonical nesting depth: below any [Degraded] windows, above the
+    poisson/bursty base.  [None] if [process] is already phased or the
+    phase list is invalid. *)
+
+val phases_of_spec : string -> (int * int) list option
+(** CLI phase spec ["LEN:MULT[,LEN:MULT]"] with [MULT] a decimal rate
+    multiplier, e.g. ["36000:0.25,12000:2.5"]; parsed once into integer
+    thousandths. *)
 
 val skip_gaps : process -> int -> int
 (** [skip_gaps process t] is the earliest cycle [>= t] at which an arrival
-    is possible (skips bursty off phases and degraded windows). *)
+    is possible (skips bursty off phases, zero-multiplier diurnal
+    segments, and degraded windows). *)
+
+val mult_milli_at : process -> int -> int
+(** Diurnal rate multiplier (integer thousandths) in force at a cycle;
+    1000 everywhere for non-phased processes. *)
 
 val aggregate_threshold : int
 (** Client-count bound above which {!schedule} samples the merged aggregate
@@ -67,16 +91,29 @@ type request = {
   key : int;  (** In [\[1, key_range\]]. *)
 }
 
+type draw = Skipit_sim.Rng.t -> at:int -> op * int
+(** Per-arrival op/key sampler: given the stream that owns the arrival and
+    the arrival cycle, produce the operation and key.  Must be a pure
+    function of the rng state and [at] so schedules stay bit-identical. *)
+
+val uniform_draw : key_range:int -> update_pct:int -> draw
+(** The historical draw (uniform keys, update split by [Rng.bool]); the
+    default when {!schedule} is given no [draw]. *)
+
 val schedule :
   process:process ->
+  ?draw:draw ->
   rate:float ->
   clients:int ->
   requests:int ->
   key_range:int ->
   update_pct:int ->
   seed:int ->
+  unit ->
   request array
 (** [rate] is the aggregate offered load in operations per 1000 cycles,
     split evenly across [clients] sessions.  The result holds [requests]
     entries sorted by arrival (ties broken by client id, then sequence
-    number).  Equal configurations give equal schedules. *)
+    number).  Equal configurations give equal schedules.  [draw] replaces
+    the op/key sampler (see {!Workload.draw}); omitting it reproduces the
+    pre-workload schedules byte-for-byte. *)

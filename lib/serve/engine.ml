@@ -18,6 +18,7 @@ type config = {
   mode : Pctx.mode;
   spec : Ds_bench.strategy_spec;
   process : Arrival.process;
+  workload : Workload.t;
   clients : int;
   requests : int;
   batch : int;
@@ -37,6 +38,7 @@ let default =
     mode = Pctx.Automatic;
     spec = Ds_bench.Skipit;
     process = Arrival.Poisson;
+    workload = Workload.default;
     clients = 16;
     requests = 2000;
     batch = 8;
@@ -62,6 +64,10 @@ let validate cfg =
   >>= fun () -> check (cfg.update_pct < 0 || cfg.update_pct > 100) "update-pct must be in [0,100]"
   >>= fun () -> check (cfg.prefill < 0) "prefill must be non-negative"
   >>= fun () -> check (cfg.window <= 0) "window must be positive"
+  >>= fun () ->
+  (match Workload.validate cfg.workload ~key_range:cfg.key_range with
+   | Ok () -> Ok ()
+   | Error e -> Error e)
   >>= fun () ->
   check
     (not (Ds_bench.compatible cfg.kind cfg.spec))
@@ -89,7 +95,13 @@ type point = {
   attr_trimmed : int;
   attr_conserved : bool;
   metrics : Metrics.t option;
+  skip_dropped : int;
+  wb_submitted : int;
 }
+
+let skip_hit_rate p =
+  let total = p.skip_dropped + p.wb_submitted in
+  if total = 0 then 0. else float_of_int p.skip_dropped /. float_of_int total
 
 let shed_fraction p = if p.n = 0 then 0. else float_of_int p.shed /. float_of_int p.n
 
@@ -130,10 +142,14 @@ let run ?(params = Params.boom_default) cfg ~rate =
   (* The serving window opens when the prefill quiesces; arrival offsets are
      relative to it. *)
   let t0 = S.max_clock sys in
+  let draw =
+    Workload.draw cfg.workload ~key_range:cfg.key_range
+      ~update_pct:cfg.update_pct ~seed:(cfg.seed + 2)
+  in
   let sched =
-    Arrival.schedule ~process:cfg.process ~rate ~clients:cfg.clients
+    Arrival.schedule ~process:cfg.process ~draw ~rate ~clients:cfg.clients
       ~requests:cfg.requests ~key_range:cfg.key_range ~update_pct:cfg.update_pct
-      ~seed:(cfg.seed + 1)
+      ~seed:(cfg.seed + 1) ()
   in
   let n = Array.length sched in
   let arrival i = t0 + sched.(i).Arrival.arrival in
@@ -304,6 +320,19 @@ let run ?(params = Params.boom_default) cfg ~rate =
       passthrough := !passthrough + s.Batcher.passthrough;
       fences := !fences + s.Batcher.fences)
     batchers;
+  (* Per-strategy skip effectiveness over the whole run (prefill included,
+     like every other hardware counter): CBOs elided by the skip bit vs
+     writebacks actually submitted to the flush FSHRs. *)
+  let skip_dropped = ref 0 and wb_submitted = ref 0 in
+  List.iter
+    (fun (k, v) ->
+      let suffix s = String.length k >= String.length s
+                     && String.sub k (String.length k - String.length s) (String.length s) = s in
+      if String.length k > 3 && String.sub k 0 3 = "fu." then begin
+        if suffix ".skip_dropped" then skip_dropped := !skip_dropped + v
+        else if suffix ".submitted" then wb_submitted := !wb_submitted + v
+      end)
+    (S.stats_report sys);
   let latency = Latency.summarize lat in
   let dequeue_latency = Latency.summarize dlat in
   let gap =
@@ -333,6 +362,8 @@ let run ?(params = Params.boom_default) cfg ~rate =
     attr_trimmed = (match attr with Some a -> Attr.trimmed a | None -> 0);
     attr_conserved = (match attr with Some a -> Attr.conserved a | None -> true);
     metrics = mx;
+    skip_dropped = !skip_dropped;
+    wb_submitted = !wb_submitted;
   }
 
 let sweep ?params ?pool cfg ~rates =

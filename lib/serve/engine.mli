@@ -19,6 +19,9 @@ type config = {
   mode : Skipit_persist.Pctx.mode;
   spec : Skipit_workload.Ds_bench.strategy_spec;
   process : Arrival.process;
+  workload : Workload.t;
+      (** Key popularity / churn shape; {!Workload.default} reproduces the
+          historical uniform draws byte-for-byte. *)
   clients : int;  (** Independent open-loop sessions. *)
   requests : int;  (** Schedule length per run. *)
   batch : int;  (** Epoch size; 1 = per-operation persists (no grouping). *)
@@ -80,9 +83,18 @@ type point = {
           span. *)
   metrics : Skipit_obs.Metrics.t option;
       (** The run's windowed metrics registry, when [telemetry]. *)
+  skip_dropped : int;
+      (** Writebacks elided by the skip bit across all flush units —
+          non-zero only for strategies with the skip-it hardware. *)
+  wb_submitted : int;
+      (** Writebacks actually submitted to the flush FSHRs. *)
 }
 
 val shed_fraction : point -> float
+
+val skip_hit_rate : point -> float
+(** [skip_dropped / (skip_dropped + wb_submitted)]; 0 when no flush
+    traffic (or no skip hardware). *)
 
 val run : ?params:Skipit_cache.Params.t -> config -> rate:float -> point
 (** Raises [Invalid_argument] when {!validate} does.  When tracing is

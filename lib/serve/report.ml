@@ -8,12 +8,14 @@ let default_rates ~quick =
 
 let pp_config ppf (cfg : Engine.config) =
   Format.fprintf ppf
-    "serve: %s x %s x %s, %s arrivals, %d clients, %d requests, batch %d, depth %d, %d \
-     core%s, seed %d@,"
+    "serve: %s x %s x %s, %s arrivals, %s keys, mix %d:%d, %d clients, %d requests, \
+     batch %d, depth %d, %d core%s, seed %d@,"
     (Ops.kind_name cfg.Engine.kind)
     (Pctx.mode_name cfg.Engine.mode)
     (Ds_bench.spec_name cfg.Engine.spec)
     (Arrival.process_name cfg.Engine.process)
+    (Workload.name cfg.Engine.workload)
+    (100 - cfg.Engine.update_pct) cfg.Engine.update_pct
     cfg.Engine.clients cfg.Engine.requests cfg.Engine.batch cfg.Engine.depth
     cfg.Engine.cores
     (if cfg.Engine.cores = 1 then "" else "s")
@@ -31,27 +33,31 @@ let lat_cols (p : Engine.point) =
   | None -> "-", "-", "-", "-", "-"
 
 let pp_table ppf points =
-  Format.fprintf ppf "%8s %9s %7s %7s %7s %8s %8s %8s %8s %8s %7s %8s@," "offered"
-    "achieved" "served" "shed" "shed%" "p50" "p95" "p99" "p99.9" "max" "epochs" "wb";
+  Format.fprintf ppf "%8s %9s %7s %7s %7s %8s %8s %8s %8s %8s %7s %8s %6s@," "offered"
+    "achieved" "served" "shed" "shed%" "p50" "p95" "p99" "p99.9" "max" "epochs" "wb"
+    "skip%";
   List.iter
     (fun (p : Engine.point) ->
       let p50, p95, p99, p999, pmax = lat_cols p in
-      Format.fprintf ppf "%8.1f %9.2f %7d %7d %6.1f%% %8s %8s %8s %8s %8s %7d %8d@,"
+      Format.fprintf ppf
+        "%8.1f %9.2f %7d %7d %6.1f%% %8s %8s %8s %8s %8s %7d %8d %5.1f%%@,"
         p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
         (100. *. Engine.shed_fraction p)
-        p50 p95 p99 p999 pmax p.Engine.epochs p.Engine.flushes)
+        p50 p95 p99 p999 pmax p.Engine.epochs p.Engine.flushes
+        (100. *. Engine.skip_hit_rate p))
     points
 
 let pp_csv ppf points =
   Format.fprintf ppf
-    "offered,achieved,served,shed,shed_fraction,p50,p95,p99,p999,max,elapsed,epochs,flushes,deferred,passthrough,fences@,";
+    "offered,achieved,served,shed,shed_fraction,p50,p95,p99,p999,max,elapsed,epochs,flushes,deferred,passthrough,fences,skip_dropped,wb_submitted@,";
   List.iter
     (fun (p : Engine.point) ->
       let p50, p95, p99, p999, pmax = lat_cols p in
-      Format.fprintf ppf "%.3f,%.3f,%d,%d,%.4f,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d@,"
+      Format.fprintf ppf "%.3f,%.3f,%d,%d,%.4f,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d@,"
         p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
         (Engine.shed_fraction p) p50 p95 p99 p999 pmax p.Engine.elapsed p.Engine.epochs
-        p.Engine.flushes p.Engine.deferred p.Engine.passthrough p.Engine.fences)
+        p.Engine.flushes p.Engine.deferred p.Engine.passthrough p.Engine.fences
+        p.Engine.skip_dropped p.Engine.wb_submitted)
     points
 
 let summary_json name (s : Latency.summary) =
@@ -89,13 +95,14 @@ let to_json (cfg : Engine.config) points =
   add
     (Printf.sprintf
        "  \"config\": {\"structure\": \"%s\", \"mode\": \"%s\", \"strategy\": \"%s\", \
-        \"arrival\": \"%s\", \"clients\": %d, \"requests\": %d, \"batch\": %d, \
-        \"depth\": %d, \"cores\": %d, \"key_range\": %d, \"update_pct\": %d, \
-        \"seed\": %d},\n"
+        \"arrival\": \"%s\", \"workload\": \"%s\", \"clients\": %d, \"requests\": %d, \
+        \"batch\": %d, \"depth\": %d, \"cores\": %d, \"key_range\": %d, \
+        \"update_pct\": %d, \"seed\": %d},\n"
        (Ops.kind_name cfg.Engine.kind)
        (Pctx.mode_name cfg.Engine.mode)
        (Ds_bench.spec_name cfg.Engine.spec)
        (Arrival.process_name cfg.Engine.process)
+       (Workload.name cfg.Engine.workload)
        cfg.Engine.clients cfg.Engine.requests cfg.Engine.batch cfg.Engine.depth
        cfg.Engine.cores cfg.Engine.key_range cfg.Engine.update_pct cfg.Engine.seed);
   add "  \"points\": [\n";
@@ -106,10 +113,12 @@ let to_json (cfg : Engine.config) points =
         (Printf.sprintf
            "    {\"offered\": %.3f, \"achieved\": %.3f, \"served\": %d, \"shed\": %d, \
             \"shed_fraction\": %.4f, \"elapsed\": %d, \"epochs\": %d, \"flushes\": %d, \
-            \"deferred\": %d, \"passthrough\": %d, \"fences\": %d"
+            \"deferred\": %d, \"passthrough\": %d, \"fences\": %d, \
+            \"skip_dropped\": %d, \"wb_submitted\": %d"
            p.Engine.offered p.Engine.achieved p.Engine.served p.Engine.shed
            (Engine.shed_fraction p) p.Engine.elapsed p.Engine.epochs p.Engine.flushes
-           p.Engine.deferred p.Engine.passthrough p.Engine.fences);
+           p.Engine.deferred p.Engine.passthrough p.Engine.fences
+           p.Engine.skip_dropped p.Engine.wb_submitted);
       (match p.Engine.latency with
        | Some s -> add (summary_json "latency" s)
        | None -> ());
@@ -133,12 +142,13 @@ let telemetry_json (cfg : Engine.config) points =
   add
     (Printf.sprintf
        "  \"config\": {\"structure\": \"%s\", \"mode\": \"%s\", \"strategy\": \"%s\", \
-        \"arrival\": \"%s\", \"clients\": %d, \"requests\": %d, \"batch\": %d, \
-        \"depth\": %d, \"cores\": %d, \"seed\": %d, \"window\": %d},\n"
+        \"arrival\": \"%s\", \"workload\": \"%s\", \"clients\": %d, \"requests\": %d, \
+        \"batch\": %d, \"depth\": %d, \"cores\": %d, \"seed\": %d, \"window\": %d},\n"
        (Ops.kind_name cfg.Engine.kind)
        (Pctx.mode_name cfg.Engine.mode)
        (Ds_bench.spec_name cfg.Engine.spec)
        (Arrival.process_name cfg.Engine.process)
+       (Workload.name cfg.Engine.workload)
        cfg.Engine.clients cfg.Engine.requests cfg.Engine.batch cfg.Engine.depth
        cfg.Engine.cores cfg.Engine.seed cfg.Engine.window);
   add "  \"points\": [\n";

@@ -15,7 +15,7 @@ module Pool = Skipit_par.Pool
 
 let schedule ?(process = Arrival.Poisson) ?(seed = 42) ?(rate = 8.) () =
   Arrival.schedule ~process ~rate ~clients:8 ~requests:400 ~key_range:256
-    ~update_pct:20 ~seed
+    ~update_pct:20 ~seed ()
 
 let req_tuple (r : Arrival.request) =
   (r.Arrival.arrival, r.Arrival.client, r.Arrival.seq, Arrival.op_name r.Arrival.op, r.Arrival.key)
@@ -114,7 +114,7 @@ let test_aggregate_path_matches_contract () =
   let clients = 4 * Arrival.aggregate_threshold in
   let make seed =
     Arrival.schedule ~process:Arrival.Poisson ~rate:16. ~clients ~requests:600
-      ~key_range:256 ~update_pct:20 ~seed
+      ~key_range:256 ~update_pct:20 ~seed ()
   in
   let s = make 42 in
   Alcotest.(check int) "requested length" 600 (Array.length s);

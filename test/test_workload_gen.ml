@@ -1,0 +1,368 @@
+(* The workload-generation layer: the Q30 integer Zipf sampler against a
+   naive float reference (the integer kernel exists so schedules are
+   bit-identical across hosts — but it still has to be *correct*, which
+   the float reference checks), sampled frequencies against the CDF,
+   cross-host determinism pins, churn rotation, mix parsing, and the
+   diurnal phase plumbing in [Arrival]. *)
+
+module Arrival = Skipit_serve.Arrival
+module Workload = Skipit_serve.Workload
+module Rng = Skipit_sim.Rng
+
+let zipf ?churn theta_milli =
+  { Workload.keys = Workload.Zipf { theta_milli }; churn }
+
+(* == Q30 CDF vs the naive float reference ============================== *)
+
+(* Normalised CDF fractions of the integer table must track the float
+   reference sum(k^-theta).  The kernel is good to ~1e-6 absolute over
+   the whole supported (n, theta) envelope; the tolerance leaves room
+   for the tail floor (every weight >= 1 ulp). *)
+let cdf_close ~n ~theta_milli =
+  let cum = Workload.zipf_cdf ~n ~theta_milli in
+  let total = float_of_int cum.(n - 1) in
+  let theta = float_of_int theta_milli /. 1000. in
+  let fw = Array.init n (fun k -> Float.pow (float_of_int (k + 1)) (-.theta)) in
+  let ftot = Array.fold_left ( +. ) 0. fw in
+  let facc = ref 0. and worst = ref 0. in
+  Array.iteri
+    (fun k w ->
+      facc := !facc +. w;
+      let err =
+        abs_float ((float_of_int cum.(k) /. total) -. (!facc /. ftot))
+      in
+      if err > !worst then worst := err)
+    fw;
+  !worst
+
+let test_cdf_reference () =
+  List.iter
+    (fun (n, theta_milli) ->
+      let worst = cdf_close ~n ~theta_milli in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d theta_milli=%d: |cdf - ref| = %g < 1e-5" n
+           theta_milli worst)
+        true (worst < 1e-5))
+    [ (1, 990); (50, 900); (50, 990); (64, 1200); (100, 0); (512, 2000);
+      (512, 4000); (4096, 990) ]
+
+let prop_cdf_reference =
+  QCheck.Test.make ~name:"Q30 zipf CDF tracks float reference" ~count:100
+    QCheck.(pair (int_range 1 600) (int_range 0 4000))
+    (fun (n, theta_milli) ->
+      match cdf_close ~n ~theta_milli with
+      | worst when worst < 1e-5 -> true
+      | worst ->
+        QCheck.Test.fail_reportf "n=%d theta_milli=%d: worst err %g" n
+          theta_milli worst)
+
+let test_cdf_monotone_positive () =
+  let cum = Workload.zipf_cdf ~n:1024 ~theta_milli:4000 in
+  Array.iteri
+    (fun k c ->
+      (* Strictly increasing: the 1-ulp floor keeps every key reachable
+         even at theta = 4 deep in the tail. *)
+      Alcotest.(check bool) "cdf strictly increasing" true
+        (c > if k = 0 then 0 else cum.(k - 1)))
+    cum
+
+(* == Sampled frequencies vs the CDF ===================================== *)
+
+let test_draw_frequencies () =
+  let n = 32 and samples = 20_000 in
+  let draw =
+    Workload.draw (zipf 990) ~key_range:n ~update_pct:20 ~seed:5
+  in
+  let rng = Rng.create ~seed:77 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to samples do
+    let _, key = draw rng ~at:0 in
+    Alcotest.(check bool) "key in range" true (key >= 1 && key <= n);
+    counts.(key) <- counts.(key) + 1
+  done;
+  (* Reconstruct the seeded rank->key permutation and compare each key's
+     empirical frequency with its CDF mass: Pearson chi-square, 31 dof.
+     The 99.9th percentile of chi2(31) is 61.1; everything here is
+     seeded, so this is a deterministic regression check, not a flaky
+     statistical one. *)
+  let cum = Workload.zipf_cdf ~n ~theta_milli:990 in
+  let total = float_of_int cum.(n - 1) in
+  let perm = Array.init n (fun i -> i + 1) in
+  Rng.shuffle (Rng.create ~seed:5) perm;
+  let chi = ref 0. in
+  for rank = 0 to n - 1 do
+    let mass = cum.(rank) - if rank = 0 then 0 else cum.(rank - 1) in
+    let expected = float_of_int mass /. total *. float_of_int samples in
+    let observed = float_of_int counts.(perm.(rank)) in
+    chi := !chi +. (((observed -. expected) ** 2.) /. expected)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.2f < 61.1 (chi2_31 @ 0.999)" !chi)
+    true (!chi < 61.1)
+
+let test_draw_skews () =
+  (* Rank-0 mass should dominate at theta = 0.99 over 256 keys: ~16% of
+     draws against 0.39% under uniform. *)
+  let n = 256 and samples = 10_000 in
+  let draw = Workload.draw (zipf 990) ~key_range:n ~update_pct:0 ~seed:3 in
+  let rng = Rng.create ~seed:11 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to samples do
+    let _, key = draw rng ~at:0 in
+    counts.(key) <- counts.(key) + 1
+  done;
+  let top = Array.fold_left max 0 counts in
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest key holds %d/%d draws (>= 10x uniform)" top samples)
+    true
+    (top * n >= 10 * samples)
+
+(* == Cross-host determinism pins ======================================== *)
+
+let op_key = Alcotest.(list (pair string int))
+
+let test_draw_golden () =
+  (* Pinned (op, key) stream: zipf:0.99 over 16 keys, 20% updates,
+     workload seed 7, arrival stream seed 123.  Any change to the Q30
+     kernel, the permutation seeding or the rng consumption order shows
+     up here before it shows up as a CI diff between hosts. *)
+  let draw = Workload.draw (zipf 990) ~key_range:16 ~update_pct:20 ~seed:7 in
+  let rng = Rng.create ~seed:123 in
+  let got =
+    List.init 8 (fun _ ->
+        let op, key = draw rng ~at:0 in
+        (Arrival.op_name op, key))
+  in
+  Alcotest.check op_key "pinned zipf draw stream"
+    [ ("delete", 13); ("contains", 4); ("contains", 16); ("contains", 5);
+      ("contains", 13); ("delete", 9); ("contains", 9); ("contains", 2) ]
+    got
+
+let test_churn_golden () =
+  (* Same rng state at every call, so the key only moves when the churn
+     epoch rotates the permutation offset. *)
+  let draw =
+    Workload.draw (zipf 990 ~churn:100) ~key_range:16 ~update_pct:20 ~seed:7
+  in
+  let key_at at =
+    let _, key = draw (Rng.create ~seed:99) ~at in
+    key
+  in
+  Alcotest.(check (list int)) "pinned per-epoch hot key"
+    [ 13; 5; 8; 11; 7; 7; 1; 1 ]
+    (List.init 8 (fun e -> key_at (e * 100)))
+
+(* == Churn rotation ===================================================== *)
+
+let test_churn_rotates () =
+  let draw =
+    Workload.draw (zipf 990 ~churn:200) ~key_range:64 ~update_pct:0 ~seed:42
+  in
+  let key_at at =
+    let _, key = draw (Rng.create ~seed:1) ~at in
+    key
+  in
+  (* Constant within an epoch... *)
+  Alcotest.(check int) "stable inside epoch 0" (key_at 0) (key_at 199);
+  Alcotest.(check int) "stable inside epoch 3" (key_at 600) (key_at 799);
+  (* ...and the hot set moves across epochs (with a 1/64 chance per epoch
+     of a coincidental repeat, 20 epochs all matching means it's broken). *)
+  let first = key_at 0 in
+  Alcotest.(check bool) "offset rotates across epochs" true
+    (List.exists (fun e -> key_at (e * 200) <> first) (List.init 20 succ));
+  (* The epoch memo must survive non-monotonic [at] (pool workers replay
+     arrivals out of order). *)
+  let a = key_at 0 in
+  let _ = key_at 1000 in
+  Alcotest.(check int) "memo recomputes on epoch re-entry" a (key_at 0)
+
+let test_churn_same_seed_same_rotation () =
+  let mk () =
+    Workload.draw (zipf 990 ~churn:50) ~key_range:32 ~update_pct:50 ~seed:9
+  in
+  let sample draw =
+    let rng = Rng.create ~seed:4 in
+    List.init 40 (fun i ->
+        let op, key = draw rng ~at:(i * 37) in
+        (Arrival.op_name op, key))
+  in
+  Alcotest.check op_key "same seed, same churned stream" (sample (mk ()))
+    (sample (mk ()))
+
+(* == Validation and names =============================================== *)
+
+let test_validate () =
+  let ok t kr = Result.is_ok (Workload.validate t ~key_range:kr) in
+  Alcotest.(check bool) "uniform ok" true (ok Workload.default 1_000_000);
+  Alcotest.(check bool) "zipf ok" true (ok (zipf 990) 4096);
+  Alcotest.(check bool) "zipf+churn ok" true (ok (zipf 990 ~churn:4000) 4096);
+  Alcotest.(check bool) "churn without zipf rejected" false
+    (ok { Workload.keys = Workload.Uniform; churn = Some 100 } 4096);
+  Alcotest.(check bool) "non-positive churn rejected" false
+    (ok (zipf 990 ~churn:0) 4096);
+  Alcotest.(check bool) "theta above 4.0 rejected" false (ok (zipf 4001) 4096);
+  Alcotest.(check bool) "zipf key_range above CDF cap rejected" false
+    (ok (zipf 990) ((1 lsl 22) + 1));
+  Alcotest.(check bool) "uniform key_range unbounded" true
+    (ok Workload.default ((1 lsl 22) + 1))
+
+let test_names_round_trip () =
+  List.iter
+    (fun keys ->
+      let name = Workload.keys_name keys in
+      Alcotest.(check bool) (name ^ " round-trips") true
+        (Workload.keys_of_name name = Some keys))
+    [ Workload.Uniform; Workload.Zipf { theta_milli = 990 };
+      Workload.Zipf { theta_milli = 1200 }; Workload.Zipf { theta_milli = 0 };
+      Workload.Zipf { theta_milli = 4000 } ];
+  Alcotest.(check bool) "bare zipf means 0.99" true
+    (Workload.keys_of_name "zipf" = Some (Workload.Zipf { theta_milli = 990 }));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+        (Workload.keys_of_name s = None))
+    [ "zipf:4.001"; "zipf:-1"; "zipf:0.9999"; "zipf:"; "lru"; "zipfian:1" ];
+  Alcotest.(check string) "churn shows in the workload name"
+    "zipf:0.99+churn:4000"
+    (Workload.name (zipf 990 ~churn:4000))
+
+let test_mix_of_spec () =
+  List.iter
+    (fun (spec, expect) ->
+      Alcotest.(check (option int)) ("mix " ^ spec) expect
+        (Workload.mix_of_spec spec))
+    [ ("80:20", Some 20); ("100:0", Some 0); ("0:100", Some 100);
+      ("4:1", Some 20); ("1:2", Some 67); ("50:50", Some 50); ("0:0", None);
+      ("a:b", None); ("50", None); ("-1:2", None); ("1:2:3", None) ]
+
+(* == Diurnal phases ===================================================== *)
+
+let test_phase_names_round_trip () =
+  List.iter
+    (fun p ->
+      let name = Arrival.process_name p in
+      Alcotest.(check bool) (name ^ " round-trips") true
+        (Arrival.process_of_name name = Some p))
+    [ Arrival.Phased { phases = [ (4000, 500); (4000, 1500) ]; base = Arrival.Poisson };
+      Arrival.Phased
+        { phases = [ (100, 0); (900, 2000) ]; base = Arrival.Bursty { on = 10; off = 30 } };
+      Arrival.Degraded
+        { windows = [ (50, 80) ];
+          base = Arrival.Phased { phases = [ (40, 250) ]; base = Arrival.Poisson } } ]
+
+let test_phases_of_spec () =
+  Alcotest.(check (option (list (pair int int)))) "decimal multipliers"
+    (Some [ (4000, 500); (4000, 1500) ])
+    (Arrival.phases_of_spec "4000:0.5,4000:1.5");
+  Alcotest.(check (option (list (pair int int)))) "zero trough allowed"
+    (Some [ (100, 0); (300, 1333) ])
+    (Arrival.phases_of_spec "100:0,300:1.333");
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+        (Arrival.phases_of_spec s = None))
+    [ ""; "4000"; "4000:0.5,"; "0:1"; "100:0"; "100:-1"; "100:x"; "100:1001" ]
+
+let test_with_phases () =
+  let ph = [ (10, 500); (10, 1500) ] in
+  Alcotest.(check bool) "wraps poisson" true
+    (Arrival.with_phases Arrival.Poisson ph
+    = Some (Arrival.Phased { phases = ph; base = Arrival.Poisson }));
+  (let d = Arrival.Degraded { windows = [ (5, 9) ]; base = Arrival.Poisson } in
+   Alcotest.(check bool) "wraps under degraded windows" true
+     (Arrival.with_phases d ph
+     = Some
+         (Arrival.Degraded
+            { windows = [ (5, 9) ];
+              base = Arrival.Phased { phases = ph; base = Arrival.Poisson } })));
+  Alcotest.(check bool) "refuses double phasing" true
+    (Arrival.with_phases (Arrival.Phased { phases = ph; base = Arrival.Poisson }) ph
+    = None);
+  Alcotest.(check bool) "refuses an all-zero cycle" true
+    (Arrival.with_phases Arrival.Poisson [ (10, 0) ] = None)
+
+let test_phase_trough_is_dark () =
+  (* 1000-cycle dead trough alternating with a 2x segment: no arrival may
+     land in [0, 1000) mod 2000 — on both the per-session path and the
+     aggregate path (> aggregate_threshold clients). *)
+  List.iter
+    (fun clients ->
+      let s =
+        Arrival.schedule
+          ~process:
+            (Arrival.Phased { phases = [ (1000, 0); (1000, 2000) ]; base = Arrival.Poisson })
+          ~rate:8. ~clients ~requests:300 ~key_range:64 ~update_pct:20 ~seed:17
+          ()
+      in
+      Alcotest.(check int) "full schedule" 300 (Array.length s);
+      Array.iter
+        (fun (r : Arrival.request) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "clients=%d: arrival %d outside the trough" clients
+               r.Arrival.arrival)
+            true
+            (r.Arrival.arrival mod 2000 >= 1000))
+        s)
+    [ 8; Arrival.aggregate_threshold + 1 ]
+
+let test_mult_milli_at () =
+  let p = Arrival.Phased { phases = [ (100, 250); (50, 0); (100, 2000) ]; base = Arrival.Poisson } in
+  List.iter
+    (fun (t, expect) ->
+      Alcotest.(check int) (Printf.sprintf "mult at %d" t) expect
+        (Arrival.mult_milli_at p t))
+    [ (0, 250); (99, 250); (100, 0); (149, 0); (150, 2000); (249, 2000);
+      (250, 250); (349, 250); (499, 2000) ];
+  Alcotest.(check int) "non-phased is 1000" 1000
+    (Arrival.mult_milli_at Arrival.Poisson 12345)
+
+let test_zipf_schedule_deterministic () =
+  let mk () =
+    let draw = Workload.draw (zipf 990 ~churn:500) ~key_range:128 ~update_pct:20 ~seed:44 in
+    Arrival.schedule
+      ~process:(Arrival.Phased { phases = [ (500, 500); (500, 1500) ]; base = Arrival.Poisson })
+      ~draw ~rate:8. ~clients:8 ~requests:400 ~key_range:128 ~update_pct:20
+      ~seed:42 ()
+  in
+  let tup (r : Arrival.request) =
+    (r.Arrival.arrival, r.Arrival.client, Arrival.op_name r.Arrival.op, r.Arrival.key)
+  in
+  Alcotest.(check bool) "same config, same zipf schedule" true
+    (Array.for_all2 (fun a b -> tup a = tup b) (mk ()) (mk ()));
+  let uniform =
+    Arrival.schedule
+      ~process:(Arrival.Phased { phases = [ (500, 500); (500, 1500) ]; base = Arrival.Poisson })
+      ~rate:8. ~clients:8 ~requests:400 ~key_range:128 ~update_pct:20 ~seed:42
+      ()
+  in
+  Alcotest.(check bool) "zipf keys differ from uniform keys" false
+    (Array.for_all2 (fun a b -> tup a = tup b) (mk ()) uniform)
+
+let tests =
+  ( "workload-gen",
+    [
+      Alcotest.test_case "Q30 CDF matches float reference" `Quick test_cdf_reference;
+      QCheck_alcotest.to_alcotest prop_cdf_reference;
+      Alcotest.test_case "CDF strictly increasing at theta=4" `Quick
+        test_cdf_monotone_positive;
+      Alcotest.test_case "sampled frequencies match CDF (chi-square)" `Quick
+        test_draw_frequencies;
+      Alcotest.test_case "zipf skews toward the hot key" `Quick test_draw_skews;
+      Alcotest.test_case "pinned draw stream (cross-host)" `Quick test_draw_golden;
+      Alcotest.test_case "pinned churn epochs (cross-host)" `Quick test_churn_golden;
+      Alcotest.test_case "churn rotates per epoch, stable within" `Quick
+        test_churn_rotates;
+      Alcotest.test_case "churn streams reproducible" `Quick
+        test_churn_same_seed_same_rotation;
+      Alcotest.test_case "workload validation" `Quick test_validate;
+      Alcotest.test_case "keys names round-trip" `Quick test_names_round_trip;
+      Alcotest.test_case "mix spec parsing" `Quick test_mix_of_spec;
+      Alcotest.test_case "phase names round-trip" `Quick test_phase_names_round_trip;
+      Alcotest.test_case "phase spec parsing" `Quick test_phases_of_spec;
+      Alcotest.test_case "with_phases nesting" `Quick test_with_phases;
+      Alcotest.test_case "zero-mult trough has no arrivals" `Quick
+        test_phase_trough_is_dark;
+      Alcotest.test_case "mult_milli_at segments" `Quick test_mult_milli_at;
+      Alcotest.test_case "zipf+churn+phases schedule deterministic" `Quick
+        test_zipf_schedule_deterministic;
+    ] )

@@ -44,6 +44,15 @@
    - [--min-fleet-achieved X]: fail unless achieved throughput
      ("achieved_milli"/1000, served ops per 1000 cycles) is at least X.
 
+   One skewed-workload gate over the serve rows (both quantities are
+   simulated request latencies, class "serve", hence deterministic):
+
+   - [--max-skew-p99-ratio R]: fail if the fresh
+     "serve_hash_zipf99_r16_b8" row's serve p99 exceeds R times the fresh
+     "serve_hash_r16_b8" (uniform-keys) serve p99 — Zipfian skew
+     concentrates writes on hot lines, and this bounds how much tail the
+     skew is allowed to cost.  Missing rows or latency classes fail.
+
    Writes a human-readable diff report to REPORT (default
    bench_gate_report.txt) and exits 1 when any gated field drifts, so CI
    can fail the build and upload the report as an artifact.
@@ -274,13 +283,14 @@ let usage () =
   prerr_endline
     "usage: bench_gate [--min-speedup X] [--max-serial-regress Y] \
      [--min-bank-speedup X] [--max-fleet-shed F] [--min-fleet-achieved X] \
-     [--allow-missing] BASELINE FRESH [REPORT]";
+     [--max-skew-p99-ratio R] [--allow-missing] BASELINE FRESH [REPORT]";
   exit 2
 
 let () =
   let min_speedup = ref None and max_serial_regress = ref None in
   let min_bank_speedup = ref None in
   let max_fleet_shed = ref None and min_fleet_achieved = ref None in
+  let max_skew_p99_ratio = ref None in
   let positional = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -303,6 +313,10 @@ let () =
     | "--min-fleet-achieved" :: v :: rest -> (
       match float_of_string_opt v with
       | Some f -> min_fleet_achieved := Some f; parse_args rest
+      | None -> usage ())
+    | "--max-skew-p99-ratio" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> max_skew_p99_ratio := Some f; parse_args rest
       | None -> usage ())
     | "--allow-missing" :: rest ->
       allow_missing := true;
@@ -425,6 +439,39 @@ let () =
                "fleet-achieved gate: achieved %.2f ops/kcycle below required %.2f" a fl
            else note "fleet-achieved gate: achieved %.2f ops/kcycle >= %.2f" a fl)
    end);
+  (match !max_skew_p99_ratio with
+   | None -> ()
+   | Some fl ->
+     let serve_p99 w_name =
+       match List.assoc_opt w_name fws with
+       | None ->
+         drift "skew gate: workload %s missing from fresh run" w_name;
+         None
+       | Some w -> (
+         match
+           Option.bind (member "latency" w) (member "serve")
+           |> Fun.flip Option.bind (member "p99")
+           |> Fun.flip Option.bind to_num
+         with
+         | None ->
+           drift "skew gate: %s has no serve p99 latency" w_name;
+           None
+         | some -> some)
+     in
+     (match serve_p99 "serve_hash_r16_b8", serve_p99 "serve_hash_zipf99_r16_b8" with
+      | Some uniform, Some skewed when uniform > 0. ->
+        let ratio = skewed /. uniform in
+        if ratio > fl then
+          drift
+            "skew gate: zipf:0.99 serve p99 %.1f is %.2fx the uniform p99 %.1f \
+             (allowed %.2fx)"
+            skewed ratio uniform fl
+        else
+          note "skew gate: zipf:0.99 serve p99 %.1f / uniform %.1f = %.2fx <= %.2fx"
+            skewed uniform ratio fl
+      | Some uniform, Some _ ->
+        drift "skew gate: uniform serve p99 %.1f is not positive" uniform
+      | _ -> ()));
   (match !max_serial_regress with
    | None -> ()
    | Some frac -> (
